@@ -1,0 +1,86 @@
+// Command odpbench is the paper's Figure-3 micro-benchmark as a CLI: it
+// issues num-ops READ operations of a given size over num-qps queue
+// pairs with a configurable interval, in one of the four ODP modes, and
+// reports execution time and pitfall indicators over the requested trials.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"odpsim/internal/cluster"
+	"odpsim/internal/core"
+	"odpsim/internal/sim"
+	"odpsim/internal/stats"
+)
+
+func main() {
+	size := flag.Int("size", 100, "message size per operation (bytes)")
+	numOps := flag.Int("ops", 2, "number of READ operations")
+	numQPs := flag.Int("qps", 1, "number of queue pairs (round-robin)")
+	interval := flag.Duration("interval", 0, "sleep between posts")
+	mode := flag.String("mode", "both", "ODP mode: none, server, client, both")
+	cack := flag.Int("cack", 1, "Local ACK Timeout exponent C_ACK (0 disables)")
+	retry := flag.Int("retry", 7, "Retry Count C_retry")
+	rnr := flag.Duration("rnr", 1280*time.Microsecond, "minimal RNR NAK delay")
+	system := flag.String("system", "KNL (Private servers B)", "system profile (see Table I)")
+	trials := flag.Int("trials", 10, "number of trials")
+	seed := flag.Int64("seed", 1, "base simulation seed")
+	ping := flag.Bool("dummy-ping", false, "enable the dummy-communication workaround")
+	flag.Parse()
+
+	sys, err := cluster.ByName(*system)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.BenchConfig{
+		System:      sys,
+		Size:        *size,
+		NumOps:      *numOps,
+		NumQPs:      *numQPs,
+		Interval:    sim.Time(interval.Nanoseconds()),
+		CACK:        *cack,
+		RetryCount:  *retry,
+		MinRNRDelay: sim.Time(rnr.Nanoseconds()),
+		DummyPing:   *ping,
+	}
+	switch *mode {
+	case "none":
+		cfg.Mode = core.NoODP
+	case "server":
+		cfg.Mode = core.ServerODP
+	case "client":
+		cfg.Mode = core.ClientODP
+	case "both":
+		cfg.Mode = core.BothODP
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	fmt.Printf("%s: %d ops × %d B over %d QP(s), interval %v, %s, C_ACK=%d\n\n",
+		sys.Name, *numOps, *size, *numQPs, *interval, cfg.Mode, *cack)
+
+	var times []float64
+	timeouts := 0
+	for i := 0; i < *trials; i++ {
+		c := cfg
+		c.Seed = *seed + int64(i)*7919
+		r := core.RunMicrobench(c)
+		status := ""
+		if r.TimedOut() {
+			timeouts++
+			status = "  [timeout]"
+		}
+		if r.Failed {
+			status += "  [IBV_WC_RETRY_EXC_ERR]"
+		}
+		fmt.Printf("trial %2d: exec=%-12v packets=%-8d retransmissions=%-7d%s\n",
+			i+1, r.ExecTime, r.PacketsOnWire, r.Retransmits, status)
+		times = append(times, r.ExecTime.Seconds())
+	}
+	s := stats.Summarize(times)
+	fmt.Printf("\nexec time [s]: %s\n", s)
+	fmt.Printf("P(timeout) = %d/%d = %.0f%%\n", timeouts, *trials, 100*float64(timeouts)/float64(*trials))
+}

@@ -1,0 +1,62 @@
+// Command odpexperiments regenerates every table and figure of the
+// paper's evaluation in one run — the data recorded in EXPERIMENTS.md.
+// With -quick it uses smaller grids and trial counts (minutes instead of
+// tens of minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+)
+
+// experiments lists the regeneration commands in paper order.
+func experiments(quick bool) [][]string {
+	q := func(args ...string) []string {
+		if quick {
+			args = append(args, "-quick")
+		}
+		return args
+	}
+	trials := "10"
+	argoTrials := "100"
+	if quick {
+		trials = "5"
+		argoTrials = "40"
+	}
+	return [][]string{
+		{"run", "./cmd/odptrace", "-ops", "1", "-mode", "server"},
+		{"run", "./cmd/odptrace", "-ops", "1", "-mode", "client"},
+		{"run", "./cmd/odpsweep", "-fig", "2"},
+		q("run", "./cmd/odpsweep", "-fig", "4", "-trials", trials),
+		{"run", "./cmd/odptrace", "-ops", "2", "-interval", "1ms", "-mode", "server"},
+		q("run", "./cmd/odpsweep", "-fig", "6a", "-trials", trials),
+		q("run", "./cmd/odpsweep", "-fig", "6b", "-trials", trials),
+		q("run", "./cmd/odpsweep", "-fig", "7", "-trials", trials),
+		{"run", "./cmd/odptrace", "-ops", "3", "-interval", "2.5ms", "-mode", "server"},
+		q("run", "./cmd/odpsweep", "-fig", "9"),
+		{"run", "./cmd/odpsweep", "-fig", "11"},
+		{"run", "./cmd/odpapps", "-app", "argodsm", "-trials", argoTrials},
+		{"run", "./cmd/odpapps", "-app", "sparkucx", "-trials", trials},
+	}
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller grids and trial counts")
+	flag.Parse()
+
+	start := time.Now()
+	for i, args := range experiments(*quick) {
+		fmt.Printf("\n================ experiment %d: go %v ================\n\n", i+1, args)
+		cmd := exec.Command("go", args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment failed: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("\nall experiments completed in %v\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,70 @@
+// Command odpperf is the simulator's perftest: ib_read_lat / ib_read_bw
+// equivalents with the ODP options the real suite lacks.
+//
+//	odpperf -test lat -size 8                     # pinned READ latency
+//	odpperf -test lat -mode server                # ODP first-access penalty
+//	odpperf -test lat -mode server -prefetch      # …removed by prefetch
+//	odpperf -test bw -size 4096 -window 16        # pipelined bandwidth
+//	odpperf -test compare                         # all modes side by side
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"odpsim/internal/cluster"
+	"odpsim/internal/core"
+	"odpsim/internal/perftest"
+)
+
+func main() {
+	test := flag.String("test", "lat", "lat, bw, or compare")
+	size := flag.Int("size", 8, "message size in bytes")
+	iters := flag.Int("iters", 1000, "iterations")
+	mode := flag.String("mode", "none", "ODP mode: none, server, client, both")
+	implicit := flag.Bool("implicit", false, "use Implicit ODP")
+	prefetch := flag.Bool("prefetch", false, "prefetch ODP pages (ibv_advise_mr)")
+	window := flag.Int("window", 16, "outstanding operations (bw)")
+	pages := flag.Int("pages", 0, "rotate over this many pages (0 = one slot)")
+	system := flag.String("system", "KNL (Private servers B)", "system profile")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	sys, err := cluster.ByName(*system)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := perftest.Config{
+		System: sys, Seed: *seed, Size: *size, Iters: *iters,
+		Implicit: *implicit, Prefetch: *prefetch, Window: *window, TouchPages: *pages,
+	}
+	switch *mode {
+	case "none":
+		cfg.Mode = core.NoODP
+	case "server":
+		cfg.Mode = core.ServerODP
+	case "client":
+		cfg.Mode = core.ClientODP
+	case "both":
+		cfg.Mode = core.BothODP
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	switch *test {
+	case "lat":
+		fmt.Printf("RDMA READ latency, %s, %s\n\n", sys.Name, cfg.Mode)
+		fmt.Println(perftest.LatencyHeader)
+		fmt.Println(perftest.ReadLat(cfg))
+	case "bw":
+		fmt.Printf("RDMA READ bandwidth, %s, %s, window %d\n\n", sys.Name, cfg.Mode, cfg.Window)
+		fmt.Println(perftest.BandwidthHeader)
+		fmt.Println(perftest.ReadBW(cfg))
+	case "compare":
+		fmt.Printf("RDMA READ latency by registration mode, %s\n\n", sys.Name)
+		fmt.Print(perftest.CompareModes(cfg))
+	default:
+		log.Fatalf("unknown test %q", *test)
+	}
+}

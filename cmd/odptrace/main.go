@@ -1,0 +1,90 @@
+// Command odptrace regenerates the paper's packet-workflow figures by
+// capturing the micro-benchmark's traffic ibdump-style and rendering it:
+//
+//	odptrace -ops 1 -mode server   # Figure 1 (left): single READ, server-side ODP
+//	odptrace -ops 1 -mode client   # Figure 1 (right): single READ, client-side ODP
+//	odptrace -ops 2 -interval 1ms  # Figure 5: packet damming and the timeout
+//	odptrace -ops 3 -interval 2.5ms # Figure 8: the PSN-sequence-error rescue
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"odpsim/internal/core"
+	"odpsim/internal/sim"
+)
+
+func main() {
+	ops := flag.Int("ops", 2, "number of READ operations")
+	mode := flag.String("mode", "both", "ODP mode: none, server, client, both")
+	interval := flag.Duration("interval", time.Millisecond, "interval between posts")
+	rnr := flag.Duration("rnr", 1280*time.Microsecond, "minimal RNR NAK delay")
+	size := flag.Int("size", 100, "message size in bytes")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	analyze := flag.Bool("analyze", false, "print per-operation latencies and per-QP flow statistics")
+	csvOut := flag.String("csv", "", "also write the capture as CSV to this file")
+	traceOut := flag.String("trace", "", "also write the capture in the binary trace format to this file")
+	flag.Parse()
+
+	cfg := core.DefaultBench()
+	cfg.NumOps = *ops
+	cfg.Size = *size
+	cfg.Seed = *seed
+	cfg.Interval = sim.Time(interval.Nanoseconds())
+	cfg.MinRNRDelay = sim.Time(rnr.Nanoseconds())
+	cfg.WithCapture = true
+	switch *mode {
+	case "none":
+		cfg.Mode = core.NoODP
+	case "server":
+		cfg.Mode = core.ServerODP
+	case "client":
+		cfg.Mode = core.ClientODP
+	case "both":
+		cfg.Mode = core.BothODP
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	r := core.RunMicrobench(cfg)
+	fmt.Printf("%d READ(s), %s, interval %v, min RNR NAK delay %v on %s\n\n",
+		*ops, cfg.Mode, *interval, *rnr, cfg.System.Name)
+	r.Cap.RenderFlow(os.Stdout, "node0")
+	fmt.Println()
+	fmt.Print(r.Cap.Summary())
+	fmt.Printf("\nexecution time %v, timeouts %d, RNR NAKs %d, PSN-sequence NAKs %d\n",
+		r.ExecTime, r.Timeouts, r.RNRNaksSent, r.NakSeqSent)
+	if incs := core.DetectDamming(r.Cap, 100*sim.Millisecond); len(incs) > 0 {
+		fmt.Println("\npacket damming detected:")
+		for _, inc := range incs {
+			fmt.Printf("  %s\n", inc)
+		}
+	}
+	if *analyze {
+		fmt.Println()
+		fmt.Print(r.Cap.AnalysisReport())
+	}
+	if *csvOut != "" {
+		writeFile(*csvOut, r.Cap.WriteCSV)
+	}
+	if *traceOut != "" {
+		writeFile(*traceOut, r.Cap.WriteTrace)
+	}
+}
+
+func writeFile(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

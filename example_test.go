@@ -1,0 +1,80 @@
+package odpsim_test
+
+import (
+	"fmt"
+
+	"odpsim"
+)
+
+// ExampleRunMicrobench reproduces the paper's headline result: two
+// 100-byte READs, one millisecond apart, take half a second on a
+// ConnectX-4 with on-demand paging.
+func ExampleRunMicrobench() {
+	cfg := odpsim.DefaultBench() // KNL, both-side ODP, C_ACK=1, C_retry=7
+	cfg.Interval = odpsim.Millisecond
+	r := odpsim.RunMicrobench(cfg)
+	fmt.Printf("timed out: %v\n", r.TimedOut())
+	fmt.Printf("longer than 300ms: %v\n", r.ExecTime > 300*odpsim.Millisecond)
+	// Output:
+	// timed out: true
+	// longer than 300ms: true
+}
+
+// ExampleMeasureTimeout shows the Figure-2 wrong-LID probe: the
+// ConnectX-5 is the only device with a short timeout floor.
+func ExampleMeasureTimeout() {
+	cx4 := odpsim.MeasureTimeout(odpsim.KNL(), 1, 7)
+	cx5 := odpsim.MeasureTimeout(odpsim.AzureHC(), 1, 7)
+	fmt.Printf("ConnectX-4 floor ≈ 500ms: %v\n", cx4 > 400*odpsim.Millisecond && cx4 < 700*odpsim.Millisecond)
+	fmt.Printf("ConnectX-5 floor ≈ 30ms: %v\n", cx5 > 20*odpsim.Millisecond && cx5 < 45*odpsim.Millisecond)
+	// Output:
+	// ConnectX-4 floor ≈ 500ms: true
+	// ConnectX-5 floor ≈ 30ms: true
+}
+
+// ExampleDetectDamming captures a dammed run and identifies the stalled
+// PSN from the packets alone, the way the paper's authors did with
+// ibdump.
+func ExampleDetectDamming() {
+	cfg := odpsim.DefaultBench()
+	cfg.Interval = odpsim.Millisecond
+	cfg.WithCapture = true
+	r := odpsim.RunMicrobench(cfg)
+	incidents := odpsim.DetectDamming(r.Cap, 100*odpsim.Millisecond)
+	fmt.Printf("incidents: %d\n", len(incidents))
+	fmt.Printf("stall exceeds 100ms: %v\n", incidents[0].Stall > 100*odpsim.Millisecond)
+	// Output:
+	// incidents: 1
+	// stall exceeds 100ms: true
+}
+
+// ExampleDummyPinger demonstrates the paper's §IX-A workaround: a
+// periodic dummy communication converts the 500 ms timeout into a
+// millisecond-scale NAK rescue.
+func ExampleDummyPinger() {
+	cfg := odpsim.DefaultBench()
+	cfg.Interval = odpsim.Millisecond
+	cfg.DummyPing = true
+	cfg.DummyPingInterval = 200 * odpsim.Microsecond
+	r := odpsim.RunMicrobench(cfg)
+	fmt.Printf("timed out: %v\n", r.TimedOut())
+	fmt.Printf("under 30ms: %v\n", r.ExecTime < 30*odpsim.Millisecond)
+	// Output:
+	// timed out: false
+	// under 30ms: true
+}
+
+// ExampleReadLat runs the perftest-style latency measurement with
+// server-side ODP: the first access pays the fault, the steady state
+// matches pinned memory.
+func ExampleReadLat() {
+	cfg := odpsim.DefaultPerfConfig()
+	cfg.Iters = 200
+	cfg.Mode = odpsim.ServerODP
+	r := odpsim.ReadLat(cfg)
+	fmt.Printf("first access in fault territory (>3ms): %v\n", r.First > 3*odpsim.Millisecond)
+	fmt.Printf("steady state at RTT (<8µs): %v\n", r.Typical < 8)
+	// Output:
+	// first access in fault territory (>3ms): true
+	// steady state at RTT (<8µs): true
+}

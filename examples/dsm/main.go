@@ -1,0 +1,87 @@
+// Command dsm builds a miniature ArgoDSM-style distributed shared memory
+// initialization on the public UCX-like API and shows how enabling ODP
+// produces the paper's Figure-12 bimodal execution-time distribution —
+// and how tuning the minimal RNR NAK delay shifts it back.
+package main
+
+import (
+	"fmt"
+
+	"odpsim"
+)
+
+// initDSM models a DSM node joining: register the global region, touch
+// the home-node directory, then take the global lock with a READ followed
+// shortly by a SEND — the packet-damming pattern §VII-A uncovered.
+func initDSM(seed int64, ucfg odpsim.UCXConfig) (total odpsim.Time, timedOut bool) {
+	cl := odpsim.KNL().Build(seed, 2)
+	home := odpsim.NewUCXContext(cl.Nodes[0], ucfg).NewWorker()
+	peer := odpsim.NewUCXContext(cl.Nodes[1], ucfg).NewWorker()
+	epHome, epPeer := odpsim.UCXConnect(home, peer)
+
+	const mem = 1 << 20 // 1 MB global memory for the demo
+	globalMem := cl.Nodes[0].AS.Alloc(mem)
+	peerMem := cl.Nodes[1].AS.Alloc(mem)
+
+	cl.Eng.Go("dsm-init", func(p *odpsim.Proc) {
+		p.Sleep(home.RegisterBuffer(globalMem, mem))
+		p.Sleep(peer.RegisterBuffer(peerMem, mem))
+
+		// Directory first touches.
+		for i := 0; i < 4; i++ {
+			off := odpsim.Addr(i * odpsim.PageSize)
+			if err := epPeer.Get(p, peerMem+off, globalMem+off, 64); err != nil {
+				return
+			}
+		}
+
+		// Global lock: READ the lock word, think, then SEND.
+		lockOff := odpsim.Addr(mem / 2)
+		rd := epPeer.GetAsync(peerMem+lockOff, globalMem+lockOff, 8)
+		p.Sleep(cl.Eng.Uniform(100*odpsim.Microsecond, 6*odpsim.Millisecond))
+		snd := epPeer.SendAsync(peerMem, 16)
+		epHome.PostRecv(globalMem, odpsim.PageSize)
+		if err := peer.WaitAll(p, []odpsim.Request{rd, snd}); err != nil {
+			return
+		}
+		total = p.Now()
+	})
+	cl.Eng.MustRun()
+	return total, epPeer.QP().Stats.Timeouts > 0
+}
+
+func trial(label string, ucfg odpsim.UCXConfig, trials int) {
+	var times []float64
+	slow := 0
+	for i := 0; i < trials; i++ {
+		tt, timedOut := initDSM(int64(1000+i*613), ucfg)
+		times = append(times, tt.Seconds())
+		if timedOut {
+			slow++
+		}
+	}
+	s := odpsim.Summarize(times)
+	fmt.Printf("%-38s mean=%6.3fs  p50=%6.3fs  max=%6.3fs  dammed=%d/%d\n",
+		label, s.Mean, s.P50, s.Max, slow, trials)
+}
+
+func main() {
+	const trials = 25
+	fmt.Printf("mini-DSM init on KNL, %d trials each:\n\n", trials)
+
+	off := odpsim.DefaultUCXConfig()
+	trial("ODP disabled", off, trials)
+
+	on := off
+	on.EnableODP = true
+	trial("ODP enabled (UCX defaults)", on, trials)
+
+	tuned := on
+	tuned.MinRNRDelay = odpsim.SmallestRNRDelay
+	trial("ODP enabled + smallest RNR delay", tuned, trials)
+
+	fmt.Println("\nwith UCX defaults the enabled runs split into two groups — the slow")
+	fmt.Println("group rode out a ≈2 s damming timeout (Figure 12); the RNR tuning")
+	fmt.Println("narrows the vulnerable window from ≈3.4 ms to the ≈0.5 ms client-side")
+	fmt.Println("window, shrinking the slow group accordingly.")
+}

@@ -1,0 +1,53 @@
+// Command regstrategies compares the memory-registration management
+// strategies of the paper's §VIII-A — direct pinning, Tezuka et al.'s
+// pin-down cache, Zhou et al.'s batched deregistration, Frey & Alonso's
+// copy path, and ODP — on a hot/cold buffer-reuse workload: the
+// performance/productivity tradeoff that motivates ODP in the first
+// place.
+package main
+
+import (
+	"fmt"
+
+	"odpsim"
+)
+
+func main() {
+	const (
+		nBuffers = 64
+		bufSize  = 4 * odpsim.PageSize
+		accesses = 2000
+	)
+	fmt.Printf("%d accesses over %d buffers of %d KiB (90%% to a hot quarter):\n\n",
+		accesses, nBuffers, bufSize/1024)
+
+	type mk func(*odpsim.Engine, *odpsim.RNIC) odpsim.RegStrategy
+	costs := odpsim.DefaultRegCosts()
+	for _, m := range []mk{
+		func(_ *odpsim.Engine, n *odpsim.RNIC) odpsim.RegStrategy {
+			return odpsim.NewDirectPin(n, costs)
+		},
+		func(_ *odpsim.Engine, n *odpsim.RNIC) odpsim.RegStrategy {
+			return odpsim.NewPinDownCache(n, costs, 32*bufSize)
+		},
+		func(_ *odpsim.Engine, n *odpsim.RNIC) odpsim.RegStrategy {
+			return odpsim.NewBatchedDereg(n, costs, 32*bufSize, 8)
+		},
+		func(_ *odpsim.Engine, n *odpsim.RNIC) odpsim.RegStrategy {
+			return odpsim.NewCopyPath(n, costs, 256<<10, 1<<20)
+		},
+		func(_ *odpsim.Engine, n *odpsim.RNIC) odpsim.RegStrategy {
+			return odpsim.NewODPOnce(n)
+		},
+	} {
+		cl := odpsim.ReedbushH().Build(7, 1)
+		s := m(cl.Eng, cl.Nodes[0])
+		trace := odpsim.SyntheticTrace(cl.Eng, cl.Nodes[0], nBuffers, bufSize, accesses, 0.25)
+		fmt.Println(odpsim.RunRegWorkload(cl.Eng, s, trace))
+	}
+
+	fmt.Println()
+	fmt.Println("ODP wins on both axes here — zero pinned footprint and near-zero")
+	fmt.Println("registration time — which is exactly why it is attractive, and why")
+	fmt.Println("its pitfalls (run the damming and flood examples) matter so much.")
+}

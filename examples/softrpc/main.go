@@ -1,0 +1,69 @@
+// Command softrpc demonstrates the §VIII-C lesson: hardware Reliable
+// Connection detects a lost packet only after the vendor-floored Local-ACK
+// timeout (≈500 ms at best, Figure 2), while software reliability over
+// Unreliable Datagram — RPCs with an application-level timer — detects and
+// recovers in milliseconds.
+package main
+
+import (
+	"fmt"
+
+	"odpsim"
+)
+
+func main() {
+	// --- Software reliability over UD ---
+	cl := odpsim.ReedbushH().Build(1, 2)
+	cfg := odpsim.DefaultRPCConfig()
+	cfg.Retries = 3
+	server := odpsim.NewRPCServer(cl.Nodes[1], cfg)
+	client := odpsim.NewRPCClient(cl.Nodes[0], cfg)
+
+	var okLatency, failLatency odpsim.Time
+	cl.Eng.Go("caller", func(p *odpsim.Proc) {
+		start := p.Now()
+		if err := client.Call(p, server.LID(), server.QPN(), 64); err != nil {
+			fmt.Println("unexpected:", err)
+		}
+		okLatency = p.Now() - start
+
+		// Now call a black hole (unreachable LID).
+		start = p.Now()
+		err := client.Call(p, 99, 1, 64)
+		failLatency = p.Now() - start
+		fmt.Printf("UD soft-RPC: success in %v; unreachable peer detected in %v (%v)\n",
+			okLatency, failLatency, err)
+	})
+	cl.Eng.Run() // the RPC server process parks forever; Run drains events
+
+	// --- Hardware reliability (RC) against the same black hole ---
+	cl2 := odpsim.ReedbushH().Build(2, 2)
+	ctx := odpsim.OpenDevice(cl2.Nodes[0])
+	pd := ctx.AllocPD()
+	cq := ctx.CreateCQ()
+	qp := pd.CreateQP(cq, cq)
+	must(qp.Connect(odpsim.QPAttr{DestLID: 99, DestQPNum: 1, Timeout: 1, RetryCnt: 3}))
+	lbuf := cl2.Nodes[0].AS.Alloc(odpsim.PageSize)
+	_, err := pd.RegisterMR(lbuf, odpsim.PageSize, odpsim.AccessLocalWrite)
+	must(err)
+	var hardLatency odpsim.Time
+	cl2.Eng.Go("rc-caller", func(p *odpsim.Proc) {
+		start := p.Now()
+		must(qp.PostRead(1, lbuf, 0x1000, 64))
+		cqe := cq.WaitN(p, 1)[0]
+		hardLatency = p.Now() - start
+		fmt.Printf("RC hardware:  unreachable peer detected in %v (%s)\n",
+			hardLatency, cqe.Status)
+	})
+	cl2.Eng.MustRun()
+
+	fmt.Printf("\nsoftware reliability detects failure %.0f× faster — the reason\n",
+		float64(hardLatency)/float64(failLatency))
+	fmt.Println("UD-based systems (§VIII-C) never notice the long-timeout pitfall.")
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,3 @@
+module odpsim
+
+go 1.22

@@ -1,0 +1,49 @@
+package odpsim
+
+import (
+	"testing"
+
+	"odpsim/internal/core"
+	"odpsim/internal/sim"
+)
+
+// TestGoldenNumbers pins headline results to exact values. The simulator
+// is deterministic (single-threaded event loop, seeded math/rand), so any
+// change here is a real behavioral change of the model — recalibrate
+// EXPERIMENTS.md if you touch one intentionally.
+func TestGoldenNumbers(t *testing.T) {
+	t.Run("damming exec time", func(t *testing.T) {
+		cfg := core.DefaultBench()
+		cfg.Interval = sim.Millisecond
+		r := core.RunMicrobench(cfg)
+		if got, want := r.ExecTime, sim.Time(488179437); got != want {
+			t.Errorf("exec = %d (%v), want %d", int64(got), got, int64(want))
+		}
+		if r.Timeouts != 1 || r.DammedDrops != 3 {
+			t.Errorf("timeouts=%d dammed=%d", r.Timeouts, r.DammedDrops)
+		}
+	})
+	t.Run("ConnectX-4 timeout floor", func(t *testing.T) {
+		if got, want := core.MeasureTimeout(KNL(), 1, 1), sim.Time(499100821); got != want {
+			t.Errorf("T_o = %d (%v), want %d", int64(got), got, int64(want))
+		}
+	})
+	t.Run("flood last completion", func(t *testing.T) {
+		cfg := core.DefaultBench()
+		cfg.Mode = core.ClientODP
+		cfg.Size = 32
+		cfg.NumQPs = 128
+		cfg.NumOps = 128
+		cfg.CACK = 18
+		r := core.RunMicrobench(cfg)
+		var last sim.Time
+		for _, ct := range r.CompletionTime {
+			if ct > last {
+				last = ct
+			}
+		}
+		if got, want := last, sim.Time(5980769); got != want {
+			t.Errorf("last completion = %d (%v), want %d", int64(got), got, int64(want))
+		}
+	})
+}

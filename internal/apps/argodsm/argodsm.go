@@ -1,0 +1,137 @@
+// Package argodsm models the ArgoDSM experiment of §VII-A: a software
+// distributed shared memory whose initialization performs a storm of
+// first-touch page registrations and then acquires a global lock on the
+// home node with a READ followed closely by a SEND on the same QP — the
+// exact pattern packet damming strikes. The paper's Figure 12 measures
+// init+finalize over 100 trials and finds a bimodal distribution with ODP
+// enabled: the slow group rode out a damming timeout.
+package argodsm
+
+import (
+	"odpsim/internal/cluster"
+	"odpsim/internal/hostmem"
+	"odpsim/internal/sim"
+	"odpsim/internal/stats"
+	"odpsim/internal/ucx"
+)
+
+// Config parameterizes one ArgoDSM run.
+type Config struct {
+	System cluster.System
+	Seed   int64
+	// MemorySize is the value passed to argo::init (10 MB in Figure 12).
+	MemorySize int
+	// ODP enables on-demand paging through the UCX layer.
+	ODP bool
+}
+
+// DefaultConfig returns the Figure-12 setup on KNL.
+func DefaultConfig() Config {
+	return Config{System: cluster.KNL(), Seed: 1, MemorySize: 10 << 20}
+}
+
+// Result reports one init+finalize execution.
+type Result struct {
+	InitTime     sim.Time
+	FinalizeTime sim.Time
+	Total        sim.Time
+	// TimedOut reports whether a damming timeout struck the global-lock
+	// acquisition.
+	TimedOut bool
+}
+
+// directoryAccesses is the number of small home-node control-structure
+// accesses init performs besides the lock (directory setup, barriers).
+const directoryAccesses = 12
+
+// Run executes one init+finalize pair on a fresh two-node cluster, built
+// on the DSM substrate in dsm.go.
+func Run(cfg Config) Result {
+	if cfg.MemorySize <= 0 {
+		panic("argodsm: MemorySize must be positive")
+	}
+	cl := cfg.System.Build(cfg.Seed, 2)
+	ucfg := ucx.DefaultConfig()
+	ucfg.EnableODP = cfg.ODP
+
+	pages := (cfg.MemorySize + hostmem.PageSize - 1) / hostmem.PageSize
+
+	// Base software work of argo::init / argo::finalize (directory and
+	// MPI window setup, zeroing, barriers), scaled by host speed — the
+	// part that exists with or without ODP.
+	cpu := cfg.System.CPUFactor
+	baseInit := sim.Time(float64(380*sim.Millisecond) * cpu)
+	baseFini := sim.Time(float64(60*sim.Millisecond) * cpu)
+	perPage := sim.Time(float64(18*sim.Microsecond) * cpu)
+
+	var res Result
+	var peerQP *ucx.Endpoint
+	cl.Eng.Go("argodsm", func(p *sim.Proc) {
+		start := p.Now()
+
+		// argo::init — build the DSM (registers the global memory:
+		// pinned eagerly without ODP, free but fault-prone with it),
+		// then the first-touch directory setup.
+		p.Sleep(baseInit)
+		d := NewDSM(p, cl, cfg.MemorySize, ucfg)
+		p.Sleep(sim.Time(pages) * perPage)
+
+		n1 := d.Nodes()[1]
+		peerQP = n1.Endpoint(0)
+
+		// Directory/control-structure first touches on the home node:
+		// page reads that fault under ODP.
+		for i := 0; i < directoryAccesses; i++ {
+			if err := n1.Read(p, i); err != nil {
+				return
+			}
+		}
+
+		// Global lock acquisition over MPI RMA: a READ of the lock
+		// word, a short software think time, then the SEND announcing
+		// ownership — the exact READ+SEND pair §VII-A traced. The
+		// READ's page is fresh, so under ODP it faults on the home
+		// node, opening the pending window the SEND can fall into.
+		lockPage := d.Pages()/2 - 1 // node 0's last, untouched page
+		think := cl.Eng.Uniform(100*sim.Microsecond, 12*sim.Millisecond)
+		rd := peerQP.GetAsync(n1.cacheAddr(lockPage), d.HomeAddr(lockPage), 8)
+		p.Sleep(think)
+		snd := peerQP.SendAsync(n1.base, 16)
+		if err := n1.Worker().WaitAll(p, []ucx.Request{rd, snd}); err != nil {
+			return
+		}
+		res.InitTime = p.Now() - start
+
+		// argo::finalize — write back dirty state and a closing
+		// handshake.
+		finiStart := p.Now()
+		p.Sleep(baseFini)
+		if err := n1.Write(p, 0); err != nil {
+			return
+		}
+		res.FinalizeTime = p.Now() - finiStart
+		res.Total = p.Now() - start
+	})
+	cl.Eng.MustRun()
+	if peerQP != nil {
+		res.TimedOut = peerQP.QP().Stats.Timeouts > 0
+	}
+	return res
+}
+
+// Distribution runs trials executions with distinct seeds and returns the
+// total times in seconds plus a histogram, reproducing Figure 12's
+// methodology (100 trials).
+func Distribution(cfg Config, trials int, histHi float64) ([]float64, *stats.Histogram) {
+	times := make([]float64, 0, trials)
+	h := stats.NewHistogram(0, histHi, 25)
+	for i := 0; i < trials; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*6151
+		r := Run(c)
+		s := r.Total.Seconds()
+		times = append(times, s)
+		h.Add(s)
+	}
+	return times, h
+}

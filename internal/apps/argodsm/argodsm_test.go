@@ -1,0 +1,111 @@
+package argodsm
+
+import (
+	"testing"
+
+	"odpsim/internal/cluster"
+	"odpsim/internal/stats"
+)
+
+func TestNoODPBaselineTimes(t *testing.T) {
+	// Figure 12 baselines: KNL ≈ 2.28 s, Reedbush-H ≈ 0.50 s without
+	// ODP.
+	knl := Run(DefaultConfig())
+	if knl.TimedOut {
+		t.Error("no-ODP run must not time out")
+	}
+	if s := knl.Total.Seconds(); s < 1.6 || s > 3.0 {
+		t.Errorf("KNL no-ODP total = %.2f s, want ≈2.3", s)
+	}
+	cfg := DefaultConfig()
+	cfg.System = cluster.ReedbushH()
+	rb := Run(cfg)
+	if s := rb.Total.Seconds(); s < 0.35 || s > 0.8 {
+		t.Errorf("Reedbush no-ODP total = %.2f s, want ≈0.5", s)
+	}
+	if knl.Total < rb.Total*2 {
+		t.Error("KNL must be markedly slower than Reedbush-H")
+	}
+}
+
+func TestODPRunsSplitIntoTwoGroups(t *testing.T) {
+	// The Figure-12 signature: with ODP the samples split into a fast
+	// group (no damming) and a slow group (+≈2 s timeout).
+	cfg := DefaultConfig()
+	cfg.ODP = true
+	fast, slow := 0, 0
+	var fastMax, slowMin float64 = 0, 1e9
+	for i := 0; i < 30; i++ {
+		c := cfg
+		c.Seed = int64(1000 + i*977)
+		r := Run(c)
+		s := r.Total.Seconds()
+		if r.TimedOut {
+			slow++
+			if s < slowMin {
+				slowMin = s
+			}
+		} else {
+			fast++
+			if s > fastMax {
+				fastMax = s
+			}
+		}
+	}
+	if fast == 0 || slow == 0 {
+		t.Fatalf("expected both groups: fast=%d slow=%d", fast, slow)
+	}
+	if slowMin < fastMax+1.0 {
+		t.Errorf("groups should be separated by the ≈2 s timeout: fastMax=%.2f slowMin=%.2f", fastMax, slowMin)
+	}
+}
+
+func TestODPNeverTimesOutOnConnectX6(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ODP = true
+	cfg.System = cluster.AzureHBv2()
+	for i := 0; i < 10; i++ {
+		c := cfg
+		c.Seed = int64(50 + i)
+		if r := Run(c); r.TimedOut {
+			t.Fatalf("seed %d: damming on ConnectX-6", c.Seed)
+		}
+	}
+}
+
+func TestDistributionBimodal(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ODP = true
+	times, h := Distribution(cfg, 40, 6)
+	if len(times) != 40 || h.Total() != 40 {
+		t.Fatalf("distribution incomplete: %d/%d", len(times), h.Total())
+	}
+	if modes := h.Modes(3); len(modes) < 2 {
+		t.Errorf("expected a bimodal histogram, modes at bins %v\n%s", modes, h.Bars("s"))
+	}
+	s := stats.Summarize(times)
+	if s.Mean < 2.3 || s.Mean > 4.2 {
+		t.Errorf("KNL ODP mean = %.2f s, paper reports 3.12", s.Mean)
+	}
+}
+
+func TestInitDominatedByBase(t *testing.T) {
+	r := Run(DefaultConfig())
+	if r.InitTime < r.FinalizeTime {
+		t.Error("init should dominate finalize")
+	}
+	if r.Total < r.InitTime {
+		t.Error("total must include init")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero memory should panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.MemorySize = 0
+	Run(cfg)
+}

@@ -1,0 +1,170 @@
+package argodsm
+
+import (
+	"testing"
+
+	"odpsim/internal/cluster"
+	"odpsim/internal/hostmem"
+	"odpsim/internal/sim"
+	"odpsim/internal/ucx"
+)
+
+func buildDSM(t *testing.T, seed int64, nodes int, odp bool) (*cluster.Cluster, *DSM) {
+	t.Helper()
+	cl := cluster.ReedbushH().Build(seed, nodes)
+	ucfg := ucx.DefaultConfig()
+	ucfg.EnableODP = odp
+	var d *DSM
+	cl.Eng.Go("setup", func(p *sim.Proc) {
+		d = NewDSM(p, cl, 64*hostmem.PageSize, ucfg)
+	})
+	cl.Eng.MustRun()
+	return cl, d
+}
+
+func TestDSMReadCaching(t *testing.T) {
+	cl, d := buildDSM(t, 1, 2, false)
+	n1 := d.Nodes()[1]
+	var errs []error
+	cl.Eng.Go("reader", func(p *sim.Proc) {
+		errs = append(errs, n1.Read(p, 0))           // home: node 0 → remote GET
+		errs = append(errs, n1.Read(p, 0))           // cached
+		errs = append(errs, n1.Read(p, d.Pages()-1)) // own partition: local
+	})
+	cl.Eng.MustRun()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n1.RemoteReads != 1 {
+		t.Errorf("RemoteReads = %d, want 1 (second read cached, third local)", n1.RemoteReads)
+	}
+}
+
+func TestDSMWriteThrough(t *testing.T) {
+	cl, d := buildDSM(t, 2, 2, false)
+	n1 := d.Nodes()[1]
+	var err error
+	cl.Eng.Go("writer", func(p *sim.Proc) {
+		err = n1.Write(p, 1)
+	})
+	cl.Eng.MustRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1.RemoteReads != 1 || n1.RemoteWrites != 1 {
+		t.Errorf("reads=%d writes=%d, want fetch+write-through", n1.RemoteReads, n1.RemoteWrites)
+	}
+}
+
+func TestDSMLockMutualExclusion(t *testing.T) {
+	cl, d := buildDSM(t, 3, 3, false)
+	inCS := 0
+	maxCS := 0
+	for i := 1; i < 3; i++ {
+		n := d.Nodes()[i]
+		cl.Eng.Go("locker", func(p *sim.Proc) {
+			for k := 0; k < 5; k++ {
+				if err := n.AcquireLock(p); err != nil {
+					t.Error(err)
+					return
+				}
+				inCS++
+				if inCS > maxCS {
+					maxCS = inCS
+				}
+				p.Sleep(50 * sim.Microsecond)
+				inCS--
+				if err := n.ReleaseLock(p); err != nil {
+					t.Error(err)
+					return
+				}
+				p.Sleep(20 * sim.Microsecond)
+			}
+		})
+	}
+	cl.Eng.MustRun()
+	if maxCS != 1 {
+		t.Errorf("max concurrent critical sections = %d, want 1", maxCS)
+	}
+}
+
+func TestDSMLockAcquireInvalidates(t *testing.T) {
+	cl, d := buildDSM(t, 4, 2, false)
+	n1 := d.Nodes()[1]
+	cl.Eng.Go("w", func(p *sim.Proc) {
+		if err := n1.Read(p, 0); err != nil {
+			t.Error(err)
+		}
+		if err := n1.AcquireLock(p); err != nil {
+			t.Error(err)
+		}
+		// Acquire must self-invalidate: the next read refetches.
+		before := n1.RemoteReads
+		if err := n1.Read(p, 0); err != nil {
+			t.Error(err)
+		}
+		if n1.RemoteReads != before+1 {
+			t.Error("acquire should invalidate the cache")
+		}
+		if err := n1.ReleaseLock(p); err != nil {
+			t.Error(err)
+		}
+	})
+	cl.Eng.MustRun()
+}
+
+func TestDSMBarrier(t *testing.T) {
+	cl, d := buildDSM(t, 5, 3, false)
+	var after [3]sim.Time
+	var before [3]sim.Time
+	for i := 0; i < 3; i++ {
+		i := i
+		n := i
+		cl.Eng.Go("b", func(p *sim.Proc) {
+			p.Sleep(sim.Time(i) * 300 * sim.Microsecond) // skewed arrival
+			before[i] = p.Now()
+			if err := d.Barrier(p, n); err != nil {
+				t.Error(err)
+			}
+			after[i] = p.Now()
+		})
+	}
+	cl.Eng.MustRun()
+	// Everyone leaves the barrier after the latest arrival.
+	latest := before[2]
+	for i := 0; i < 3; i++ {
+		if after[i] < latest {
+			t.Errorf("node %d left the barrier at %v before the last arrival %v", i, after[i], latest)
+		}
+	}
+}
+
+func TestDSMWithODPFaults(t *testing.T) {
+	cl, d := buildDSM(t, 6, 2, true)
+	n1 := d.Nodes()[1]
+	var err error
+	cl.Eng.Go("reader", func(p *sim.Proc) {
+		err = n1.Read(p, 0)
+	})
+	cl.Eng.MustRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Nodes[0].RNRNakSent == 0 {
+		t.Error("ODP DSM read should fault on the home node")
+	}
+}
+
+func TestDSMPageRangeValidation(t *testing.T) {
+	cl, d := buildDSM(t, 7, 2, false)
+	var err error
+	cl.Eng.Go("r", func(p *sim.Proc) {
+		err = d.Nodes()[1].Read(p, 10_000)
+	})
+	cl.Eng.MustRun()
+	if err == nil {
+		t.Error("out-of-range page should error")
+	}
+}

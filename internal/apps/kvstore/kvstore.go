@@ -1,0 +1,117 @@
+// Package kvstore implements a HERD-style key-value store (Kalia et al.,
+// the paper's ref [10]): request/response over Unreliable Datagram with
+// application-level retries, "sacrificing transport-level retransmission
+// for common-case performance at the cost of rare application-level
+// retries" (§VIII-C). It is the counterpoint to the paper's pitfalls:
+// a design that never meets the RC timeout machinery — and therefore
+// never meets packet damming — while an RC+ODP variant of the same
+// workload does.
+package kvstore
+
+import (
+	"errors"
+
+	"odpsim/internal/rnic"
+	"odpsim/internal/sim"
+	"odpsim/internal/softrel"
+)
+
+// Op codes in the request payload.
+const (
+	opGet uint64 = iota + 1
+	opPut
+)
+
+// ErrBadResponse reports a malformed server response.
+var ErrBadResponse = errors.New("kvstore: malformed response")
+
+// Server is the key-value node.
+type Server struct {
+	rpc   *softrel.Server
+	store map[uint64]uint64
+
+	// Gets and Puts count handled operations.
+	Gets, Puts uint64
+}
+
+// NewServer starts a KV server on a node. handleCost models per-request
+// server CPU (HERD's few hundred ns).
+func NewServer(nic *rnic.RNIC, cfg softrel.Config, handleCost sim.Time) *Server {
+	s := &Server{store: make(map[uint64]uint64)}
+	s.rpc = softrel.NewServerWithHandler(nic, cfg, s.handle)
+	s.rpc.HandleCost = handleCost
+	return s
+}
+
+// LID returns the server's fabric address.
+func (s *Server) LID() uint16 { return s.rpc.LID() }
+
+// QPN returns the server's RPC QP number.
+func (s *Server) QPN() uint32 { return s.rpc.QPN() }
+
+// handle is the request processor: [op, key] or [op, key, value] in,
+// [found, value] out.
+func (s *Server) handle(req []uint64) []uint64 {
+	if len(req) < 2 {
+		return []uint64{0, 0}
+	}
+	switch req[0] {
+	case opGet:
+		s.Gets++
+		v, ok := s.store[req[1]]
+		if !ok {
+			return []uint64{0, 0}
+		}
+		return []uint64{1, v}
+	case opPut:
+		s.Puts++
+		if len(req) < 3 {
+			return []uint64{0, 0}
+		}
+		s.store[req[1]] = req[2]
+		return []uint64{1, req[2]}
+	default:
+		return []uint64{0, 0}
+	}
+}
+
+// Client issues KV operations.
+type Client struct {
+	rpc *softrel.Client
+	lid uint16
+	qpn uint32
+}
+
+// NewClient creates a client bound to the server.
+func NewClient(nic *rnic.RNIC, cfg softrel.Config, srv *Server) *Client {
+	return &Client{rpc: softrel.NewClient(nic, cfg), lid: srv.LID(), qpn: srv.QPN()}
+}
+
+// Stats exposes the underlying RPC counters.
+func (c *Client) Stats() (calls, retransmits, failures uint64) {
+	return c.rpc.Calls, c.rpc.Retransmits, c.rpc.Failures
+}
+
+// Get fetches key; found reports whether it exists.
+func (c *Client) Get(p *sim.Proc, key uint64) (value uint64, found bool, err error) {
+	resp, err := c.rpc.CallPayload(p, c.lid, c.qpn, 32, []uint64{opGet, key})
+	if err != nil {
+		return 0, false, err
+	}
+	if len(resp) != 2 {
+		return 0, false, ErrBadResponse
+	}
+	return resp[1], resp[0] == 1, nil
+}
+
+// Put stores key = value.
+func (c *Client) Put(p *sim.Proc, key, value uint64) error {
+	resp, err := c.rpc.CallPayload(p, c.lid, c.qpn, 40, []uint64{opPut, key, value})
+	if err != nil {
+		return err
+	}
+	if len(resp) != 2 || resp[0] != 1 {
+		return ErrBadResponse
+	}
+	return nil
+}

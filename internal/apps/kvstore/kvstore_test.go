@@ -1,0 +1,189 @@
+package kvstore
+
+import (
+	"testing"
+
+	"odpsim/internal/cluster"
+	"odpsim/internal/packet"
+	"odpsim/internal/sim"
+	"odpsim/internal/softrel"
+)
+
+func setup(t *testing.T, seed int64) (*cluster.Cluster, *Client, *Server) {
+	t.Helper()
+	cl := cluster.ReedbushH().Build(seed, 2)
+	cfg := softrel.DefaultConfig()
+	srv := NewServer(cl.Nodes[1], cfg, 300*sim.Nanosecond)
+	cli := NewClient(cl.Nodes[0], cfg, srv)
+	return cl, cli, srv
+}
+
+func TestPutGet(t *testing.T) {
+	cl, cli, srv := setup(t, 1)
+	var v uint64
+	var found bool
+	var errs []error
+	cl.Eng.Go("client", func(p *sim.Proc) {
+		errs = append(errs, cli.Put(p, 7, 42))
+		var err error
+		v, found, err = cli.Get(p, 7)
+		errs = append(errs, err)
+	})
+	cl.Eng.Run()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !found || v != 42 {
+		t.Errorf("Get(7) = %d,%v", v, found)
+	}
+	if srv.Gets != 1 || srv.Puts != 1 {
+		t.Errorf("server counters: gets=%d puts=%d", srv.Gets, srv.Puts)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	cl, cli, _ := setup(t, 2)
+	var found bool
+	cl.Eng.Go("client", func(p *sim.Proc) {
+		_, found, _ = cli.Get(p, 999)
+	})
+	cl.Eng.Run()
+	if found {
+		t.Error("missing key reported found")
+	}
+}
+
+func TestManyOpsThroughput(t *testing.T) {
+	cl, cli, srv := setup(t, 3)
+	const n = 500
+	var elapsed sim.Time
+	cl.Eng.Go("client", func(p *sim.Proc) {
+		start := p.Now()
+		for i := uint64(0); i < n; i++ {
+			if err := cli.Put(p, i, i*i); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		for i := uint64(0); i < n; i++ {
+			v, found, err := cli.Get(p, i)
+			if err != nil || !found || v != i*i {
+				t.Errorf("Get(%d) = %d,%v,%v", i, v, found, err)
+				return
+			}
+		}
+		elapsed = p.Now() - start
+	})
+	cl.Eng.Run()
+	if srv.Gets != n || srv.Puts != n {
+		t.Errorf("server: gets=%d puts=%d", srv.Gets, srv.Puts)
+	}
+	// 1000 RPCs at ≈4–5 µs RTT each.
+	perOp := elapsed / (2 * n)
+	if perOp > 10*sim.Microsecond {
+		t.Errorf("per-op latency %v, want ≈5 µs", perOp)
+	}
+}
+
+func TestLossRecoversWithAppRetry(t *testing.T) {
+	cl, cli, srv := setup(t, 4)
+	cl.Fab.SetLossRate(0.02)
+	failures := 0
+	cl.Eng.Go("client", func(p *sim.Proc) {
+		for i := uint64(0); i < 200; i++ {
+			if err := cli.Put(p, i, i); err != nil {
+				failures++
+			}
+		}
+	})
+	cl.Eng.Run()
+	if failures != 0 {
+		t.Errorf("%d operations failed despite retries", failures)
+	}
+	_, retrans, _ := cli.Stats()
+	if retrans == 0 {
+		t.Error("2% loss should have forced app-level retransmissions")
+	}
+	if srv.Puts < 195 {
+		t.Errorf("server saw %d puts", srv.Puts)
+	}
+}
+
+// TestPutIdempotencyCaveat documents the HERD tradeoff: an app-level
+// retransmitted PUT can be applied twice (here it is idempotent by
+// design, as in HERD, where requests overwrite slots).
+func TestPutIdempotencyCaveat(t *testing.T) {
+	cl, cli, srv := setup(t, 5)
+	// Drop exactly the first response so the request is retried after it
+	// was already applied.
+	dropped := false
+	cl.Fab.SetDropFilter(func(pkt *packet.Packet) bool {
+		// Drop the first datagram the server sends (the response).
+		if !dropped && pkt.Opcode == packet.OpUDSend && pkt.SLID == srv.LID() {
+			dropped = true
+			return true
+		}
+		return false
+	})
+	var err error
+	var v uint64
+	cl.Eng.Go("client", func(p *sim.Proc) {
+		err = cli.Put(p, 1, 5)
+		v, _, _ = cli.Get(p, 1)
+	})
+	cl.Eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Puts != 2 {
+		t.Errorf("server applied the PUT %d times (retry re-applies)", srv.Puts)
+	}
+	if v != 5 {
+		t.Errorf("value = %d (idempotent overwrite must hold)", v)
+	}
+}
+
+// TestNeverMeetsTheTimeoutPitfalls: the KV workload with ODP-registered
+// buffers on the UD path drops datagrams on faults but recovers in
+// software-timeout time — never a half-second RC stall.
+func TestNeverMeetsTheTimeoutPitfalls(t *testing.T) {
+	cl := cluster.KNL().Build(6, 2) // ConnectX-4, the quirky device
+	cfg := softrel.DefaultConfig()
+	srv := NewServer(cl.Nodes[1], cfg, 0)
+	cli := NewClient(cl.Nodes[0], cfg, srv)
+	var worst sim.Time
+	cl.Eng.Go("client", func(p *sim.Proc) {
+		for i := uint64(0); i < 100; i++ {
+			start := p.Now()
+			if err := cli.Put(p, i, i); err != nil {
+				t.Error(err)
+				return
+			}
+			if d := p.Now() - start; d > worst {
+				worst = d
+			}
+		}
+	})
+	cl.Eng.Run()
+	if worst > 10*sim.Millisecond {
+		t.Errorf("worst op latency %v — UD+software reliability must stay off the RC timeout path", worst)
+	}
+}
+
+func TestBadResponseSurfaces(t *testing.T) {
+	// A server whose handler returns garbage.
+	cl := cluster.ReedbushH().Build(7, 2)
+	cfg := softrel.DefaultConfig()
+	bad := softrel.NewServerWithHandler(cl.Nodes[1], cfg, func([]uint64) []uint64 { return []uint64{1} })
+	cli := &Client{rpc: softrel.NewClient(cl.Nodes[0], cfg), lid: bad.LID(), qpn: bad.QPN()}
+	var err error
+	cl.Eng.Go("client", func(p *sim.Proc) {
+		_, _, err = cli.Get(p, 1)
+	})
+	cl.Eng.Run()
+	if err == nil {
+		t.Error("malformed response should surface an error")
+	}
+}

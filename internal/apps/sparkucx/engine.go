@@ -1,0 +1,191 @@
+package sparkucx
+
+import (
+	"odpsim/internal/cluster"
+	"odpsim/internal/hostmem"
+	"odpsim/internal/sim"
+	"odpsim/internal/ucx"
+)
+
+// This file is a minimal Spark-like execution engine: jobs are stage
+// DAGs, stages are sets of tasks spread over executors, and every stage
+// boundary is a shuffle — reducers fetch their input partitions from all
+// map-side executors with one-sided GETs over the UCX layer, exactly the
+// traffic SparkUCX generates. Fresh fetch buffers per shuffle mean ODP
+// faults on every boundary.
+
+// Stage is one computation stage.
+type Stage struct {
+	// Tasks is the number of tasks (partitions) in the stage.
+	Tasks int
+	// ComputePerTask is the CPU time per task (scaled by CPUFactor).
+	ComputePerTask sim.Time
+	// ShuffleBytesPerTask is what each task fetches across the stage
+	// boundary before computing (0 for the input stage).
+	ShuffleBytesPerTask int
+}
+
+// Job is a sequence of stages.
+type Job struct {
+	Name   string
+	Stages []Stage
+}
+
+// JobConfig parameterizes a job execution.
+type JobConfig struct {
+	System cluster.System
+	Seed   int64
+	// Executors is the number of worker nodes.
+	Executors int
+	// QPsPerPeer is the number of connections per executor pair
+	// (SparkUCX opens several per remote executor thread).
+	QPsPerPeer int
+	// ODP registers all shuffle memory with on-demand paging.
+	ODP bool
+	Job Job
+}
+
+// JobResult reports one job execution.
+type JobResult struct {
+	Time       sim.Time
+	StageTimes []sim.Time
+	// Retransmits aggregates requester retransmissions over all QPs —
+	// the flood indicator.
+	Retransmits uint64
+	Failed      bool
+}
+
+// fetchGranule is the size of one shuffle fetch operation.
+const fetchGranule = 4096
+
+// RunJob executes the job and returns its measurements.
+func RunJob(cfg JobConfig) JobResult {
+	if cfg.Executors < 2 {
+		panic("sparkucx: need at least 2 executors")
+	}
+	if cfg.QPsPerPeer <= 0 {
+		cfg.QPsPerPeer = 4
+	}
+	cl := cfg.System.Build(cfg.Seed, cfg.Executors)
+	ucfg := ucx.DefaultConfig()
+	ucfg.EnableODP = cfg.ODP
+
+	n := cfg.Executors
+	workers := make([]*ucx.Worker, n)
+	for i, nic := range cl.Nodes {
+		workers[i] = ucx.NewContext(nic, ucfg).NewWorker()
+	}
+	// eps[i][j][k] is executor i's k-th endpoint to executor j.
+	eps := make([][][]*ucx.Endpoint, n)
+	for i := range eps {
+		eps[i] = make([][]*ucx.Endpoint, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := 0; k < cfg.QPsPerPeer; k++ {
+				a, b := ucx.Connect(workers[i], workers[j])
+				eps[i][j] = append(eps[i][j], a)
+				eps[j][i] = append(eps[j][i], b)
+			}
+		}
+	}
+
+	// Each executor owns a map-output region (touched: the mapper wrote
+	// it) and fresh fetch regions allocated per stage.
+	outRegion := make([]hostmem.Addr, n)
+	const outBytes = 4 << 20
+	for i, nic := range cl.Nodes {
+		outRegion[i] = nic.AS.Alloc(outBytes)
+		nic.AS.Touch(outRegion[i], outBytes)
+		workers[i].RegisterBuffer(outRegion[i], outBytes)
+	}
+
+	res := JobResult{StageTimes: make([]sim.Time, len(cfg.Job.Stages))}
+	cpu := cfg.System.CPUFactor
+	barrier := sim.NewCond(cl.Eng)
+	arrived := 0
+	stageEnd := make([]sim.Time, len(cfg.Job.Stages))
+
+	for e := 0; e < n; e++ {
+		e := e
+		cl.Eng.Go("executor", func(p *sim.Proc) {
+			for si, st := range cfg.Job.Stages {
+				// Shuffle: fetch this executor's share of the previous
+				// stage's output from every peer, into fresh pages.
+				myTasks := st.Tasks / n
+				if e < st.Tasks%n {
+					myTasks++
+				}
+				if st.ShuffleBytesPerTask > 0 && myTasks > 0 {
+					perPeer := st.ShuffleBytesPerTask * myTasks / (n - 1)
+					if perPeer < fetchGranule {
+						perPeer = fetchGranule
+					}
+					dst := cl.Nodes[e].AS.Alloc(perPeer * (n - 1))
+					workers[e].RegisterBuffer(dst, perPeer*(n-1))
+					var reqs []ucx.Request
+					k := 0
+					for peer := 0; peer < n; peer++ {
+						if peer == e {
+							continue
+						}
+						for off := 0; off < perPeer; off += fetchGranule {
+							ep := eps[e][peer][k%cfg.QPsPerPeer]
+							k++
+							src := outRegion[peer] + hostmem.Addr(off%outBytes)
+							reqs = append(reqs, ep.GetAsync(dst+hostmem.Addr(off), src, fetchGranule))
+							p.Sleep(sim.Time(float64(200*sim.Nanosecond) * cpu))
+						}
+					}
+					if err := workers[e].WaitAll(p, reqs); err != nil {
+						res.Failed = true
+					}
+				}
+				// Compute.
+				p.Sleep(sim.Time(float64(st.ComputePerTask) * cpu * float64(myTasks)))
+				// Stage barrier.
+				arrived++
+				if arrived%n == 0 {
+					stageEnd[si] = p.Now()
+					barrier.Broadcast()
+				} else {
+					target := (si + 1) * n
+					p.Wait(barrier, func() bool { return arrived >= target })
+				}
+			}
+		})
+	}
+	cl.Eng.MustRun()
+
+	var prev sim.Time
+	for si := range cfg.Job.Stages {
+		res.StageTimes[si] = stageEnd[si] - prev
+		prev = stageEnd[si]
+	}
+	res.Time = prev
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for _, ep := range eps[i][j] {
+				res.Retransmits += ep.QP().Stats.Retransmits
+			}
+		}
+	}
+	return res
+}
+
+// TCJob builds a SparkTC-like job shape: iterative joins with widening
+// shuffles.
+func TCJob(scale int) Job {
+	if scale < 1 {
+		scale = 1
+	}
+	stages := []Stage{{Tasks: 8 * scale, ComputePerTask: 2 * sim.Millisecond}}
+	for i := 0; i < 3; i++ {
+		stages = append(stages, Stage{
+			Tasks:               8 * scale,
+			ComputePerTask:      3 * sim.Millisecond,
+			ShuffleBytesPerTask: 64 << 10,
+		})
+	}
+	return Job{Name: "SparkTC", Stages: stages}
+}

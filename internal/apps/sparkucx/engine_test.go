@@ -1,0 +1,100 @@
+package sparkucx
+
+import (
+	"testing"
+
+	"odpsim/internal/cluster"
+	"odpsim/internal/sim"
+)
+
+func jobCfg(seed int64, execs int, odp bool) JobConfig {
+	return JobConfig{
+		System: cluster.ReedbushH(), Seed: seed,
+		Executors: execs, QPsPerPeer: 4, ODP: odp,
+		Job: TCJob(1),
+	}
+}
+
+func TestJobRunsPinned(t *testing.T) {
+	r := RunJob(jobCfg(1, 2, false))
+	if r.Failed {
+		t.Fatal("job failed")
+	}
+	if len(r.StageTimes) != 4 {
+		t.Fatalf("stage times = %v", r.StageTimes)
+	}
+	var sum sim.Time
+	for _, st := range r.StageTimes {
+		if st <= 0 {
+			t.Errorf("non-positive stage time %v", st)
+		}
+		sum += st
+	}
+	if sum != r.Time {
+		t.Errorf("stage times (%v) must sum to total (%v)", sum, r.Time)
+	}
+	if r.Retransmits != 0 {
+		t.Errorf("pinned job retransmitted %d times", r.Retransmits)
+	}
+}
+
+func TestJobODPSlowerWithRetransmissions(t *testing.T) {
+	pinned := RunJob(jobCfg(2, 2, false))
+	odp := RunJob(jobCfg(2, 2, true))
+	if odp.Failed || pinned.Failed {
+		t.Fatal("job failed")
+	}
+	if odp.Time <= pinned.Time {
+		t.Errorf("ODP job (%v) should be slower than pinned (%v)", odp.Time, pinned.Time)
+	}
+	if odp.Retransmits == 0 {
+		t.Error("ODP shuffle should retransmit (client-side faults)")
+	}
+}
+
+func TestJobScalesWithExecutors(t *testing.T) {
+	// More executors split the same tasks: the compute portion shrinks.
+	two := RunJob(jobCfg(3, 2, false))
+	four := RunJob(jobCfg(3, 4, false))
+	if four.Failed || two.Failed {
+		t.Fatal("job failed")
+	}
+	if four.Time >= two.Time {
+		t.Errorf("4 executors (%v) should beat 2 (%v) on a compute-heavy job", four.Time, two.Time)
+	}
+}
+
+func TestJobDeterminism(t *testing.T) {
+	a := RunJob(jobCfg(4, 3, true))
+	b := RunJob(jobCfg(4, 3, true))
+	if a.Time != b.Time || a.Retransmits != b.Retransmits {
+		t.Errorf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestJobInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("1-executor job should panic")
+		}
+	}()
+	RunJob(JobConfig{System: cluster.ReedbushH(), Executors: 1, Job: TCJob(1)})
+}
+
+func TestTCJobShape(t *testing.T) {
+	j := TCJob(2)
+	if len(j.Stages) != 4 {
+		t.Fatalf("stages = %d", len(j.Stages))
+	}
+	if j.Stages[0].ShuffleBytesPerTask != 0 {
+		t.Error("input stage should not shuffle")
+	}
+	for _, st := range j.Stages[1:] {
+		if st.ShuffleBytesPerTask == 0 {
+			t.Error("join stages must shuffle")
+		}
+	}
+	if TCJob(0).Stages[0].Tasks != 8 {
+		t.Error("scale clamps to 1")
+	}
+}

@@ -1,0 +1,162 @@
+package capture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"odpsim/internal/packet"
+	"odpsim/internal/sim"
+)
+
+// This file holds the offline analysis helpers one would run over an
+// ibdump trace: per-operation service times (request → completing
+// response), per-QP flow statistics, and retransmission timelines — the
+// measurements behind the paper's reverse engineering.
+
+// OpLatency is one request's wire-level service record.
+type OpLatency struct {
+	QPN      uint32
+	PSN      uint32
+	Opcode   packet.Opcode
+	FirstTx  sim.Time
+	Done     sim.Time // completing response/ack arrival (on-wire time)
+	Attempts int      // times the request appeared on the wire
+}
+
+// Latency returns the first-transmission-to-completion time.
+func (o OpLatency) Latency() sim.Time { return o.Done - o.FirstTx }
+
+// OpLatencies reconstructs per-operation service times from the capture:
+// a request is completed by the first later packet that acknowledges its
+// PSN (a READ response with the same PSN, or an ACK covering it).
+// Operations with no visible completion are omitted.
+func (c *Capture) OpLatencies() []OpLatency {
+	type key struct {
+		qp  uint32
+		psn uint32
+	}
+	open := map[key]*OpLatency{}
+	var order []key
+	for _, r := range c.records {
+		p := r.Pkt
+		if p.Opcode.IsRequest() {
+			k := key{p.SrcQP, p.PSN}
+			if o, ok := open[k]; ok {
+				o.Attempts++
+				continue
+			}
+			open[k] = &OpLatency{QPN: p.SrcQP, PSN: p.PSN, Opcode: p.Opcode, FirstTx: r.At, Attempts: 1}
+			order = append(order, k)
+			continue
+		}
+		if r.Dropped {
+			continue
+		}
+		switch {
+		case p.Opcode.IsReadResponse() || p.Opcode == packet.OpAtomicResp:
+			k := key{p.DestQP, p.PSN}
+			if o, ok := open[k]; ok && o.Done == 0 {
+				o.Done = r.At
+			}
+		case p.Opcode == packet.OpAcknowledge && p.Syndrome == packet.SynACK:
+			// A coalesced ACK completes every open op at or before its
+			// PSN on that QP.
+			for _, o := range open {
+				if o.QPN == p.DestQP && o.Done == 0 && packet.PSNDiff(o.PSN, p.AckPSN) <= 0 {
+					o.Done = r.At
+				}
+			}
+		}
+	}
+	out := make([]OpLatency, 0, len(order))
+	for _, k := range order {
+		if o := open[k]; o.Done > 0 {
+			out = append(out, *o)
+		}
+	}
+	return out
+}
+
+// FlowStats summarizes one QP's traffic.
+type FlowStats struct {
+	QPN         uint32
+	Requests    int
+	Responses   int
+	Acks        int
+	RNRNaks     int
+	SeqNaks     int
+	Retransmits int
+	FirstAt     sim.Time
+	LastAt      sim.Time
+}
+
+// PerQPStats aggregates flow statistics per destination QP, sorted by QPN.
+func (c *Capture) PerQPStats() []FlowStats {
+	type reqKey struct {
+		qp  uint32
+		psn uint32
+	}
+	seen := map[reqKey]bool{}
+	flows := map[uint32]*FlowStats{}
+	get := func(qpn uint32, at sim.Time) *FlowStats {
+		f, ok := flows[qpn]
+		if !ok {
+			f = &FlowStats{QPN: qpn, FirstAt: at}
+			flows[qpn] = f
+		}
+		f.LastAt = at
+		return f
+	}
+	for _, r := range c.records {
+		p := r.Pkt
+		switch {
+		case p.Opcode.IsRequest():
+			f := get(p.SrcQP, r.At)
+			f.Requests++
+			k := reqKey{p.SrcQP, p.PSN}
+			if seen[k] {
+				f.Retransmits++
+			}
+			seen[k] = true
+		case p.Opcode.IsReadResponse() || p.Opcode == packet.OpAtomicResp:
+			get(p.DestQP, r.At).Responses++
+		case p.Opcode == packet.OpAcknowledge:
+			f := get(p.DestQP, r.At)
+			switch p.Syndrome {
+			case packet.SynACK:
+				f.Acks++
+			case packet.SynRNRNAK:
+				f.RNRNaks++
+			case packet.SynNAKSeqErr:
+				f.SeqNaks++
+			}
+		}
+	}
+	out := make([]FlowStats, 0, len(flows))
+	for _, f := range flows {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].QPN < out[j].QPN })
+	return out
+}
+
+// AnalysisReport renders the op latencies and per-QP flows as text — the
+// quick look the authors describe taking at every suspicious trace.
+func (c *Capture) AnalysisReport() string {
+	var b strings.Builder
+	ops := c.OpLatencies()
+	fmt.Fprintf(&b, "%d completed operations\n", len(ops))
+	fmt.Fprintf(&b, "%6s %8s %-22s %12s %9s\n", "QPN", "PSN", "opcode", "latency", "attempts")
+	for _, o := range ops {
+		fmt.Fprintf(&b, "%6d %8d %-22s %12s %9d\n", o.QPN, o.PSN, o.Opcode, o.Latency(), o.Attempts)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%6s %9s %10s %6s %8s %8s %12s\n",
+		"QPN", "requests", "retransmit", "acks", "rnr-nak", "seq-nak", "active-span")
+	for _, f := range c.PerQPStats() {
+		fmt.Fprintf(&b, "%6d %9d %10d %6d %8d %8d %12s\n",
+			f.QPN, f.Requests, f.Retransmits, f.Acks, f.RNRNaks, f.SeqNaks, f.LastAt-f.FirstAt)
+	}
+	return b.String()
+}

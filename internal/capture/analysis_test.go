@@ -1,0 +1,149 @@
+package capture
+
+import (
+	"strings"
+	"testing"
+
+	"odpsim/internal/packet"
+	"odpsim/internal/sim"
+)
+
+// mkCapture builds a capture from (time, packet) pairs directly.
+func mkCapture(recs ...Record) *Capture { return FromRecords(recs) }
+
+func req(at sim.Time, qp, psn uint32) Record {
+	return Record{At: at, Pkt: &packet.Packet{Opcode: packet.OpReadRequest, SrcQP: qp, DestQP: qp, PSN: psn}}
+}
+
+func resp(at sim.Time, qp, psn uint32) Record {
+	return Record{At: at, Pkt: &packet.Packet{Opcode: packet.OpReadRespOnly, DestQP: qp, PSN: psn, Syndrome: packet.SynACK}}
+}
+
+func ack(at sim.Time, qp, psn uint32) Record {
+	return Record{At: at, Pkt: &packet.Packet{Opcode: packet.OpAcknowledge, DestQP: qp, PSN: psn, AckPSN: psn, Syndrome: packet.SynACK}}
+}
+
+func TestOpLatenciesBasic(t *testing.T) {
+	c := mkCapture(
+		req(0, 1, 0),
+		resp(10, 1, 0),
+		req(20, 1, 1),
+		resp(35, 1, 1),
+	)
+	ops := c.OpLatencies()
+	if len(ops) != 2 {
+		t.Fatalf("ops = %+v", ops)
+	}
+	if ops[0].Latency() != 10 || ops[1].Latency() != 15 {
+		t.Errorf("latencies = %v, %v", ops[0].Latency(), ops[1].Latency())
+	}
+	if ops[0].Attempts != 1 {
+		t.Errorf("attempts = %d", ops[0].Attempts)
+	}
+}
+
+func TestOpLatenciesRetransmissionsCounted(t *testing.T) {
+	c := mkCapture(
+		req(0, 1, 0),
+		req(500, 1, 0), // retransmit
+		req(1000, 1, 0),
+		resp(1010, 1, 0),
+	)
+	ops := c.OpLatencies()
+	if len(ops) != 1 {
+		t.Fatalf("ops = %+v", ops)
+	}
+	if ops[0].Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", ops[0].Attempts)
+	}
+	if ops[0].Latency() != 1010 {
+		t.Errorf("latency measured from FIRST transmission: %v", ops[0].Latency())
+	}
+}
+
+func TestOpLatenciesCoalescedAck(t *testing.T) {
+	// Two WRITEs acked by one coalesced ACK.
+	c := mkCapture(
+		Record{At: 0, Pkt: &packet.Packet{Opcode: packet.OpWriteOnly, SrcQP: 2, DestQP: 2, PSN: 5}},
+		Record{At: 3, Pkt: &packet.Packet{Opcode: packet.OpWriteOnly, SrcQP: 2, DestQP: 2, PSN: 6}},
+		ack(9, 2, 6),
+	)
+	ops := c.OpLatencies()
+	if len(ops) != 2 {
+		t.Fatalf("ops = %+v", ops)
+	}
+	if ops[0].Done != 9 || ops[1].Done != 9 {
+		t.Errorf("coalesced ACK should complete both: %+v", ops)
+	}
+}
+
+func TestOpLatenciesIncompleteOmitted(t *testing.T) {
+	c := mkCapture(req(0, 1, 0), req(0, 1, 1), resp(5, 1, 0))
+	ops := c.OpLatencies()
+	if len(ops) != 1 || ops[0].PSN != 0 {
+		t.Fatalf("ops = %+v, want only PSN 0", ops)
+	}
+}
+
+func TestOpLatenciesOnRealDammingRun(t *testing.T) {
+	// Reconstructed latency of the dammed op must be the timeout scale;
+	// the first op must be the RNR scale (the Figure-5 shape).
+	c := mkCapture(
+		req(0, 1, 0),
+		Record{At: 2000, Pkt: &packet.Packet{Opcode: packet.OpAcknowledge, DestQP: 1, PSN: 0, AckPSN: 0, Syndrome: packet.SynRNRNAK}},
+		req(4_480_000, 1, 0),
+		req(4_480_100, 1, 1),
+		resp(4_490_000, 1, 0),
+		req(500_000_000, 1, 1),
+		resp(500_010_000, 1, 1),
+	)
+	ops := c.OpLatencies()
+	if len(ops) != 2 {
+		t.Fatalf("ops = %+v", ops)
+	}
+	if ops[0].Latency() > 5*sim.Millisecond {
+		t.Errorf("first op latency %v", ops[0].Latency())
+	}
+	if ops[1].Latency() < 400*sim.Millisecond {
+		t.Errorf("dammed op latency %v, want the timeout scale", ops[1].Latency())
+	}
+	if ops[1].Attempts != 2 {
+		t.Errorf("dammed op attempts = %d", ops[1].Attempts)
+	}
+}
+
+func TestPerQPStats(t *testing.T) {
+	c := mkCapture(
+		req(0, 1, 0),
+		req(10, 2, 0),
+		req(500, 1, 0), // retransmit on QP 1
+		resp(520, 1, 0),
+		Record{At: 530, Pkt: &packet.Packet{Opcode: packet.OpAcknowledge, DestQP: 2, AckPSN: 0, Syndrome: packet.SynRNRNAK}},
+	)
+	flows := c.PerQPStats()
+	if len(flows) != 2 {
+		t.Fatalf("flows = %+v", flows)
+	}
+	if flows[0].QPN != 1 || flows[1].QPN != 2 {
+		t.Error("flows must be sorted by QPN")
+	}
+	if flows[0].Requests != 2 || flows[0].Retransmits != 1 || flows[0].Responses != 1 {
+		t.Errorf("QP1 stats = %+v", flows[0])
+	}
+	if flows[1].RNRNaks != 1 {
+		t.Errorf("QP2 stats = %+v", flows[1])
+	}
+	if flows[0].LastAt-flows[0].FirstAt != 520 {
+		t.Errorf("QP1 span = %v", flows[0].LastAt-flows[0].FirstAt)
+	}
+}
+
+func TestAnalysisReportRenders(t *testing.T) {
+	c := mkCapture(req(0, 1, 0), resp(10, 1, 0))
+	out := c.AnalysisReport()
+	for _, want := range []string{"1 completed operations", "QPN", "attempts", "requests", "rnr-nak"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package capture is the simulator's ibdump: it records every packet that
+// crosses the fabric with timestamps, renders workflow diagrams like the
+// paper's Figures 1, 5 and 8, and provides the packet counters behind
+// Figure 9b. The paper's methodology rests on this kind of raw-packet
+// visibility ("detecting the pitfalls becomes extremely hard without
+// observing the raw packets", §IX-A).
+package capture
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"odpsim/internal/fabric"
+	"odpsim/internal/packet"
+	"odpsim/internal/sim"
+)
+
+// Record is one captured packet.
+type Record struct {
+	At      sim.Time
+	Pkt     *packet.Packet
+	Src     string
+	Dst     string
+	Dropped bool
+	Reason  string
+}
+
+// Capture accumulates records from a fabric tap.
+type Capture struct {
+	records []Record
+	enabled bool
+	limit   int // 0 = unlimited
+}
+
+// Attach creates a capture and taps the fabric. Capturing starts enabled.
+func Attach(f *fabric.Fabric) *Capture {
+	c := &Capture{enabled: true}
+	f.AddTap(func(ev fabric.TapEvent) {
+		if !c.enabled {
+			return
+		}
+		if c.limit > 0 && len(c.records) >= c.limit {
+			return
+		}
+		c.records = append(c.records, Record{
+			At: ev.At, Pkt: ev.Pkt, Src: ev.SrcName, Dst: ev.DstName,
+			Dropped: ev.Dropped, Reason: ev.Reason,
+		})
+	})
+	return c
+}
+
+// FromRecords builds a capture holding the given records — e.g. reloaded
+// from a trace file with ReadTrace — so the analysis helpers and
+// detectors can run offline.
+func FromRecords(rs []Record) *Capture {
+	return &Capture{records: rs}
+}
+
+// SetLimit caps the number of stored records (0 = unlimited); counting
+// via Total/CountOpcode still reflects only stored records, so set the
+// limit before long runs only when you need bounded memory.
+func (c *Capture) SetLimit(n int) { c.limit = n }
+
+// Start resumes capturing.
+func (c *Capture) Start() { c.enabled = true }
+
+// Stop pauses capturing.
+func (c *Capture) Stop() { c.enabled = false }
+
+// Reset discards all records.
+func (c *Capture) Reset() { c.records = nil }
+
+// Records returns all captured records.
+func (c *Capture) Records() []Record { return c.records }
+
+// Total returns the number of captured packets.
+func (c *Capture) Total() int { return len(c.records) }
+
+// CountOpcode returns how many captured packets carry the opcode.
+func (c *Capture) CountOpcode(op packet.Opcode) int {
+	n := 0
+	for _, r := range c.records {
+		if r.Pkt.Opcode == op {
+			n++
+		}
+	}
+	return n
+}
+
+// CountSyndrome returns how many Acknowledge packets carry the syndrome.
+func (c *Capture) CountSyndrome(s packet.Syndrome) int {
+	n := 0
+	for _, r := range c.records {
+		if r.Pkt.Opcode == packet.OpAcknowledge && r.Pkt.Syndrome == s {
+			n++
+		}
+	}
+	return n
+}
+
+// FilterQP returns the records whose destination or source QP number
+// matches qpn.
+func (c *Capture) FilterQP(qpn uint32) []Record {
+	var out []Record
+	for _, r := range c.records {
+		if r.Pkt.DestQP == qpn || r.Pkt.SrcQP == qpn {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Filter returns the records matching pred.
+func (c *Capture) Filter(pred func(Record) bool) []Record {
+	var out []Record
+	for _, r := range c.records {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Retransmissions counts request packets whose (QP, PSN, opcode) was seen
+// before — the metric behind the packet-flood analysis.
+func (c *Capture) Retransmissions() int {
+	type key struct {
+		qp  uint32
+		psn uint32
+		op  packet.Opcode
+	}
+	seen := make(map[key]bool)
+	n := 0
+	for _, r := range c.records {
+		if !r.Pkt.Opcode.IsRequest() {
+			continue
+		}
+		k := key{r.Pkt.DestQP, r.Pkt.PSN, r.Pkt.Opcode}
+		if seen[k] {
+			n++
+		}
+		seen[k] = true
+	}
+	return n
+}
+
+// RenderFlow writes a two-column workflow diagram in the style of the
+// paper's Figures 1, 5 and 8: client on the left, server on the right,
+// one captured packet per line. left names the client-side endpoint.
+func (c *Capture) RenderFlow(w io.Writer, left string) {
+	const width = 46
+	fmt.Fprintf(w, "%12s  %-*s\n", "time", width+len("client  server"), "client"+strings.Repeat(" ", width-4)+"server")
+	for _, r := range c.records {
+		label := r.Pkt.String()
+		if r.Dropped {
+			label += " ✗ " + r.Reason
+		} else if r.Pkt.DammingDoomed {
+			label += " ✗ discarded by RNIC (damming quirk)"
+		}
+		toRight := r.Src == left
+		var line string
+		if toRight {
+			line = "──" + label + "──▶"
+		} else {
+			line = "◀──" + label + "──"
+		}
+		fmt.Fprintf(w, "%12s  %s\n", r.At, line)
+	}
+}
+
+// Summary renders one line per opcode/syndrome with counts.
+func (c *Capture) Summary() string {
+	var b strings.Builder
+	counts := map[string]int{}
+	var order []string
+	for _, r := range c.records {
+		name := r.Pkt.Opcode.String()
+		if r.Pkt.Opcode == packet.OpAcknowledge {
+			name = r.Pkt.Syndrome.String()
+		}
+		if _, ok := counts[name]; !ok {
+			order = append(order, name)
+		}
+		counts[name]++
+	}
+	fmt.Fprintf(&b, "%d packets captured\n", len(c.records))
+	for _, name := range order {
+		fmt.Fprintf(&b, "  %-34s %6d\n", name, counts[name])
+	}
+	return b.String()
+}

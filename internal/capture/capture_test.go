@@ -1,0 +1,131 @@
+package capture
+
+import (
+	"strings"
+	"testing"
+
+	"odpsim/internal/fabric"
+	"odpsim/internal/packet"
+	"odpsim/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Engine, *fabric.Fabric, *Capture, *fabric.Port) {
+	t.Helper()
+	eng := sim.New(1)
+	fab := fabric.New(eng, fabric.DefaultConfig())
+	cap := Attach(fab)
+	a := fab.AttachPort(1, "client", func(*packet.Packet) {})
+	fab.AttachPort(2, "server", func(*packet.Packet) {})
+	return eng, fab, cap, a
+}
+
+func TestCaptureRecords(t *testing.T) {
+	eng, _, cap, a := setup(t)
+	a.Send(&packet.Packet{Opcode: packet.OpReadRequest, DLID: 2, PSN: 1, DestQP: 7})
+	a.Send(&packet.Packet{Opcode: packet.OpAcknowledge, Syndrome: packet.SynRNRNAK, DLID: 2})
+	eng.Run()
+	if cap.Total() != 2 {
+		t.Fatalf("Total = %d", cap.Total())
+	}
+	if cap.CountOpcode(packet.OpReadRequest) != 1 {
+		t.Error("read request not counted")
+	}
+	if cap.CountSyndrome(packet.SynRNRNAK) != 1 {
+		t.Error("RNR NAK not counted")
+	}
+	if got := cap.FilterQP(7); len(got) != 1 {
+		t.Errorf("FilterQP = %d records", len(got))
+	}
+}
+
+func TestStartStopReset(t *testing.T) {
+	eng, _, cap, a := setup(t)
+	cap.Stop()
+	a.Send(&packet.Packet{Opcode: packet.OpReadRequest, DLID: 2})
+	eng.Run()
+	if cap.Total() != 0 {
+		t.Error("stopped capture recorded a packet")
+	}
+	cap.Start()
+	a.Send(&packet.Packet{Opcode: packet.OpReadRequest, DLID: 2})
+	eng.Run()
+	if cap.Total() != 1 {
+		t.Error("restarted capture missed a packet")
+	}
+	cap.Reset()
+	if cap.Total() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	eng, _, cap, a := setup(t)
+	cap.SetLimit(3)
+	for i := 0; i < 10; i++ {
+		a.Send(&packet.Packet{Opcode: packet.OpReadRequest, DLID: 2, PSN: uint32(i)})
+	}
+	eng.Run()
+	if cap.Total() != 3 {
+		t.Errorf("Total = %d, want capped at 3", cap.Total())
+	}
+}
+
+func TestRetransmissions(t *testing.T) {
+	eng, _, cap, a := setup(t)
+	for _, psn := range []uint32{0, 1, 1, 1, 2} {
+		a.Send(&packet.Packet{Opcode: packet.OpReadRequest, DLID: 2, PSN: psn, DestQP: 5})
+	}
+	// Responses never count as retransmissions.
+	a.Send(&packet.Packet{Opcode: packet.OpReadRespOnly, DLID: 2, PSN: 1})
+	a.Send(&packet.Packet{Opcode: packet.OpReadRespOnly, DLID: 2, PSN: 1})
+	eng.Run()
+	if got := cap.Retransmissions(); got != 2 {
+		t.Errorf("Retransmissions = %d, want 2", got)
+	}
+}
+
+func TestRenderFlow(t *testing.T) {
+	eng, _, cap, a := setup(t)
+	a.Send(&packet.Packet{Opcode: packet.OpReadRequest, DLID: 2, PSN: 0})
+	a.Send(&packet.Packet{Opcode: packet.OpReadRequest, DLID: 99, PSN: 1}) // dropped
+	doomed := &packet.Packet{Opcode: packet.OpReadRequest, DLID: 2, PSN: 2, DammingDoomed: true}
+	a.Send(doomed)
+	eng.Run()
+	var b strings.Builder
+	cap.RenderFlow(&b, "client")
+	out := b.String()
+	if !strings.Contains(out, "──▶") {
+		t.Errorf("missing direction arrow:\n%s", out)
+	}
+	if !strings.Contains(out, "unknown DLID") {
+		t.Errorf("missing drop annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "damming quirk") {
+		t.Errorf("missing doomed annotation:\n%s", out)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	eng, _, cap, a := setup(t)
+	a.Send(&packet.Packet{Opcode: packet.OpReadRequest, DLID: 2})
+	a.Send(&packet.Packet{Opcode: packet.OpAcknowledge, Syndrome: packet.SynNAKSeqErr, DLID: 2})
+	eng.Run()
+	s := cap.Summary()
+	if !strings.Contains(s, "2 packets captured") {
+		t.Errorf("summary:\n%s", s)
+	}
+	if !strings.Contains(s, "NAK (PSN Sequence Error)") {
+		t.Errorf("summary missing syndrome:\n%s", s)
+	}
+}
+
+func TestFilterPredicate(t *testing.T) {
+	eng, _, cap, a := setup(t)
+	a.Send(&packet.Packet{Opcode: packet.OpReadRequest, DLID: 2})
+	a.Send(&packet.Packet{Opcode: packet.OpSendOnly, DLID: 2})
+	eng.Run()
+	got := cap.Filter(func(r Record) bool { return r.Pkt.Opcode == packet.OpSendOnly })
+	if len(got) != 1 {
+		t.Errorf("Filter = %d records", len(got))
+	}
+}

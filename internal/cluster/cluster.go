@@ -1,0 +1,137 @@
+// Package cluster encodes the systems of the paper's Tables I and II —
+// RNIC model, link speed, firmware-era quirks and host speed — and builds
+// ready-to-use simulated clusters out of them.
+package cluster
+
+import (
+	"fmt"
+
+	"odpsim/internal/fabric"
+	"odpsim/internal/hostmem"
+	"odpsim/internal/rnic"
+	"odpsim/internal/sim"
+)
+
+// System is one row of Table I, joined with its Table II host data.
+type System struct {
+	// Name is the system name, e.g. "KNL (Private servers B)".
+	Name string
+	// PSID is the board identifier from Table I.
+	PSID string
+	// Device is the RNIC profile.
+	Device rnic.Profile
+	// CPUFactor scales host-side latencies (page-fault resolution,
+	// software overheads): 1.0 for a ~2.4 GHz Xeon, larger for slower
+	// hosts (the KNL's Xeon Phi cores are markedly slower).
+	CPUFactor float64
+	// HasIbdump reports whether packet capture is possible there (the
+	// paper could only run ibdump on KNL, where it had sudo).
+	HasIbdump bool
+	// ModelCongestion enables the fabric's egress-queuing model (off by
+	// default; see fabric.Config.ModelCongestion).
+	ModelCongestion bool
+}
+
+// Memory returns the host memory configuration. Network page fault
+// resolution is dominated by driver/RNIC interaction rather than CPU
+// speed (Figure 1 measures ≈0.5 ms even on the slow KNL host), so only
+// the CPU-bound pinning cost scales with CPUFactor.
+func (s System) Memory() hostmem.Config {
+	cfg := hostmem.DefaultConfig()
+	cfg.PinPerPage = sim.Time(float64(cfg.PinPerPage) * s.CPUFactor)
+	return cfg
+}
+
+// FabricConfig returns the link model for the system.
+func (s System) FabricConfig() fabric.Config {
+	cfg := fabric.DefaultConfig()
+	cfg.BandwidthGbps = s.Device.LinkGbps
+	cfg.ModelCongestion = s.ModelCongestion
+	return cfg
+}
+
+// PrivateA is "Private servers A": ConnectX-3 56 Gb/s FDR.
+func PrivateA() System {
+	return System{Name: "Private servers A", PSID: "MT_1100120019", Device: rnic.ConnectX3(), CPUFactor: 1.0, HasIbdump: true}
+}
+
+// KNL is "Private servers B": ConnectX-4 FDR on Xeon Phi 7250 hosts — the
+// system all packet-level analysis ran on.
+func KNL() System {
+	return System{Name: "KNL (Private servers B)", PSID: "MT_2170111021", Device: rnic.ConnectX4(), CPUFactor: 4.5, HasIbdump: true}
+}
+
+// ReedbushH is the Reedbush-H cluster: ConnectX-4 FDR, Xeon E5-2695v4.
+func ReedbushH() System {
+	return System{Name: "Reedbush-H", PSID: "MT_2160110021", Device: rnic.ConnectX4(), CPUFactor: 1.0}
+}
+
+// ReedbushL is the Reedbush-L cluster: ConnectX-4 100 Gb/s EDR.
+func ReedbushL() System {
+	s := System{Name: "Reedbush-L", PSID: "MT_2180110032", Device: rnic.ConnectX4(), CPUFactor: 1.0}
+	s.Device.LinkGbps = 100
+	return s
+}
+
+// ABCI is the ABCI cluster: ConnectX-4 EDR, Xeon Gold 6148.
+func ABCI() System {
+	s := System{Name: "ABCI", PSID: "MT_0000000095", Device: rnic.ConnectX4(), CPUFactor: 0.9}
+	s.Device.LinkGbps = 100
+	return s
+}
+
+// ITO is the ITO cluster: ConnectX-4 EDR.
+func ITO() System {
+	s := System{Name: "ITO", PSID: "FJT2180110032", Device: rnic.ConnectX4(), CPUFactor: 1.0}
+	s.Device.LinkGbps = 100
+	return s
+}
+
+// AzureHC is the Azure VM HC series: ConnectX-5 EDR, the one device with
+// the ≈30 ms timeout floor.
+func AzureHC() System {
+	return System{Name: "Azure VM HC Series", PSID: "MT_0000000010", Device: rnic.ConnectX5(), CPUFactor: 1.0}
+}
+
+// AzureHBv2 is the Azure VM HBv2 series: ConnectX-6 HDR.
+func AzureHBv2() System {
+	return System{Name: "Azure VM HBv2 Series", PSID: "MT_0000000223", Device: rnic.ConnectX6(), CPUFactor: 1.0}
+}
+
+// All returns every system of Table I in row order.
+func All() []System {
+	return []System{
+		PrivateA(), KNL(), ReedbushH(), ReedbushL(), ABCI(), ITO(), AzureHC(), AzureHBv2(),
+	}
+}
+
+// ByName looks a system up by (case-sensitive) name prefix.
+func ByName(name string) (System, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return System{}, fmt.Errorf("cluster: unknown system %q", name)
+}
+
+// Cluster is a built simulation: an engine, a fabric and n nodes.
+type Cluster struct {
+	Eng   *sim.Engine
+	Fab   *fabric.Fabric
+	Nodes []*rnic.RNIC
+	Sys   System
+}
+
+// Build creates a cluster of nodes node RNICs (LIDs 1..nodes) on a fresh
+// engine seeded with seed.
+func (s System) Build(seed int64, nodes int) *Cluster {
+	eng := sim.New(seed)
+	fab := fabric.New(eng, s.FabricConfig())
+	c := &Cluster{Eng: eng, Fab: fab, Sys: s}
+	for i := 0; i < nodes; i++ {
+		name := fmt.Sprintf("node%d", i)
+		c.Nodes = append(c.Nodes, rnic.New(fab, uint16(i+1), name, s.Device, s.Memory()))
+	}
+	return c
+}

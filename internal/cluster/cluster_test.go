@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"testing"
+
+	"odpsim/internal/hostmem"
+	"odpsim/internal/rnic"
+	"odpsim/internal/sim"
+)
+
+func TestAllSystemsWellFormed(t *testing.T) {
+	systems := All()
+	if len(systems) != 8 {
+		t.Fatalf("Table I has 8 systems, got %d", len(systems))
+	}
+	names := map[string]bool{}
+	for _, s := range systems {
+		if s.Name == "" || s.PSID == "" {
+			t.Errorf("system missing identity: %+v", s)
+		}
+		if names[s.Name] {
+			t.Errorf("duplicate system name %q", s.Name)
+		}
+		names[s.Name] = true
+		if s.CPUFactor <= 0 {
+			t.Errorf("%s: CPUFactor = %v", s.Name, s.CPUFactor)
+		}
+		if s.Device.LinkGbps <= 0 {
+			t.Errorf("%s: no link speed", s.Name)
+		}
+	}
+}
+
+func TestQuirkAssignments(t *testing.T) {
+	if !KNL().Device.DammingQuirk {
+		t.Error("KNL (ConnectX-4) must carry the damming quirk")
+	}
+	if !ReedbushH().Device.DammingQuirk || !ABCI().Device.DammingQuirk || !ITO().Device.DammingQuirk {
+		t.Error("all ConnectX-4 clusters must carry the damming quirk (§V-C)")
+	}
+	if AzureHBv2().Device.DammingQuirk {
+		t.Error("ConnectX-6 must not carry the damming quirk (§IX-B)")
+	}
+	if AzureHC().Device.MinCACK != 12 {
+		t.Error("ConnectX-5 should have the ≈30 ms timeout floor (MinCACK 12)")
+	}
+	for _, s := range []System{PrivateA(), KNL(), ReedbushH(), AzureHBv2()} {
+		if s.Device.MinCACK != 16 && s.Name != AzureHC().Name {
+			if s.Device.Name != "ConnectX-5" && s.Device.MinCACK != 16 {
+				t.Errorf("%s: MinCACK = %d, want 16", s.Name, s.Device.MinCACK)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("ABCI")
+	if err != nil || s.Name != "ABCI" {
+		t.Errorf("ByName(ABCI) = %+v, %v", s, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown system should error")
+	}
+}
+
+func TestMemoryScaling(t *testing.T) {
+	knl, rb := KNL(), ReedbushH()
+	if knl.Memory().PinPerPage <= rb.Memory().PinPerPage {
+		t.Error("KNL's slow host should have slower pinning")
+	}
+	if knl.Memory().FaultResolveMax != rb.Memory().FaultResolveMax {
+		t.Error("fault resolution is driver/RNIC bound, not CPU bound")
+	}
+}
+
+func TestBuildCluster(t *testing.T) {
+	cl := KNL().Build(42, 3)
+	if len(cl.Nodes) != 3 {
+		t.Fatalf("nodes = %d", len(cl.Nodes))
+	}
+	for i, n := range cl.Nodes {
+		if n.LID() != uint16(i+1) {
+			t.Errorf("node %d LID = %d", i, n.LID())
+		}
+	}
+	// Smoke: wire a READ between nodes 0 and 2.
+	cqA, cqB := rnic.NewCQ(cl.Eng), rnic.NewCQ(cl.Eng)
+	qa := cl.Nodes[0].CreateQP(cqA, cqA)
+	qb := cl.Nodes[2].CreateQP(cqB, cqB)
+	p := rnic.ConnParams{CACK: 14, RetryCount: 7, MinRNRDelay: sim.FromMillis(0.96)}
+	rnic.ConnectPair(qa, qb, p, p)
+	lb := cl.Nodes[0].AS.Alloc(hostmem.PageSize)
+	rb2 := cl.Nodes[2].AS.Alloc(hostmem.PageSize)
+	cl.Nodes[0].RegisterMR(lb, hostmem.PageSize)
+	cl.Nodes[2].RegisterMR(rb2, hostmem.PageSize)
+	qa.PostSend(rnic.SendWR{ID: 1, Op: rnic.OpRead, LocalAddr: lb, RemoteAddr: rb2, Len: 64})
+	cl.Eng.Run()
+	if got := cqA.Poll(0); len(got) != 1 || got[0].Status != rnic.WCSuccess {
+		t.Fatalf("cross-node READ failed: %+v", got)
+	}
+}

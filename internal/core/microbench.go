@@ -1,0 +1,259 @@
+// Package core is the paper's contribution as a toolkit: the Figure-3
+// micro-benchmark, the wrong-LID timeout probe behind Figure 2, sweep
+// drivers that regenerate every figure of the evaluation, detectors that
+// identify packet damming and packet flood in captures, and the
+// software-side workarounds §IX-A proposes.
+package core
+
+import (
+	"fmt"
+
+	"odpsim/internal/capture"
+	"odpsim/internal/cluster"
+	"odpsim/internal/hostmem"
+	"odpsim/internal/rnic"
+	"odpsim/internal/sim"
+)
+
+// ODPMode selects which sides of the connection register their buffers
+// with on-demand paging (§IV-A's client-side / server-side / both-side
+// terminology; the client issues READs, the server owns the remote
+// buffer).
+type ODPMode int
+
+// ODP modes.
+const (
+	NoODP ODPMode = iota
+	ServerODP
+	ClientODP
+	BothODP
+)
+
+// String implements fmt.Stringer.
+func (m ODPMode) String() string {
+	switch m {
+	case NoODP:
+		return "No ODP"
+	case ServerODP:
+		return "Server-side ODP"
+	case ClientODP:
+		return "Client-side ODP"
+	case BothODP:
+		return "Both-side ODP"
+	default:
+		return fmt.Sprintf("ODPMode(%d)", int(m))
+	}
+}
+
+// BenchConfig parameterizes the micro-benchmark exactly like the
+// simplified C code of Figure 3: message size, number of operations,
+// number of QPs and the interval between posts, plus the connection
+// attributes the paper varies.
+type BenchConfig struct {
+	System cluster.System
+	Seed   int64
+
+	Size     int      // message size per operation (bytes)
+	NumOps   int      // number of READ operations
+	NumQPs   int      // QPs used round-robin (Figure 3's num_qps)
+	Interval sim.Time // sleep between posts
+	Mode     ODPMode
+
+	CACK        int
+	RetryCount  int
+	MinRNRDelay sim.Time
+
+	// OpOverride, when non-nil, chooses the operation type per index
+	// (used by the §V-C variants where the second operation is a WRITE
+	// or SEND). Default is READ for every op.
+	OpOverride func(i int) rnic.SendOp
+
+	// TouchAllButFirst pre-touches every communication page except the
+	// first operation's, reproducing the §V-C control experiment.
+	TouchAllButFirst bool
+
+	// PostOverhead is the per-post CPU cost; 0 selects a default scaled
+	// by the system's CPUFactor.
+	PostOverhead sim.Time
+
+	// WithCapture attaches an ibdump-style capture (memory-heavy for
+	// large runs; packet *counts* are always available).
+	WithCapture bool
+
+	// DummyPing enables the §IX-A workaround: a software timer posting
+	// a dummy READ every DummyPingInterval so the responder detects PSN
+	// gaps quickly instead of waiting out the timeout.
+	DummyPing         bool
+	DummyPingInterval sim.Time
+}
+
+// DefaultBench returns the §V configuration: KNL, 100-byte messages, one
+// QP, C_ACK=1, C_retry=7, minimal RNR NAK delay 1.28 ms, both-side ODP.
+func DefaultBench() BenchConfig {
+	return BenchConfig{
+		System:      cluster.KNL(),
+		Seed:        1,
+		Size:        100,
+		NumOps:      2,
+		NumQPs:      1,
+		Mode:        BothODP,
+		CACK:        1,
+		RetryCount:  7,
+		MinRNRDelay: sim.FromMillis(1.28),
+	}
+}
+
+// BenchResult reports one micro-benchmark run.
+type BenchResult struct {
+	ExecTime sim.Time
+	// Failed reports an IBV_WC_RETRY_EXC_ERR abort (retry budget
+	// exhausted), as in the omitted SparkUCX samples.
+	Failed bool
+
+	Timeouts       uint64
+	Retransmits    uint64
+	RNRNaksSent    uint64
+	NakSeqSent     uint64
+	DammedDrops    uint64
+	ClientFaults   uint64
+	SpuriousTotal  uint64
+	PacketsOnWire  uint64
+	CompletionTime []sim.Time // per op index; -1 if failed
+
+	Cap *capture.Capture // nil unless WithCapture
+}
+
+// TimedOut reports whether any Local-ACK timeout fired during the run —
+// the event whose probability Figures 6 and 7 plot.
+func (r *BenchResult) TimedOut() bool { return r.Timeouts > 0 }
+
+// RunMicrobench executes the Figure-3 micro-benchmark once and returns
+// its measurements.
+func RunMicrobench(cfg BenchConfig) *BenchResult {
+	if cfg.NumOps <= 0 || cfg.NumQPs <= 0 || cfg.Size <= 0 {
+		panic("core: NumOps, NumQPs and Size must be positive")
+	}
+	cl := cfg.System.Build(cfg.Seed, 2)
+	client, server := cl.Nodes[0], cl.Nodes[1]
+
+	var cap_ *capture.Capture
+	if cfg.WithCapture {
+		cap_ = capture.Attach(cl.Fab)
+	}
+
+	// Communication buffers are aligned to 4096-byte boundaries and laid
+	// out as local_buf[size*i] / remote_buf[size*i] (Figure 3, Figure 10).
+	buflen := cfg.Size * cfg.NumOps
+	lbuf := client.AS.Alloc(buflen)
+	rbuf := server.AS.Alloc(buflen)
+	switch cfg.Mode {
+	case ClientODP, BothODP:
+		client.RegisterODPMR(lbuf, buflen)
+	default:
+		client.RegisterMR(lbuf, buflen)
+	}
+	switch cfg.Mode {
+	case ServerODP, BothODP:
+		server.RegisterODPMR(rbuf, buflen)
+	default:
+		server.RegisterMR(rbuf, buflen)
+	}
+	if cfg.TouchAllButFirst {
+		firstPage := hostmem.PageOf(lbuf)
+		for _, p := range hostmem.PagesSpanned(lbuf, buflen) {
+			if p != firstPage {
+				client.AS.Touch(hostmem.PageBase(p), hostmem.PageSize)
+			}
+		}
+		firstPage = hostmem.PageOf(rbuf)
+		for _, p := range hostmem.PagesSpanned(rbuf, buflen) {
+			if p != firstPage {
+				server.AS.Touch(hostmem.PageBase(p), hostmem.PageSize)
+			}
+		}
+	}
+
+	cqC := rnic.NewCQ(cl.Eng)
+	cqS := rnic.NewCQ(cl.Eng)
+	params := rnic.ConnParams{CACK: cfg.CACK, RetryCount: cfg.RetryCount, MinRNRDelay: cfg.MinRNRDelay}
+	qps := make([]*rnic.QP, cfg.NumQPs)
+	for i := range qps {
+		qc := client.CreateQP(cqC, cqC)
+		qs := server.CreateQP(cqS, cqS)
+		rnic.ConnectPair(qc, qs, params, params)
+		qps[i] = qc
+		if cfg.OpOverride != nil {
+			// SEND variants need receive buffers on the server side.
+			for j := 0; j < cfg.NumOps; j++ {
+				qs.PostRecv(rnic.RecvWR{ID: uint64(j), Addr: rbuf, Len: cfg.Size})
+			}
+		}
+	}
+
+	post := cfg.PostOverhead
+	if post == 0 {
+		post = sim.Time(float64(300*sim.Nanosecond) * cfg.System.CPUFactor)
+	}
+
+	res := &BenchResult{CompletionTime: make([]sim.Time, cfg.NumOps)}
+	for i := range res.CompletionTime {
+		res.CompletionTime[i] = -1
+	}
+
+	var pinger *DummyPinger
+	cl.Eng.Go("microbench", func(p *sim.Proc) {
+		start := p.Now()
+		if cfg.DummyPing {
+			pinger = StartDummyPinger(cl.Eng, qps[0], lbuf, rbuf, cfg.DummyPingInterval)
+		}
+		for i := 0; i < cfg.NumOps; i++ {
+			op := rnic.OpRead
+			if cfg.OpOverride != nil {
+				op = cfg.OpOverride(i)
+			}
+			off := hostmem.Addr(cfg.Size * i)
+			qps[i%cfg.NumQPs].PostSend(rnic.SendWR{
+				ID: uint64(i), Op: op,
+				LocalAddr: lbuf + off, RemoteAddr: rbuf + off, Len: cfg.Size,
+			})
+			p.Sleep(post)
+			if cfg.Interval > 0 {
+				p.Sleep(cfg.Interval)
+			}
+		}
+		// wait(): poll the CQ until every operation completed (or the
+		// QP died).
+		done := 0
+		for done < cfg.NumOps {
+			cqes := cqC.WaitN(p, 1)
+			for _, e := range cqes {
+				if int(e.WRID) < cfg.NumOps && res.CompletionTime[e.WRID] < 0 {
+					done++
+					if e.Status == rnic.WCSuccess {
+						res.CompletionTime[e.WRID] = e.At
+					} else {
+						res.Failed = true
+					}
+				}
+			}
+		}
+		if pinger != nil {
+			pinger.Stop()
+		}
+		res.ExecTime = p.Now() - start
+	})
+	cl.Eng.MustRun()
+
+	for _, qp := range qps {
+		res.Timeouts += qp.Stats.Timeouts
+		res.Retransmits += qp.Stats.Retransmits
+		res.ClientFaults += qp.Stats.ClientFaultRounds
+	}
+	res.RNRNaksSent = server.RNRNakSent
+	res.NakSeqSent = server.NakSeqSent
+	res.DammedDrops = server.DammedDrops
+	res.SpuriousTotal = client.ODP.SpuriousTotal + server.ODP.SpuriousTotal
+	res.PacketsOnWire = cl.Fab.Sent
+	res.Cap = cap_
+	return res
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+
+	"odpsim/internal/cluster"
+	"odpsim/internal/sim"
+	"odpsim/internal/stats"
+)
+
+// SweepTimeouts regenerates Figure 2: the measured timeout T_o as a
+// function of C_ACK for each system, one series per system (Y in
+// seconds).
+func SweepTimeouts(systems []cluster.System, cacks []int, seed int64) []*stats.Series {
+	var out []*stats.Series
+	for si, sys := range systems {
+		s := &stats.Series{Label: sys.Name}
+		for _, c := range cacks {
+			to := MeasureTimeout(sys, c, seed+int64(si*1000+c))
+			s.Add(float64(c), to.Seconds())
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// IntervalRange builds an interval grid in milliseconds: from, from+step,
+// …, to (inclusive within floating tolerance).
+func IntervalRange(fromMs, toMs, stepMs float64) []sim.Time {
+	var out []sim.Time
+	for x := fromMs; x <= toMs+1e-9; x += stepMs {
+		out = append(out, sim.FromMillis(x))
+	}
+	return out
+}
+
+// SweepExecTime regenerates Figure 4: the mean execution time of the
+// micro-benchmark across trials at each posting interval (X in ms, Y in
+// seconds).
+func SweepExecTime(base BenchConfig, intervals []sim.Time, trials int) *stats.Series {
+	s := &stats.Series{Label: base.Mode.String()}
+	for _, iv := range intervals {
+		var sum float64
+		for t := 0; t < trials; t++ {
+			cfg := base
+			cfg.Interval = iv
+			cfg.Seed = base.Seed + int64(t)*7919 + int64(iv)
+			sum += RunMicrobench(cfg).ExecTime.Seconds()
+		}
+		s.Add(iv.Millis(), sum/float64(trials))
+	}
+	return s
+}
+
+// SweepTimeoutProbability regenerates Figures 6 and 7: the fraction of
+// trials (in %) in which a Local-ACK timeout fired, per posting interval.
+func SweepTimeoutProbability(base BenchConfig, intervals []sim.Time, trials int, label string) *stats.Series {
+	s := &stats.Series{Label: label}
+	for _, iv := range intervals {
+		hits := 0
+		for t := 0; t < trials; t++ {
+			cfg := base
+			cfg.Interval = iv
+			cfg.Seed = base.Seed + int64(t)*104729 + int64(iv)
+			if RunMicrobench(cfg).TimedOut() {
+				hits++
+			}
+		}
+		s.Add(iv.Millis(), 100*float64(hits)/float64(trials))
+	}
+	return s
+}
+
+// QPSweepResult is one Figure-9 sweep: execution time and packet count
+// per ODP mode, indexed like the qps argument.
+type QPSweepResult struct {
+	QPs     []int
+	Time    map[ODPMode]*stats.Series // seconds
+	Packets map[ODPMode]*stats.Series // thousands of packets, as Figure 9b
+}
+
+// SweepQPs regenerates Figure 9: the micro-benchmark with a fixed
+// operation count across a range of QP counts for each requested mode.
+func SweepQPs(base BenchConfig, qps []int, modes []ODPMode) *QPSweepResult {
+	res := &QPSweepResult{
+		QPs:     qps,
+		Time:    make(map[ODPMode]*stats.Series),
+		Packets: make(map[ODPMode]*stats.Series),
+	}
+	for _, m := range modes {
+		res.Time[m] = &stats.Series{Label: m.String()}
+		res.Packets[m] = &stats.Series{Label: m.String()}
+	}
+	for _, n := range qps {
+		for _, m := range modes {
+			cfg := base
+			cfg.NumQPs = n
+			cfg.Mode = m
+			cfg.Seed = base.Seed + int64(n)*31 + int64(m)
+			r := RunMicrobench(cfg)
+			res.Time[m].Add(float64(n), r.ExecTime.Seconds())
+			res.Packets[m].Add(float64(n), float64(r.PacketsOnWire)/1000)
+		}
+	}
+	return res
+}
+
+// PageOfOp returns the page index of operation i's buffer slot for the
+// Figure-10 layout.
+func PageOfOp(i, size int) int { return i * size / 4096 }
+
+// ProgressByPage regenerates Figure 11 from one run's completion times:
+// for each page, a cumulative count of finished operations sampled every
+// step (X in ms, Y = finished ops of that page).
+func ProgressByPage(r *BenchResult, size int, step sim.Time) []*stats.Series {
+	npages := 0
+	for i := range r.CompletionTime {
+		if p := PageOfOp(i, size); p >= npages {
+			npages = p + 1
+		}
+	}
+	// Completion times per page, sorted.
+	perPage := make([][]sim.Time, npages)
+	var last sim.Time
+	for i, ct := range r.CompletionTime {
+		if ct < 0 {
+			continue
+		}
+		p := PageOfOp(i, size)
+		perPage[p] = append(perPage[p], ct)
+		if ct > last {
+			last = ct
+		}
+	}
+	for _, ts := range perPage {
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	}
+	if step <= 0 {
+		step = last / 100
+		if step <= 0 {
+			step = sim.Millisecond
+		}
+	}
+	out := make([]*stats.Series, npages)
+	for p := range perPage {
+		s := &stats.Series{Label: "Page " + strconv.Itoa(p)}
+		for t := sim.Time(0); t <= last+step; t += step {
+			n := sort.Search(len(perPage[p]), func(i int) bool { return perPage[p][i] > t })
+			s.Add(t.Millis(), float64(n))
+		}
+		out[p] = s
+	}
+	return out
+}

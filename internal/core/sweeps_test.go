@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"odpsim/internal/cluster"
+	"odpsim/internal/sim"
+)
+
+func TestSweepTimeoutsShape(t *testing.T) {
+	systems := []cluster.System{cluster.KNL(), cluster.AzureHC()}
+	cacks := []int{1, 8, 16, 18, 20}
+	series := SweepTimeouts(systems, cacks, 7)
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	knl, cx5 := series[0], series[1]
+	// Flat floor region up to the vendor minimum, then growth.
+	if knl.Y[0] < 0.35 || knl.Y[0] > 0.7 {
+		t.Errorf("KNL floor = %v s, want ≈0.5", knl.Y[0])
+	}
+	if knl.Y[2] > knl.Y[0]*1.5 {
+		t.Errorf("KNL T_o at C_ACK=16 (%v) should still be ≈ the floor (%v)", knl.Y[2], knl.Y[0])
+	}
+	if knl.Y[4] < knl.Y[2]*2 {
+		t.Error("KNL T_o must grow past the floor")
+	}
+	if cx5.Y[0] > 0.05 {
+		t.Errorf("ConnectX-5 floor = %v s, want ≈0.03", cx5.Y[0])
+	}
+	for i := 1; i < len(knl.Y); i++ {
+		if knl.Y[i] < knl.Y[i-1]*0.8 {
+			t.Errorf("T_o not (weakly) monotone: %v", knl.Y)
+		}
+	}
+}
+
+func TestSweepExecTimeShape(t *testing.T) {
+	base := DefaultBench()
+	series := SweepExecTime(base, []sim.Time{sim.Millisecond, sim.FromMillis(6.5)}, 3)
+	if len(series.Y) != 2 {
+		t.Fatalf("series = %+v", series)
+	}
+	if series.Y[0] < 0.2 {
+		t.Errorf("exec at 1 ms = %v s, want several hundred ms", series.Y[0])
+	}
+	if series.Y[1] > 0.05 {
+		t.Errorf("exec at 6.5 ms = %v s, want ≈0.01", series.Y[1])
+	}
+}
+
+func TestSweepTimeoutProbabilityShape(t *testing.T) {
+	base := DefaultBench()
+	base.Mode = ServerODP
+	s := SweepTimeoutProbability(base, []sim.Time{sim.Millisecond, sim.FromMillis(6)}, 5, "1.28 ms")
+	if s.Y[0] != 100 {
+		t.Errorf("P(timeout) at 1 ms = %v%%, want 100", s.Y[0])
+	}
+	if s.Y[1] != 0 {
+		t.Errorf("P(timeout) at 6 ms = %v%%, want 0", s.Y[1])
+	}
+}
+
+func TestIntervalRange(t *testing.T) {
+	got := IntervalRange(0, 1, 0.25)
+	if len(got) != 5 {
+		t.Fatalf("got %v", got)
+	}
+	if got[0] != 0 || got[4] != sim.Millisecond {
+		t.Errorf("range = %v", got)
+	}
+}
+
+func TestSweepQPsFloodShape(t *testing.T) {
+	// A scaled-down Figure 9: fixed op count, growing QPs. Client-side
+	// ODP must degrade superlinearly while No-ODP stays flat, and the
+	// packet count must explode with the flood.
+	base := DefaultBench()
+	base.NumOps = 1024
+	base.CACK = 18
+	res := SweepQPs(base, []int{1, 32}, []ODPMode{NoODP, ClientODP})
+	no, cl := res.Time[NoODP], res.Time[ClientODP]
+	if no.Y[1] > no.Y[0]*1.5 {
+		t.Errorf("No-ODP should be flat across QPs: %v", no.Y)
+	}
+	if cl.Y[1] < cl.Y[0]*2 {
+		t.Errorf("client-side ODP should degrade with QPs: %v", cl.Y)
+	}
+	if cl.Y[1] < no.Y[1]*10 {
+		t.Errorf("flood should cost ≥10× No-ODP: %v vs %v", cl.Y[1], no.Y[1])
+	}
+	pn, pc := res.Packets[NoODP], res.Packets[ClientODP]
+	if pc.Y[1] < pn.Y[1]*5 {
+		t.Errorf("flood packets should dwarf No-ODP: %v vs %v", pc.Y[1], pn.Y[1])
+	}
+}
+
+func TestPageOfOp(t *testing.T) {
+	if PageOfOp(0, 32) != 0 || PageOfOp(127, 32) != 0 || PageOfOp(128, 32) != 1 {
+		t.Error("32-byte layout wrong")
+	}
+	if PageOfOp(40, 100) != 0 || PageOfOp(41, 100) != 1 {
+		t.Error("100-byte layout wrong")
+	}
+}
+
+func TestProgressByPageFig11a(t *testing.T) {
+	// 128 QPs × 128 ops × 32 B = one page; LIFO updates mean the
+	// earliest-posted operations finish last (the "first 30 stuck"
+	// shape of Figure 11a).
+	cfg := DefaultBench()
+	cfg.Mode = ClientODP
+	cfg.Size = 32
+	cfg.NumQPs = 128
+	cfg.NumOps = 128
+	cfg.CACK = 18
+	r := RunMicrobench(cfg)
+	if r.TimedOut() {
+		t.Fatal("Figure 11a run must not time out")
+	}
+	// Identify the op that completes last: it must be an early op.
+	lastOp, lastAt := -1, sim.Time(-1)
+	firstAt := sim.Time(1 << 62)
+	for i, ct := range r.CompletionTime {
+		if ct < 0 {
+			t.Fatalf("op %d never completed", i)
+		}
+		if ct > lastAt {
+			lastOp, lastAt = i, ct
+		}
+		if ct < firstAt {
+			firstAt = ct
+		}
+	}
+	if lastOp >= 32 {
+		t.Errorf("last finisher is op %d; LIFO updates should starve the earliest ops", lastOp)
+	}
+	if firstAt > sim.FromMillis(1.5) {
+		t.Errorf("first completion at %v, want ≲1 ms", firstAt)
+	}
+	if lastAt < sim.FromMillis(4) || lastAt > sim.FromMillis(9) {
+		t.Errorf("last completion at %v, want ≈6 ms", lastAt)
+	}
+	series := ProgressByPage(r, cfg.Size, sim.Millisecond)
+	if len(series) != 1 {
+		t.Fatalf("expected a single page, got %d", len(series))
+	}
+	ys := series[0].Y
+	if ys[len(ys)-1] != 128 {
+		t.Errorf("final cumulative count = %v, want 128", ys[len(ys)-1])
+	}
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1] {
+			t.Error("cumulative completions must be monotone")
+		}
+	}
+}
+
+func TestProgressByPageFig11bSpreads(t *testing.T) {
+	cfg := DefaultBench()
+	cfg.Mode = ClientODP
+	cfg.Size = 32
+	cfg.NumQPs = 128
+	cfg.NumOps = 512
+	cfg.CACK = 18
+	r := RunMicrobench(cfg)
+	series := ProgressByPage(r, cfg.Size, 10*sim.Millisecond)
+	if len(series) != 4 {
+		t.Fatalf("expected 4 pages, got %d", len(series))
+	}
+	// The update-failure period spreads completions over hundreds of ms.
+	var lastAt sim.Time
+	for _, ct := range r.CompletionTime {
+		if ct > lastAt {
+			lastAt = ct
+		}
+	}
+	if lastAt < 300*sim.Millisecond {
+		t.Errorf("last completion at %v, want ≫100 ms (update failure)", lastAt)
+	}
+}

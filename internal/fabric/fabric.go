@@ -1,0 +1,197 @@
+// Package fabric models the InfiniBand fabric between RNIC ports: LID
+// addressing, per-hop propagation and serialization delay, strictly
+// in-order delivery per (source, destination) pair as Reliable Connection
+// assumes, drop-on-unknown-LID (the paper's wrong-destination-LID
+// experiment), and taps that let a capture layer observe every packet the
+// way ibdump does.
+package fabric
+
+import (
+	"fmt"
+
+	"odpsim/internal/packet"
+	"odpsim/internal/sim"
+)
+
+// Handler receives a delivered packet on a port.
+type Handler func(*packet.Packet)
+
+// Config tunes the fabric's latency model.
+type Config struct {
+	// PropDelay is the one-way propagation + switching delay per packet.
+	// The paper cites usual round-trip latencies of a few microseconds.
+	PropDelay sim.Time
+	// BandwidthGbps sets the serialization rate.
+	BandwidthGbps float64
+	// DelayJitter is the relative jitter applied to PropDelay (delivery
+	// order per source/destination pair is still preserved).
+	DelayJitter float64
+	// ModelCongestion serializes each port's egress: a packet cannot
+	// start clocking onto the wire before the previous one finished,
+	// so bursts queue and delivery times stretch under load. Off by
+	// default (the paper's 2-node experiments are latency-bound, and
+	// the calibration in DESIGN.md assumes uncontended links).
+	ModelCongestion bool
+}
+
+// DefaultConfig models a 56 Gb/s FDR link with ~2 µs one-way latency.
+func DefaultConfig() Config {
+	return Config{
+		PropDelay:     2 * sim.Microsecond,
+		BandwidthGbps: 56,
+		DelayJitter:   0.05,
+	}
+}
+
+// TapEvent is one observation of a packet on the fabric.
+type TapEvent struct {
+	At      sim.Time
+	Pkt     *packet.Packet
+	SrcName string
+	DstName string // empty when the packet was dropped
+	Dropped bool
+	Reason  string // drop reason, e.g. "unknown DLID"
+}
+
+// Tap observes every packet send.
+type Tap func(TapEvent)
+
+// Port is one RNIC attachment point.
+type Port struct {
+	LID     uint16
+	Name    string
+	fab     *Fabric
+	handler Handler
+}
+
+type pairKey struct{ src, dst uint16 }
+
+// Fabric connects ports. All methods run on the simulation loop.
+type Fabric struct {
+	eng   *sim.Engine
+	cfg   Config
+	ports map[uint16]*Port
+	taps  []Tap
+	// lastArrival enforces FIFO per (src,dst) despite delay jitter.
+	lastArrival map[pairKey]sim.Time
+	// egressFree is when each source port's wire becomes free
+	// (ModelCongestion only).
+	egressFree map[uint16]sim.Time
+	// lossRate drops each packet independently with this probability.
+	lossRate float64
+	// dropFilter, when non-nil, drops packets it returns true for.
+	dropFilter func(*packet.Packet) bool
+
+	// Counters.
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	BytesSent uint64
+}
+
+// New creates a fabric on engine eng.
+func New(eng *sim.Engine, cfg Config) *Fabric {
+	if cfg.BandwidthGbps <= 0 {
+		cfg.BandwidthGbps = 56
+	}
+	return &Fabric{
+		eng:         eng,
+		cfg:         cfg,
+		ports:       make(map[uint16]*Port),
+		lastArrival: make(map[pairKey]sim.Time),
+		egressFree:  make(map[uint16]sim.Time),
+	}
+}
+
+// Engine returns the simulation engine.
+func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// AttachPort registers a port with the given LID. LIDs must be unique.
+func (f *Fabric) AttachPort(lid uint16, name string, h Handler) *Port {
+	if _, dup := f.ports[lid]; dup {
+		panic(fmt.Sprintf("fabric: duplicate LID %d", lid))
+	}
+	p := &Port{LID: lid, Name: name, fab: f, handler: h}
+	f.ports[lid] = p
+	return p
+}
+
+// AddTap registers an observer for every packet sent through the fabric.
+func (f *Fabric) AddTap(t Tap) { f.taps = append(f.taps, t) }
+
+// SetLossRate makes the fabric drop each packet independently with
+// probability p (0 disables).
+func (f *Fabric) SetLossRate(p float64) { f.lossRate = p }
+
+// SetDropFilter installs a predicate that drops matching packets; nil
+// clears it. Used by experiments that surgically lose one packet.
+func (f *Fabric) SetDropFilter(fn func(*packet.Packet) bool) { f.dropFilter = fn }
+
+// serialization returns the time to clock the packet onto the wire.
+func (f *Fabric) serialization(p *packet.Packet) sim.Time {
+	bits := float64(p.WireSize() * 8)
+	ns := bits / f.cfg.BandwidthGbps // Gb/s == bits/ns
+	return sim.Time(ns)
+}
+
+func (f *Fabric) emitTap(ev TapEvent) {
+	for _, t := range f.taps {
+		t(ev)
+	}
+}
+
+// Send transmits pkt from the port. The SLID is stamped from the port.
+// Delivery is scheduled after serialization + propagation (+jitter), with
+// FIFO ordering preserved per (src,dst) LID pair. Packets to unknown LIDs
+// — e.g. the wrong-LID timeout experiment — are silently dropped, as a
+// real subnet discards them.
+func (p *Port) Send(pkt *packet.Packet) {
+	f := p.fab
+	pkt.SLID = p.LID
+	f.Sent++
+	f.BytesSent += uint64(pkt.WireSize())
+
+	dst, ok := f.ports[pkt.DLID]
+	drop := !ok
+	reason := ""
+	if drop {
+		reason = "unknown DLID"
+	}
+	if !drop && f.dropFilter != nil && f.dropFilter(pkt) {
+		drop, reason = true, "drop filter"
+	}
+	if !drop && f.lossRate > 0 && f.eng.Bernoulli(f.lossRate) {
+		drop, reason = true, "random loss"
+	}
+
+	dstName := ""
+	if ok {
+		dstName = dst.Name
+	}
+	f.emitTap(TapEvent{At: f.eng.Now(), Pkt: pkt, SrcName: p.Name, DstName: dstName, Dropped: drop, Reason: reason})
+	if drop {
+		f.Dropped++
+		return
+	}
+
+	ser := f.serialization(pkt)
+	start := f.eng.Now()
+	if f.cfg.ModelCongestion {
+		// The wire clocks one packet at a time: queue behind the
+		// port's previous transmission.
+		if free := f.egressFree[p.LID]; free > start {
+			start = free
+		}
+		f.egressFree[p.LID] = start + ser
+	}
+	at := start + ser + f.eng.Jitter(f.cfg.PropDelay, f.cfg.DelayJitter)
+	key := pairKey{p.LID, pkt.DLID}
+	if last := f.lastArrival[key]; at < last {
+		at = last // keep the wire FIFO
+	}
+	f.lastArrival[key] = at
+	f.eng.At(at, func() {
+		f.Delivered++
+		dst.handler(pkt)
+	})
+}

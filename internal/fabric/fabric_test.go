@@ -1,0 +1,228 @@
+package fabric
+
+import (
+	"testing"
+
+	"odpsim/internal/packet"
+	"odpsim/internal/sim"
+)
+
+func pair(t *testing.T, cfg Config) (*sim.Engine, *Fabric, *Port, *Port, *[]*packet.Packet, *[]*packet.Packet) {
+	t.Helper()
+	eng := sim.New(1)
+	f := New(eng, cfg)
+	var atA, atB []*packet.Packet
+	a := f.AttachPort(1, "A", func(p *packet.Packet) { atA = append(atA, p) })
+	b := f.AttachPort(2, "B", func(p *packet.Packet) { atB = append(atB, p) })
+	return eng, f, a, b, &atA, &atB
+}
+
+func TestDelivery(t *testing.T) {
+	eng, f, a, _, _, atB := pair(t, DefaultConfig())
+	a.Send(&packet.Packet{Opcode: packet.OpReadRequest, DLID: 2, PSN: 7})
+	eng.Run()
+	if len(*atB) != 1 {
+		t.Fatalf("B received %d packets", len(*atB))
+	}
+	if (*atB)[0].PSN != 7 {
+		t.Error("wrong packet delivered")
+	}
+	if (*atB)[0].SLID != 1 {
+		t.Error("SLID not stamped")
+	}
+	if f.Delivered != 1 || f.Sent != 1 || f.Dropped != 0 {
+		t.Errorf("counters: sent=%d delivered=%d dropped=%d", f.Sent, f.Delivered, f.Dropped)
+	}
+}
+
+func TestDeliveryLatencyRange(t *testing.T) {
+	cfg := Config{PropDelay: 2 * sim.Microsecond, BandwidthGbps: 56, DelayJitter: 0.05}
+	eng, _, a, _, _, atB := pair(t, cfg)
+	var at sim.Time
+	eng.Go("send", func(p *sim.Proc) {
+		a.Send(&packet.Packet{Opcode: packet.OpReadRequest, DLID: 2})
+	})
+	eng.Run()
+	at = eng.Now()
+	if len(*atB) != 1 {
+		t.Fatal("no delivery")
+	}
+	// 42B at 56Gb/s = 6ns serialization; prop 2µs ±5%.
+	if at < sim.Time(1900*sim.Nanosecond) || at > sim.Time(2200*sim.Nanosecond) {
+		t.Errorf("delivery at %v, want ≈2µs", at)
+	}
+}
+
+func TestUnknownDLIDDropped(t *testing.T) {
+	eng, f, a, _, _, atB := pair(t, DefaultConfig())
+	a.Send(&packet.Packet{Opcode: packet.OpReadRequest, DLID: 99})
+	eng.Run()
+	if len(*atB) != 0 {
+		t.Error("packet to unknown LID delivered")
+	}
+	if f.Dropped != 1 {
+		t.Errorf("Dropped = %d", f.Dropped)
+	}
+}
+
+func TestDropFilter(t *testing.T) {
+	eng, f, a, _, _, atB := pair(t, DefaultConfig())
+	f.SetDropFilter(func(p *packet.Packet) bool { return p.PSN == 1 })
+	a.Send(&packet.Packet{Opcode: packet.OpReadRequest, DLID: 2, PSN: 0})
+	a.Send(&packet.Packet{Opcode: packet.OpReadRequest, DLID: 2, PSN: 1})
+	a.Send(&packet.Packet{Opcode: packet.OpReadRequest, DLID: 2, PSN: 2})
+	eng.Run()
+	if len(*atB) != 2 {
+		t.Fatalf("got %d deliveries, want 2", len(*atB))
+	}
+	for _, p := range *atB {
+		if p.PSN == 1 {
+			t.Error("filtered packet delivered")
+		}
+	}
+	f.SetDropFilter(nil)
+	a.Send(&packet.Packet{Opcode: packet.OpReadRequest, DLID: 2, PSN: 1})
+	eng.Run()
+	if len(*atB) != 3 {
+		t.Error("clearing the filter should restore delivery")
+	}
+}
+
+func TestRandomLoss(t *testing.T) {
+	eng, f, a, _, _, atB := pair(t, DefaultConfig())
+	f.SetLossRate(0.5)
+	for i := 0; i < 1000; i++ {
+		a.Send(&packet.Packet{Opcode: packet.OpReadRequest, DLID: 2, PSN: uint32(i)})
+	}
+	eng.Run()
+	n := len(*atB)
+	if n < 400 || n > 600 {
+		t.Errorf("with 50%% loss, delivered %d/1000", n)
+	}
+	if f.Dropped+f.Delivered != f.Sent {
+		t.Error("counter conservation violated")
+	}
+}
+
+func TestFIFOOrderingDespiteJitter(t *testing.T) {
+	cfg := Config{PropDelay: 2 * sim.Microsecond, BandwidthGbps: 56, DelayJitter: 0.5}
+	eng, _, a, _, _, atB := pair(t, cfg)
+	for i := 0; i < 200; i++ {
+		i := i
+		eng.At(sim.Time(i)*10*sim.Nanosecond, func() {
+			a.Send(&packet.Packet{Opcode: packet.OpReadRequest, DLID: 2, PSN: uint32(i)})
+		})
+	}
+	eng.Run()
+	if len(*atB) != 200 {
+		t.Fatalf("delivered %d", len(*atB))
+	}
+	for i, p := range *atB {
+		if p.PSN != uint32(i) {
+			t.Fatalf("delivery out of order at %d: PSN %d", i, p.PSN)
+		}
+	}
+}
+
+func TestTapSeesDrops(t *testing.T) {
+	eng, f, a, _, _, _ := pair(t, DefaultConfig())
+	var evs []TapEvent
+	f.AddTap(func(ev TapEvent) { evs = append(evs, ev) })
+	a.Send(&packet.Packet{Opcode: packet.OpReadRequest, DLID: 2})
+	a.Send(&packet.Packet{Opcode: packet.OpReadRequest, DLID: 77})
+	eng.Run()
+	if len(evs) != 2 {
+		t.Fatalf("tap saw %d events", len(evs))
+	}
+	if evs[0].Dropped || evs[0].SrcName != "A" || evs[0].DstName != "B" {
+		t.Errorf("first event wrong: %+v", evs[0])
+	}
+	if !evs[1].Dropped || evs[1].Reason != "unknown DLID" {
+		t.Errorf("second event should be a drop: %+v", evs[1])
+	}
+}
+
+func TestDuplicateLIDPanics(t *testing.T) {
+	eng := sim.New(1)
+	f := New(eng, DefaultConfig())
+	f.AttachPort(5, "x", func(*packet.Packet) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate LID should panic")
+		}
+	}()
+	f.AttachPort(5, "y", func(*packet.Packet) {})
+}
+
+func TestBytesCounter(t *testing.T) {
+	eng, f, a, _, _, _ := pair(t, DefaultConfig())
+	p := &packet.Packet{Opcode: packet.OpReadRequest, DLID: 2}
+	a.Send(p)
+	eng.Run()
+	if f.BytesSent != uint64(p.WireSize()) {
+		t.Errorf("BytesSent = %d, want %d", f.BytesSent, p.WireSize())
+	}
+}
+
+func TestSerializationScalesWithSize(t *testing.T) {
+	cfg := Config{PropDelay: 0, BandwidthGbps: 1, DelayJitter: 0} // 1 bit/ns
+	eng, _, a, _, _, atB := pair(t, cfg)
+	big := &packet.Packet{Opcode: packet.OpReadRespMiddle, PayloadLen: 4096, DLID: 2}
+	a.Send(big)
+	eng.Run()
+	want := sim.Time(big.WireSize() * 8)
+	if eng.Now() != want {
+		t.Errorf("serialization of %dB at 1Gb/s took %v, want %v", big.WireSize(), eng.Now(), want)
+	}
+	if len(*atB) != 1 {
+		t.Error("no delivery")
+	}
+}
+
+func TestCongestionModelQueuesBursts(t *testing.T) {
+	run := func(congested bool) sim.Time {
+		cfg := Config{PropDelay: sim.Microsecond, BandwidthGbps: 1, DelayJitter: 0, ModelCongestion: congested}
+		eng := sim.New(1)
+		f := New(eng, cfg)
+		var lastAt sim.Time
+		a := f.AttachPort(1, "A", func(*packet.Packet) {})
+		f.AttachPort(2, "B", func(p *packet.Packet) { lastAt = eng.Now() })
+		// A burst of 10 large packets at t=0.
+		for i := 0; i < 10; i++ {
+			a.Send(&packet.Packet{Opcode: packet.OpReadRespMiddle, PayloadLen: 4096, DLID: 2, PSN: uint32(i)})
+		}
+		eng.Run()
+		return lastAt
+	}
+	unqueued, queued := run(false), run(true)
+	// Uncontended: all overlap, last arrives ≈ ser + prop. Congested:
+	// the last packet waits for 9 serializations first.
+	if queued < unqueued*5 {
+		t.Errorf("congestion model should stretch the burst: %v vs %v", queued, unqueued)
+	}
+	// 10 × (4122B × 8 bits at 1 bit/ns) + 1µs ≈ 331µs.
+	want := sim.Time(10*4122*8) + sim.Microsecond
+	if queued != want {
+		t.Errorf("queued last arrival = %v, want %v", queued, want)
+	}
+}
+
+func TestCongestionPreservesOrder(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ModelCongestion = true
+	cfg.DelayJitter = 0.5
+	eng := sim.New(2)
+	f := New(eng, cfg)
+	var got []uint32
+	a := f.AttachPort(1, "A", func(*packet.Packet) {})
+	f.AttachPort(2, "B", func(p *packet.Packet) { got = append(got, p.PSN) })
+	for i := 0; i < 100; i++ {
+		a.Send(&packet.Packet{Opcode: packet.OpReadRequest, DLID: 2, PSN: uint32(i)})
+	}
+	eng.Run()
+	for i, psn := range got {
+		if psn != uint32(i) {
+			t.Fatalf("out of order at %d: %d", i, psn)
+		}
+	}
+}

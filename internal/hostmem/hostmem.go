@@ -1,0 +1,288 @@
+// Package hostmem models the host side of memory management that On-Demand
+// Paging interacts with: a per-node virtual address space divided into
+// 4 KiB pages, page states, the kernel's fault-resolution latency, page
+// pinning for conventional memory registration, and MMU-notifier style
+// invalidation callbacks toward the RNIC.
+package hostmem
+
+import (
+	"fmt"
+
+	"odpsim/internal/sim"
+)
+
+// PageSize is the host page size in bytes (the paper aligns its
+// communication buffers to 4096-byte boundaries "considering the page
+// size").
+const PageSize = 4096
+
+// Addr is a virtual address within one address space.
+type Addr uint64
+
+// PageNo identifies a page: Addr / PageSize.
+type PageNo uint64
+
+// PageOf returns the page containing a.
+func PageOf(a Addr) PageNo { return PageNo(a / PageSize) }
+
+// PageBase returns the first address of page p.
+func PageBase(p PageNo) Addr { return Addr(p) * PageSize }
+
+// PagesSpanned returns the pages covered by [addr, addr+len).
+func PagesSpanned(addr Addr, length int) []PageNo {
+	if length <= 0 {
+		return nil
+	}
+	first := PageOf(addr)
+	last := PageOf(addr + Addr(length) - 1)
+	out := make([]PageNo, 0, last-first+1)
+	for p := first; p <= last; p++ {
+		out = append(out, p)
+	}
+	return out
+}
+
+// PageState describes the host-side status of one page.
+type PageState int
+
+// Page states.
+const (
+	// Unmapped: no physical frame is assigned; first touch or an ODP
+	// fault must allocate one.
+	Unmapped PageState = iota
+	// Resolving: the kernel is servicing a fault for this page.
+	Resolving
+	// Mapped: a physical frame is assigned; the kernel may still reclaim
+	// it (which triggers invalidation).
+	Mapped
+	// Pinned: mapped and locked; the kernel will not reclaim it. This is
+	// the state conventional memory registration requires.
+	Pinned
+)
+
+// String implements fmt.Stringer.
+func (s PageState) String() string {
+	switch s {
+	case Unmapped:
+		return "unmapped"
+	case Resolving:
+		return "resolving"
+	case Mapped:
+		return "mapped"
+	case Pinned:
+		return "pinned"
+	default:
+		return fmt.Sprintf("PageState(%d)", int(s))
+	}
+}
+
+// Config tunes the kernel model.
+type Config struct {
+	// FaultResolveMin/Max bound the kernel-side latency of resolving a
+	// page fault (allocating or retrieving the page and updating page
+	// tables). The paper reports network page faults commonly take
+	// 250–1000 µs end to end; the kernel share modelled here is the bulk
+	// of it.
+	FaultResolveMin sim.Time
+	FaultResolveMax sim.Time
+	// PinPerPage is the cost of pinning one page during conventional
+	// memory registration (get_user_pages + mlock work).
+	PinPerPage sim.Time
+}
+
+// DefaultConfig returns the calibration used throughout the reproduction.
+func DefaultConfig() Config {
+	return Config{
+		FaultResolveMin: 250 * sim.Microsecond,
+		FaultResolveMax: 500 * sim.Microsecond,
+		PinPerPage:      2 * sim.Microsecond,
+	}
+}
+
+// Invalidation describes pages the kernel is reclaiming; registered
+// notifiers (RNIC drivers) must flush any translations for them.
+type Invalidation struct {
+	Pages []PageNo
+}
+
+// Notifier receives MMU-notifier callbacks.
+type Notifier func(Invalidation)
+
+type page struct {
+	state PageState
+	pins  int
+	// resolveWaiters run when the in-flight resolution completes.
+	resolveWaiters []func()
+}
+
+// AddressSpace is one node's virtual memory. All methods must be called
+// from the simulation loop (events or processes).
+type AddressSpace struct {
+	eng       *sim.Engine
+	cfg       Config
+	pages     map[PageNo]*page
+	brk       Addr
+	notifiers []Notifier
+
+	// words stores 8-byte values for atomics and small control data.
+	words map[Addr]uint64
+
+	// Counters for tests and reporting.
+	FaultsResolved uint64
+	PagesPinned    uint64
+}
+
+// NewAddressSpace creates an address space on engine eng.
+func NewAddressSpace(eng *sim.Engine, cfg Config) *AddressSpace {
+	return &AddressSpace{
+		eng:   eng,
+		cfg:   cfg,
+		pages: make(map[PageNo]*page),
+		words: make(map[Addr]uint64),
+		brk:   PageSize, // keep 0 as an obviously invalid address
+	}
+}
+
+// Engine returns the simulation engine.
+func (as *AddressSpace) Engine() *sim.Engine { return as.eng }
+
+// Alloc reserves length bytes of page-aligned virtual address space and
+// returns its base address. Pages start Unmapped (first touch faults),
+// exactly like fresh anonymous mappings.
+func (as *AddressSpace) Alloc(length int) Addr {
+	if length <= 0 {
+		panic("hostmem: Alloc of non-positive length")
+	}
+	base := as.brk
+	npages := (Addr(length) + PageSize - 1) / PageSize
+	as.brk += npages * PageSize
+	return base
+}
+
+func (as *AddressSpace) pageAt(p PageNo) *page {
+	pg, ok := as.pages[p]
+	if !ok {
+		pg = &page{state: Unmapped}
+		as.pages[p] = pg
+	}
+	return pg
+}
+
+// State returns the state of page p.
+func (as *AddressSpace) State(p PageNo) PageState {
+	if pg, ok := as.pages[p]; ok {
+		return pg.state
+	}
+	return Unmapped
+}
+
+// Touch synchronously maps every page in [addr, addr+len), modelling the
+// application writing to the buffer in advance ("used and touched in
+// advance" in the paper's §V-C). It costs no virtual time; use it for
+// setup.
+func (as *AddressSpace) Touch(addr Addr, length int) {
+	for _, p := range PagesSpanned(addr, length) {
+		pg := as.pageAt(p)
+		if pg.state == Unmapped {
+			pg.state = Mapped
+		}
+	}
+}
+
+// Pin maps and pins every page in the range, charging the per-page pinning
+// cost to the calling process if proc is non-nil. Pinned pages are never
+// invalidated. Pin returns the virtual-time cost it charged.
+func (as *AddressSpace) Pin(addr Addr, length int) sim.Time {
+	var cost sim.Time
+	for _, p := range PagesSpanned(addr, length) {
+		pg := as.pageAt(p)
+		pg.pins++
+		if pg.state != Pinned {
+			pg.state = Pinned
+			cost += as.cfg.PinPerPage
+			as.PagesPinned++
+		}
+	}
+	return cost
+}
+
+// Unpin releases a previous Pin. Pages whose pin count drops to zero
+// return to Mapped (still resident).
+func (as *AddressSpace) Unpin(addr Addr, length int) {
+	for _, p := range PagesSpanned(addr, length) {
+		pg, ok := as.pages[p]
+		if !ok || pg.pins == 0 {
+			panic(fmt.Sprintf("hostmem: Unpin of unpinned page %d", p))
+		}
+		pg.pins--
+		if pg.pins == 0 && pg.state == Pinned {
+			pg.state = Mapped
+		}
+	}
+}
+
+// RegisterNotifier adds an MMU-notifier callback, invoked on Release.
+func (as *AddressSpace) RegisterNotifier(n Notifier) {
+	as.notifiers = append(as.notifiers, n)
+}
+
+// Release reclaims the (unpinned) pages of the range, notifying all
+// registered notifiers first, as the kernel does before freeing pages
+// that a device may have translated.
+func (as *AddressSpace) Release(addr Addr, length int) {
+	var reclaimed []PageNo
+	for _, p := range PagesSpanned(addr, length) {
+		pg, ok := as.pages[p]
+		if !ok || pg.state != Mapped {
+			continue // unmapped, resolving or pinned pages stay
+		}
+		reclaimed = append(reclaimed, p)
+	}
+	if len(reclaimed) == 0 {
+		return
+	}
+	inv := Invalidation{Pages: reclaimed}
+	for _, n := range as.notifiers {
+		n(inv)
+	}
+	for _, p := range reclaimed {
+		as.pages[p].state = Unmapped
+	}
+}
+
+// ResolveFault starts kernel fault resolution for page p and calls done
+// when the page is Mapped. If the page is already Mapped or Pinned, done
+// runs after zero additional kernel latency (at the current instant). If
+// a resolution is already in flight, done is queued behind it — the
+// kernel coalesces concurrent faults on one page.
+func (as *AddressSpace) ResolveFault(p PageNo, done func()) {
+	pg := as.pageAt(p)
+	switch pg.state {
+	case Mapped, Pinned:
+		as.eng.After(0, done)
+		return
+	case Resolving:
+		pg.resolveWaiters = append(pg.resolveWaiters, done)
+		return
+	}
+	pg.state = Resolving
+	pg.resolveWaiters = append(pg.resolveWaiters, done)
+	lat := as.eng.Uniform(as.cfg.FaultResolveMin, as.cfg.FaultResolveMax)
+	as.eng.After(lat, func() {
+		pg.state = Mapped
+		as.FaultsResolved++
+		ws := pg.resolveWaiters
+		pg.resolveWaiters = nil
+		for _, w := range ws {
+			w()
+		}
+	})
+}
+
+// ReadWord returns the 8-byte value at addr (zero if never written).
+// Atomic operations and control words use this store; bulk payload data
+// is not modelled.
+func (as *AddressSpace) ReadWord(addr Addr) uint64 { return as.words[addr] }
+
+// WriteWord stores an 8-byte value at addr.
+func (as *AddressSpace) WriteWord(addr Addr, v uint64) { as.words[addr] = v }

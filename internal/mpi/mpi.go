@@ -1,0 +1,264 @@
+// Package mpi implements the slice of MPI the paper's application stack
+// sits on (§VII-A: "all the operations are performed by RDMA over MPI
+// RMA, which invokes UCX internally", MPICH 3.3): communicators over a
+// simulated cluster, one-sided RMA windows with Put/Get/accumulate and
+// passive-target Lock/Unlock, plus point-to-point Send/Recv and Barrier.
+// Everything maps onto the UCX layer exactly as MPICH's ucx netmod does,
+// so enabling ODP in the UCX configuration exposes MPI applications to
+// the paper's pitfalls unchanged.
+package mpi
+
+import (
+	"fmt"
+
+	"odpsim/internal/cluster"
+	"odpsim/internal/hostmem"
+	"odpsim/internal/sim"
+	"odpsim/internal/ucx"
+)
+
+// Comm is a communicator: one rank per cluster node, fully connected.
+type Comm struct {
+	cl    *cluster.Cluster
+	ranks []*Rank
+}
+
+// Rank is one process in the communicator.
+type Rank struct {
+	comm   *Comm
+	id     int
+	worker *ucx.Worker
+	eps    []*ucx.Endpoint
+	// scratch provides registered memory for control messages and
+	// atomic results.
+	scratch hostmem.Addr
+}
+
+// recvStock is the number of receive buffers kept posted per endpoint.
+const recvStock = 64
+
+// NewComm builds a communicator over every node of cl, charging setup
+// costs to p. The UCX configuration decides pinned vs ODP registration
+// for every window and buffer.
+func NewComm(p *sim.Proc, cl *cluster.Cluster, ucfg ucx.Config) *Comm {
+	n := len(cl.Nodes)
+	if n < 2 {
+		panic("mpi: need at least 2 nodes")
+	}
+	c := &Comm{cl: cl}
+	for i, nic := range cl.Nodes {
+		r := &Rank{comm: c, id: i, worker: ucx.NewContext(nic, ucfg).NewWorker(), eps: make([]*ucx.Endpoint, n)}
+		r.scratch = nic.AS.Alloc(hostmem.PageSize)
+		nic.AS.Touch(r.scratch, hostmem.PageSize)
+		p.Sleep(r.worker.RegisterBuffer(r.scratch, hostmem.PageSize))
+		c.ranks = append(c.ranks, r)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := ucx.Connect(c.ranks[i].worker, c.ranks[j].worker)
+			c.ranks[i].eps[j] = a
+			c.ranks[j].eps[i] = b
+			for k := 0; k < recvStock; k++ {
+				a.PostRecv(c.ranks[i].scratch, 64)
+				b.PostRecv(c.ranks[j].scratch, 64)
+			}
+		}
+	}
+	return c
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// Rank returns rank i.
+func (c *Comm) Rank(i int) *Rank { return c.ranks[i] }
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Send transmits length bytes from addr to rank dst (blocking standard
+// send).
+func (r *Rank) Send(p *sim.Proc, dst int, addr hostmem.Addr, length int) error {
+	if dst == r.id {
+		return fmt.Errorf("mpi: self-send not supported")
+	}
+	return r.eps[dst].Send(p, addr, length)
+}
+
+// Recv blocks until a message arrives and returns its length. (Matching
+// by source/tag is not modelled; the experiments use disjoint traffic.)
+func (r *Rank) Recv(p *sim.Proc) int {
+	return r.worker.WaitRecv(p).ByteLen
+}
+
+// Barrier synchronizes all ranks (flat gather/release through rank 0).
+func (r *Rank) Barrier(p *sim.Proc) error {
+	n := r.comm.Size()
+	if r.id == 0 {
+		for i := 1; i < n; i++ {
+			r.worker.WaitRecv(p)
+		}
+		for i := 1; i < n; i++ {
+			if err := r.eps[i].Send(p, r.scratch, 8); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := r.eps[0].Send(p, r.scratch, 8); err != nil {
+		return err
+	}
+	r.worker.WaitRecv(p)
+	return nil
+}
+
+// Win is an RMA window: each rank exposes size bytes.
+type Win struct {
+	comm  *Comm
+	bases []hostmem.Addr
+	size  int
+	// lockWords live in each rank's scratch page (offset 0).
+}
+
+// CreateWin collectively creates a window of size bytes per rank,
+// allocating and registering the exposure regions (cost charged to p).
+func (c *Comm) CreateWin(p *sim.Proc, size int) *Win {
+	if size <= 0 {
+		panic("mpi: non-positive window size")
+	}
+	w := &Win{comm: c, size: size}
+	for i, nic := range c.cl.Nodes {
+		base := nic.AS.Alloc(size)
+		p.Sleep(c.ranks[i].worker.RegisterBuffer(base, size))
+		w.bases = append(w.bases, base)
+	}
+	return w
+}
+
+// Base returns rank i's exposure region base address.
+func (w *Win) Base(i int) hostmem.Addr { return w.bases[i] }
+
+func (w *Win) check(target int, off, length int) error {
+	if target < 0 || target >= w.comm.Size() {
+		return fmt.Errorf("mpi: target rank %d out of range", target)
+	}
+	if off < 0 || length < 0 || off+length > w.size {
+		return fmt.Errorf("mpi: window access [%d,%d) outside size %d", off, off+length, w.size)
+	}
+	return nil
+}
+
+// Put writes length bytes from origin's local addr into target's window
+// at off.
+func (w *Win) Put(p *sim.Proc, origin *Rank, local hostmem.Addr, target, off, length int) error {
+	if err := w.check(target, off, length); err != nil {
+		return err
+	}
+	if target == origin.id {
+		return nil // local window access
+	}
+	return origin.eps[target].Put(p, local, w.bases[target]+hostmem.Addr(off), length)
+}
+
+// Get reads length bytes from target's window at off into origin's local
+// addr.
+func (w *Win) Get(p *sim.Proc, origin *Rank, local hostmem.Addr, target, off, length int) error {
+	if err := w.check(target, off, length); err != nil {
+		return err
+	}
+	if target == origin.id {
+		return nil
+	}
+	return origin.eps[target].Get(p, local, w.bases[target]+hostmem.Addr(off), length)
+}
+
+// FetchAndAdd atomically adds value to the 8-byte word at target:off and
+// returns the original value (MPI_Fetch_and_op with MPI_SUM).
+func (w *Win) FetchAndAdd(p *sim.Proc, origin *Rank, target, off int, value uint64) (uint64, error) {
+	if err := w.check(target, off, 8); err != nil {
+		return 0, err
+	}
+	if target == origin.id {
+		as := w.comm.cl.Nodes[target].AS
+		addr := w.bases[target] + hostmem.Addr(off)
+		orig := as.ReadWord(addr)
+		as.WriteWord(addr, orig+value)
+		return orig, nil
+	}
+	req := origin.eps[target].FetchAddAsync(origin.scratch, w.bases[target]+hostmem.Addr(off), value)
+	return origin.worker.WaitAtomic(p, req)
+}
+
+// CompareAndSwap atomically swaps the word at target:off to swap if it
+// equals compare, returning the original value (MPI_Compare_and_swap).
+func (w *Win) CompareAndSwap(p *sim.Proc, origin *Rank, target, off int, compare, swap uint64) (uint64, error) {
+	if err := w.check(target, off, 8); err != nil {
+		return 0, err
+	}
+	if target == origin.id {
+		as := w.comm.cl.Nodes[target].AS
+		addr := w.bases[target] + hostmem.Addr(off)
+		orig := as.ReadWord(addr)
+		if orig == compare {
+			as.WriteWord(addr, swap)
+		}
+		return orig, nil
+	}
+	req := origin.eps[target].CASAsync(origin.scratch, w.bases[target]+hostmem.Addr(off), compare, swap)
+	return origin.worker.WaitAtomic(p, req)
+}
+
+// lockOff places the passive-target lock word in the window's first
+// 8 bytes of rank 0's... each target rank's own window tail would collide
+// with user data, so the lock lives in the target rank's scratch page,
+// which is registered at communicator setup.
+func (w *Win) lockAddr(target int) hostmem.Addr {
+	return w.comm.ranks[target].scratch + 8
+}
+
+// Lock acquires the passive-target exclusive lock on target's window,
+// spinning on a remote CAS exactly as MPICH's ucx netmod does.
+func (w *Win) Lock(p *sim.Proc, origin *Rank, target int) error {
+	if err := w.check(target, 0, 0); err != nil {
+		return err
+	}
+	if target == origin.id {
+		as := w.comm.cl.Nodes[target].AS
+		for as.ReadWord(w.lockAddr(target)) != 0 {
+			p.Sleep(50 * sim.Microsecond)
+		}
+		as.WriteWord(w.lockAddr(target), uint64(origin.id+1))
+		return nil
+	}
+	for {
+		req := origin.eps[target].CASAsync(origin.scratch, w.lockAddr(target), 0, uint64(origin.id+1))
+		orig, err := origin.worker.WaitAtomic(p, req)
+		if err != nil {
+			return err
+		}
+		if orig == 0 {
+			return nil
+		}
+		p.Sleep(100 * sim.Microsecond)
+	}
+}
+
+// Unlock releases the passive-target lock.
+func (w *Win) Unlock(p *sim.Proc, origin *Rank, target int) error {
+	if err := w.check(target, 0, 0); err != nil {
+		return err
+	}
+	if target == origin.id {
+		w.comm.cl.Nodes[target].AS.WriteWord(w.lockAddr(target), 0)
+		return nil
+	}
+	req := origin.eps[target].CASAsync(origin.scratch, w.lockAddr(target), uint64(origin.id+1), 0)
+	orig, err := origin.worker.WaitAtomic(p, req)
+	if err != nil {
+		return err
+	}
+	if orig != uint64(origin.id+1) {
+		return fmt.Errorf("mpi: unlock of a lock held by %d", orig)
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package mpi
+
+import (
+	"testing"
+
+	"odpsim/internal/cluster"
+	"odpsim/internal/hostmem"
+	"odpsim/internal/sim"
+	"odpsim/internal/ucx"
+)
+
+func newComm(t *testing.T, seed int64, nodes int, odp bool) (*cluster.Cluster, *Comm) {
+	t.Helper()
+	cl := cluster.ReedbushH().Build(seed, nodes)
+	ucfg := ucx.DefaultConfig()
+	ucfg.EnableODP = odp
+	var c *Comm
+	cl.Eng.Go("init", func(p *sim.Proc) {
+		c = NewComm(p, cl, ucfg)
+	})
+	cl.Eng.MustRun()
+	return cl, c
+}
+
+func TestSendRecv(t *testing.T) {
+	cl, c := newComm(t, 1, 2, false)
+	got := 0
+	cl.Eng.Go("sender", func(p *sim.Proc) {
+		if err := c.Rank(0).Send(p, 1, c.Rank(0).scratch, 48); err != nil {
+			t.Error(err)
+		}
+	})
+	cl.Eng.Go("receiver", func(p *sim.Proc) {
+		got = c.Rank(1).Recv(p)
+	})
+	cl.Eng.MustRun()
+	if got != 48 {
+		t.Errorf("recv length = %d", got)
+	}
+}
+
+func TestSelfSendRejected(t *testing.T) {
+	cl, c := newComm(t, 2, 2, false)
+	var err error
+	cl.Eng.Go("s", func(p *sim.Proc) {
+		err = c.Rank(0).Send(p, 0, c.Rank(0).scratch, 8)
+	})
+	cl.Eng.MustRun()
+	if err == nil {
+		t.Error("self-send should error")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	cl, c := newComm(t, 3, 4, false)
+	var leave [4]sim.Time
+	for i := 0; i < 4; i++ {
+		i := i
+		cl.Eng.Go("b", func(p *sim.Proc) {
+			p.Sleep(sim.Time(i) * 100 * sim.Microsecond)
+			if err := c.Rank(i).Barrier(p); err != nil {
+				t.Error(err)
+			}
+			leave[i] = p.Now()
+		})
+	}
+	cl.Eng.MustRun()
+	lastArrival := 3 * 100 * sim.Microsecond
+	for i, at := range leave {
+		if at < sim.Time(lastArrival) {
+			t.Errorf("rank %d left at %v, before the last arrival", i, at)
+		}
+	}
+}
+
+func TestWinPutGet(t *testing.T) {
+	cl, c := newComm(t, 4, 2, false)
+	var win *Win
+	var err1, err2 error
+	cl.Eng.Go("rma", func(p *sim.Proc) {
+		win = c.CreateWin(p, 8*hostmem.PageSize)
+		buf := cl.Nodes[0].AS.Alloc(hostmem.PageSize)
+		cl.Nodes[0].AS.Touch(buf, hostmem.PageSize)
+		p.Sleep(c.Rank(0).worker.RegisterBuffer(buf, hostmem.PageSize))
+		err1 = win.Put(p, c.Rank(0), buf, 1, 0, 512)
+		err2 = win.Get(p, c.Rank(0), buf, 1, 4096, 512)
+	})
+	cl.Eng.MustRun()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+}
+
+func TestWinBoundsChecked(t *testing.T) {
+	cl, c := newComm(t, 5, 2, false)
+	var errs [3]error
+	cl.Eng.Go("rma", func(p *sim.Proc) {
+		win := c.CreateWin(p, hostmem.PageSize)
+		errs[0] = win.Put(p, c.Rank(0), c.Rank(0).scratch, 5, 0, 8)
+		errs[1] = win.Put(p, c.Rank(0), c.Rank(0).scratch, 1, hostmem.PageSize-4, 8)
+		errs[2] = win.Get(p, c.Rank(0), c.Rank(0).scratch, 1, -1, 8)
+	})
+	cl.Eng.MustRun()
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("bounds violation %d not caught", i)
+		}
+	}
+}
+
+func TestFetchAndAdd(t *testing.T) {
+	cl, c := newComm(t, 6, 2, false)
+	var orig1, orig2 uint64
+	cl.Eng.Go("faa", func(p *sim.Proc) {
+		win := c.CreateWin(p, hostmem.PageSize)
+		var err error
+		orig1, err = win.FetchAndAdd(p, c.Rank(0), 1, 0, 5)
+		if err != nil {
+			t.Error(err)
+		}
+		orig2, err = win.FetchAndAdd(p, c.Rank(0), 1, 0, 5)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	cl.Eng.MustRun()
+	if orig1 != 0 || orig2 != 5 {
+		t.Errorf("origs = %d,%d, want 0,5", orig1, orig2)
+	}
+}
+
+func TestCompareAndSwapLocalAndRemote(t *testing.T) {
+	cl, c := newComm(t, 7, 2, false)
+	cl.Eng.Go("cas", func(p *sim.Proc) {
+		win := c.CreateWin(p, hostmem.PageSize)
+		// Remote CAS.
+		if orig, err := win.CompareAndSwap(p, c.Rank(0), 1, 0, 0, 42); err != nil || orig != 0 {
+			t.Errorf("remote CAS: orig=%d err=%v", orig, err)
+		}
+		// Local CAS sees the remote write.
+		if orig, err := win.CompareAndSwap(p, c.Rank(1), 1, 0, 42, 7); err != nil || orig != 42 {
+			t.Errorf("local CAS: orig=%d err=%v", orig, err)
+		}
+	})
+	cl.Eng.MustRun()
+}
+
+func TestPassiveTargetLock(t *testing.T) {
+	cl, c := newComm(t, 8, 3, false)
+	var win *Win
+	cl.Eng.Go("setup", func(p *sim.Proc) {
+		win = c.CreateWin(p, hostmem.PageSize)
+	})
+	cl.Eng.MustRun()
+
+	inCS, maxCS := 0, 0
+	for i := 1; i < 3; i++ {
+		r := c.Rank(i)
+		cl.Eng.Go("locker", func(p *sim.Proc) {
+			for k := 0; k < 4; k++ {
+				if err := win.Lock(p, r, 0); err != nil {
+					t.Error(err)
+					return
+				}
+				inCS++
+				if inCS > maxCS {
+					maxCS = inCS
+				}
+				p.Sleep(80 * sim.Microsecond)
+				inCS--
+				if err := win.Unlock(p, r, 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+	}
+	cl.Eng.MustRun()
+	if maxCS != 1 {
+		t.Errorf("mutual exclusion violated: max %d in CS", maxCS)
+	}
+}
+
+func TestUnlockWithoutLockErrors(t *testing.T) {
+	cl, c := newComm(t, 9, 2, false)
+	var err error
+	cl.Eng.Go("u", func(p *sim.Proc) {
+		win := c.CreateWin(p, hostmem.PageSize)
+		err = win.Unlock(p, c.Rank(0), 1)
+	})
+	cl.Eng.MustRun()
+	if err == nil {
+		t.Error("unlock without lock should error")
+	}
+}
+
+func TestODPWindowFaults(t *testing.T) {
+	cl, c := newComm(t, 10, 2, true)
+	cl.Eng.Go("rma", func(p *sim.Proc) {
+		win := c.CreateWin(p, 8*hostmem.PageSize)
+		buf := cl.Nodes[0].AS.Alloc(hostmem.PageSize)
+		cl.Nodes[0].AS.Touch(buf, hostmem.PageSize)
+		p.Sleep(c.Rank(0).worker.RegisterBuffer(buf, hostmem.PageSize))
+		if err := win.Get(p, c.Rank(0), buf, 1, 0, 256); err != nil {
+			t.Error(err)
+		}
+	})
+	cl.Eng.MustRun()
+	if cl.Nodes[1].RNRNakSent == 0 {
+		t.Error("ODP window access should fault on the target")
+	}
+}
+
+func TestInvalidCommPanics(t *testing.T) {
+	cl := cluster.ReedbushH().Build(11, 1)
+	panicked := false
+	cl.Eng.Go("init", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		NewComm(p, cl, ucx.DefaultConfig())
+	})
+	cl.Eng.MustRun()
+	if !panicked {
+		t.Error("1-node comm should panic")
+	}
+}

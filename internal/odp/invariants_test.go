@@ -1,0 +1,93 @@
+package odp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"odpsim/internal/hostmem"
+	"odpsim/internal/sim"
+)
+
+// TestPipelineConservationProperty: for any random mix of faults and
+// spurious accesses, once the simulation drains (no traffic regenerates
+// work), every registered pair becomes visible, the stale count reaches
+// zero, and completed updates equal registered pair-faults.
+func TestPipelineConservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := func(seed int64, opsRaw []uint16) bool {
+		eng := sim.New(seed)
+		as := hostmem.NewAddressSpace(eng, hostmem.DefaultConfig())
+		e := New(as, DefaultConfig())
+		base := as.Alloc(64 * hostmem.PageSize)
+		type pair struct {
+			qp   uint32
+			page int
+		}
+		want := map[pair]bool{}
+		for _, raw := range opsRaw {
+			qp := uint32(raw % 8)
+			page := int(raw/8) % 16
+			addr := base + hostmem.Addr(page*hostmem.PageSize)
+			if raw%3 == 0 {
+				e.Spurious(qp, addr, 32)
+			} else {
+				e.Fault(qp, addr, 32)
+				want[pair{qp, page}] = true
+			}
+		}
+		eng.Run()
+		if e.StaleCount() != 0 {
+			return false
+		}
+		if e.Updates != e.PairFaults {
+			return false
+		}
+		if int(e.PairFaults) != len(want) {
+			return false
+		}
+		for p := range want {
+			if !e.Visible(p.qp, hostmem.PageOf(base)+hostmem.PageNo(p.page)) {
+				return false
+			}
+		}
+		// The pipeline must be idle and empty.
+		return e.QueueLen() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInvalidationConsistencyProperty: after any interleaving of faults
+// and page releases, no reclaimed page stays visible.
+func TestInvalidationConsistencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	f := func(seed int64, steps []uint8) bool {
+		eng := sim.New(seed)
+		as := hostmem.NewAddressSpace(eng, hostmem.DefaultConfig())
+		e := New(as, DefaultConfig())
+		base := as.Alloc(8 * hostmem.PageSize)
+		for _, s := range steps {
+			page := int(s % 8)
+			addr := base + hostmem.Addr(page*hostmem.PageSize)
+			if s%2 == 0 {
+				e.Fault(uint32(s%4), addr, 16)
+			} else {
+				eng.Run() // settle in-flight resolutions first
+				as.Release(addr, hostmem.PageSize)
+				// Invariant: immediately after release, invisible to all.
+				for qp := uint32(0); qp < 4; qp++ {
+					if e.Visible(qp, hostmem.PageOf(addr)) {
+						return false
+					}
+				}
+			}
+		}
+		eng.Run()
+		return e.StaleCount() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

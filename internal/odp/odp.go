@@ -1,0 +1,275 @@
+// Package odp models the On-Demand Paging engine at the RNIC/driver
+// boundary. The paper's high-level conclusion is that network page fault
+// handling is hard precisely because the RNIC has limited memory and
+// functionality; we model that limitation as a *single serial pipeline*
+// through which all ODP work flows, in arrival (FIFO) order:
+//
+//   - spurious items: datapath handling of a retransmitted READ response
+//     that was discarded because the (QP, page) status is still stale —
+//     cheap per item, but issued on every retransmission round by every
+//     stale pair (client-side only: the responder is stateless and NAKs
+//     for free, §VI-C);
+//   - resolve items: host page-fault resolution — one serial item per
+//     faulted page, costing the kernel's 250–500 µs;
+//   - update items: propagating a resolved page's status into one QP's
+//     hardware context — the step whose delay the paper names "update
+//     failure of page statuses" (§VI-B). A page's update batch is
+//     enqueued newest-registrant-first, which reproduces Figure 11a's
+//     observation that the *first* ~30 operations stay unfinished the
+//     longest.
+//
+// With many QPs the spurious traffic lands in the queue ahead of later
+// pages' resolves and updates, delaying them, which provokes further
+// retransmission rounds — the feedback loop of packet flood.
+package odp
+
+import (
+	"odpsim/internal/hostmem"
+	"odpsim/internal/sim"
+)
+
+// Key identifies a per-QP view of one page's translation status.
+type Key struct {
+	QP   uint32
+	Page hostmem.PageNo
+}
+
+// Config tunes the ODP engine. Defaults are calibrated against the
+// paper's ConnectX-4 measurements (see DESIGN.md §4).
+type Config struct {
+	// QPUpdateCost is the pipeline time to install a resolved page's
+	// status into one QP context (Figure 11a: ≈128 updates spread over
+	// ≈5 ms).
+	QPUpdateCost sim.Time
+	// SpuriousCost is the pipeline time consumed by one discarded
+	// retransmitted response on a stale (QP, page) pair.
+	SpuriousCost sim.Time
+	// RetransBase is the requester-side retransmission period after a
+	// client-side ODP drop (≈0.5 ms observed in Figure 1).
+	RetransBase sim.Time
+	// RetransPerStale optionally lengthens the retransmission period per
+	// stale (QP, page) pair, modelling the client-side load of managing
+	// many retransmission timers (§VI-C / §VII-B observed flood-time
+	// retransmissions every several tens of ms). Default 0.
+	RetransPerStale sim.Time
+	// UpdatesFIFO switches a page's update batch to oldest-first order;
+	// the default (false) is newest-first, which matches Figure 11a.
+	// Exposed for ablation.
+	UpdatesFIFO bool
+	// SpuriousFree disables the pipeline cost of spurious accesses.
+	// Exposed for ablation: with it set, packet flood largely vanishes.
+	SpuriousFree bool
+}
+
+// DefaultConfig returns the ConnectX-4 calibration.
+func DefaultConfig() Config {
+	return Config{
+		QPUpdateCost: 40 * sim.Microsecond,
+		SpuriousCost: 25 * sim.Microsecond,
+		RetransBase:  500 * sim.Microsecond,
+	}
+}
+
+type itemKind int
+
+const (
+	kindSpurious itemKind = iota
+	kindResolve
+	kindUpdate
+)
+
+type workItem struct {
+	kind itemKind
+	page hostmem.PageNo // resolve
+	key  Key            // update
+}
+
+// Engine is one RNIC's ODP machinery.
+type Engine struct {
+	eng *sim.Engine
+	as  *hostmem.AddressSpace
+	cfg Config
+
+	// visible tracks which (QP, page) translations the QP's hardware
+	// context can currently use.
+	visible map[Key]bool
+	// interested lists pairs awaiting a page's host resolution.
+	interested map[hostmem.PageNo][]Key
+	// pending marks pairs that are faulted but not yet visible.
+	pending map[Key]bool
+
+	busy  bool
+	queue []workItem
+	// queuedSpurious coalesces spurious work per stale pair: a pair
+	// whose discard is already queued contributes no further pipeline
+	// work until it is serviced (the microcode batches re-discards),
+	// which bounds the queue at one item per stale pair.
+	queuedSpurious map[Key]bool
+
+	// Counters.
+	Faults        uint64 // page-level faults initiated
+	PairFaults    uint64 // (QP,page) pair faults registered
+	Updates       uint64 // status updates completed
+	SpuriousTotal uint64 // spurious accesses recorded
+}
+
+// New creates an ODP engine bound to an address space. It registers an
+// MMU notifier so kernel page reclaim invalidates device translations.
+func New(as *hostmem.AddressSpace, cfg Config) *Engine {
+	e := &Engine{
+		eng:            as.Engine(),
+		as:             as,
+		cfg:            cfg,
+		visible:        make(map[Key]bool),
+		interested:     make(map[hostmem.PageNo][]Key),
+		pending:        make(map[Key]bool),
+		queuedSpurious: make(map[Key]bool),
+	}
+	as.RegisterNotifier(e.invalidate)
+	return e
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// StaleCount returns the number of (QP, page) pairs that have faulted but
+// whose status update has not yet completed.
+func (e *Engine) StaleCount() int { return len(e.pending) }
+
+// QueueLen returns the number of queued pipeline items (for tests and
+// load inspection).
+func (e *Engine) QueueLen() int { return len(e.queue) }
+
+// RetransInterval returns the requester retransmission period under the
+// current load (see Config.RetransPerStale).
+func (e *Engine) RetransInterval() sim.Time {
+	return e.cfg.RetransBase + sim.Time(len(e.pending))*e.cfg.RetransPerStale
+}
+
+// Visible reports whether qp's context can translate page.
+func (e *Engine) Visible(qp uint32, page hostmem.PageNo) bool {
+	return e.visible[Key{qp, page}]
+}
+
+// Access reports whether qp can translate the whole byte range — i.e.
+// whether an RDMA access proceeds without a network page fault.
+func (e *Engine) Access(qp uint32, addr hostmem.Addr, length int) bool {
+	for _, p := range hostmem.PagesSpanned(addr, length) {
+		if !e.visible[Key{qp, p}] {
+			return false
+		}
+	}
+	return true
+}
+
+// Pending reports whether any page of the range already has a fault in
+// flight for qp.
+func (e *Engine) Pending(qp uint32, addr hostmem.Addr, length int) bool {
+	for _, p := range hostmem.PagesSpanned(addr, length) {
+		if e.pending[Key{qp, p}] {
+			return true
+		}
+	}
+	return false
+}
+
+// Fault registers a network page fault by qp on every non-visible page of
+// the range and starts the pipeline. Safe to call repeatedly; pairs
+// already pending are not re-registered.
+func (e *Engine) Fault(qp uint32, addr hostmem.Addr, length int) {
+	for _, p := range hostmem.PagesSpanned(addr, length) {
+		k := Key{qp, p}
+		if e.visible[k] || e.pending[k] {
+			continue
+		}
+		e.pending[k] = true
+		e.PairFaults++
+		switch e.as.State(p) {
+		case hostmem.Mapped, hostmem.Pinned:
+			// Host side is fine; only this QP's status needs updating.
+			e.queue = append(e.queue, workItem{kind: kindUpdate, key: k})
+		default:
+			if _, inflight := e.interested[p]; !inflight {
+				e.queue = append(e.queue, workItem{kind: kindResolve, page: p})
+				e.Faults++
+			}
+			e.interested[p] = append(e.interested[p], k)
+		}
+	}
+	e.kick()
+}
+
+// Spurious records a discarded retransmitted access on a still-stale
+// pair. It consumes pipeline time, delaying resolves and updates queued
+// behind it — the packet-flood feedback loop.
+func (e *Engine) Spurious(qp uint32, addr hostmem.Addr, length int) {
+	e.SpuriousTotal++
+	if e.cfg.SpuriousFree {
+		return
+	}
+	k := Key{qp, hostmem.PageOf(addr)}
+	if e.queuedSpurious[k] {
+		return
+	}
+	e.queuedSpurious[k] = true
+	e.queue = append(e.queue, workItem{kind: kindSpurious, key: k})
+	e.kick()
+}
+
+// invalidate flushes device translations for reclaimed pages (all QPs).
+func (e *Engine) invalidate(inv hostmem.Invalidation) {
+	reclaimed := make(map[hostmem.PageNo]bool, len(inv.Pages))
+	for _, p := range inv.Pages {
+		reclaimed[p] = true
+	}
+	for k := range e.visible {
+		if reclaimed[k.Page] {
+			delete(e.visible, k)
+		}
+	}
+}
+
+// kick advances the serial pipeline if it is idle.
+func (e *Engine) kick() {
+	if e.busy || len(e.queue) == 0 {
+		return
+	}
+	it := e.queue[0]
+	e.queue = e.queue[1:]
+	e.busy = true
+	finish := func() {
+		e.busy = false
+		e.kick()
+	}
+	switch it.kind {
+	case kindSpurious:
+		delete(e.queuedSpurious, it.key)
+		e.eng.After(e.eng.Jitter(e.cfg.SpuriousCost, 0.1), finish)
+	case kindResolve:
+		p := it.page
+		e.as.ResolveFault(p, func() {
+			// Host resolution finished; queue this page's per-QP
+			// status updates as one batch, newest registrant first
+			// (the order Figure 11a exposes).
+			pairs := e.interested[p]
+			delete(e.interested, p)
+			if !e.cfg.UpdatesFIFO {
+				for i, j := 0, len(pairs)-1; i < j; i, j = i+1, j-1 {
+					pairs[i], pairs[j] = pairs[j], pairs[i]
+				}
+			}
+			for _, k := range pairs {
+				e.queue = append(e.queue, workItem{kind: kindUpdate, key: k})
+			}
+			finish()
+		})
+	case kindUpdate:
+		k := it.key
+		e.eng.After(e.eng.Jitter(e.cfg.QPUpdateCost, 0.1), func() {
+			e.visible[k] = true
+			delete(e.pending, k)
+			e.Updates++
+			finish()
+		})
+	}
+}

@@ -1,0 +1,293 @@
+package odp
+
+import (
+	"testing"
+
+	"odpsim/internal/hostmem"
+	"odpsim/internal/sim"
+)
+
+func setup(t *testing.T, cfg Config) (*sim.Engine, *hostmem.AddressSpace, *Engine) {
+	t.Helper()
+	eng := sim.New(1)
+	as := hostmem.NewAddressSpace(eng, hostmem.DefaultConfig())
+	return eng, as, New(as, cfg)
+}
+
+func TestFaultMakesVisible(t *testing.T) {
+	eng, as, e := setup(t, DefaultConfig())
+	a := as.Alloc(hostmem.PageSize)
+	if e.Access(1, a, 100) {
+		t.Fatal("fresh page should not be accessible")
+	}
+	e.Fault(1, a, 100)
+	if e.StaleCount() != 1 {
+		t.Errorf("StaleCount = %d", e.StaleCount())
+	}
+	eng.Run()
+	if !e.Access(1, a, 100) {
+		t.Error("page should be visible after fault resolution")
+	}
+	if e.StaleCount() != 0 {
+		t.Error("stale count should drop to zero")
+	}
+	if e.Faults != 1 || e.PairFaults != 1 || e.Updates != 1 {
+		t.Errorf("counters: faults=%d pairs=%d updates=%d", e.Faults, e.PairFaults, e.Updates)
+	}
+	// Resolution time = host resolve (200–700µs) + update (≈40µs).
+	if eng.Now() < 200*sim.Microsecond || eng.Now() > 800*sim.Microsecond {
+		t.Errorf("resolution took %v", eng.Now())
+	}
+}
+
+func TestVisibilityIsPerQP(t *testing.T) {
+	eng, as, e := setup(t, DefaultConfig())
+	a := as.Alloc(hostmem.PageSize)
+	e.Fault(1, a, 100)
+	eng.Run()
+	if e.Access(2, a, 100) {
+		t.Error("QP 2 should not see QP 1's translation update")
+	}
+	// QP 2 faults on a host-mapped page: only an update is needed.
+	before := eng.Now()
+	e.Fault(2, a, 100)
+	eng.Run()
+	if !e.Access(2, a, 100) {
+		t.Error("QP 2 should be visible after its own fault")
+	}
+	if e.Faults != 1 {
+		t.Errorf("host-level faults = %d, want 1 (page already mapped)", e.Faults)
+	}
+	// The second fault should cost roughly one update, not a resolve.
+	if d := eng.Now() - before; d > 100*sim.Microsecond {
+		t.Errorf("second-QP fault took %v, want ≈40µs", d)
+	}
+}
+
+func TestFaultIdempotent(t *testing.T) {
+	eng, as, e := setup(t, DefaultConfig())
+	a := as.Alloc(hostmem.PageSize)
+	e.Fault(1, a, 100)
+	e.Fault(1, a, 100)
+	e.Fault(1, a, 100)
+	eng.Run()
+	if e.PairFaults != 1 || e.Updates != 1 {
+		t.Errorf("repeated Fault should register once: pairs=%d updates=%d", e.PairFaults, e.Updates)
+	}
+}
+
+func TestMultiPageFault(t *testing.T) {
+	eng, as, e := setup(t, DefaultConfig())
+	a := as.Alloc(3 * hostmem.PageSize)
+	e.Fault(1, a, 3*hostmem.PageSize)
+	eng.Run()
+	if !e.Access(1, a, 3*hostmem.PageSize) {
+		t.Error("all pages should be visible")
+	}
+	if e.Faults != 3 || e.Updates != 3 {
+		t.Errorf("faults=%d updates=%d", e.Faults, e.Updates)
+	}
+}
+
+func TestResolvesAreSerial(t *testing.T) {
+	// N pages faulted together should take ≈ N × resolve latency: the
+	// pipeline is the paper's "limited memory and functionality".
+	eng, as, e := setup(t, DefaultConfig())
+	const n = 10
+	a := as.Alloc(n * hostmem.PageSize)
+	e.Fault(1, a, n*hostmem.PageSize)
+	eng.Run()
+	min := sim.Time(n) * 200 * sim.Microsecond
+	if eng.Now() < min {
+		t.Errorf("%d resolves took %v, want ≥ %v (serialized)", n, eng.Now(), min)
+	}
+}
+
+func TestLIFOUpdateOrder(t *testing.T) {
+	// With many QPs faulting the same page, the earliest-faulting QP is
+	// updated last (Figure 11a's first-30-stuck shape).
+	eng, as, e := setup(t, DefaultConfig())
+	a := as.Alloc(hostmem.PageSize)
+	const n = 8
+	var order []uint32
+	for qp := uint32(0); qp < n; qp++ {
+		e.Fault(qp, a, 32)
+	}
+	// Poll visibility transitions.
+	var watch func()
+	seen := make(map[uint32]bool)
+	watch = func() {
+		for qp := uint32(0); qp < n; qp++ {
+			if !seen[qp] && e.Visible(qp, hostmem.PageOf(a)) {
+				seen[qp] = true
+				order = append(order, qp)
+			}
+		}
+		if len(order) < n {
+			eng.After(sim.Microsecond, watch)
+		}
+	}
+	eng.After(0, watch)
+	eng.Run()
+	if len(order) != n {
+		t.Fatalf("only %d QPs became visible", len(order))
+	}
+	if order[0] != n-1 || order[n-1] != 0 {
+		t.Errorf("update order = %v, want LIFO (newest first)", order)
+	}
+}
+
+func TestFIFOAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UpdatesFIFO = true
+	eng, as, e := setup(t, cfg)
+	a := as.Alloc(hostmem.PageSize)
+	e.Fault(0, a, 32)
+	e.Fault(1, a, 32)
+	firstVisible := uint32(99)
+	var watch func()
+	watch = func() {
+		if firstVisible == 99 {
+			for qp := uint32(0); qp < 2; qp++ {
+				if e.Visible(qp, hostmem.PageOf(a)) {
+					firstVisible = qp
+					return
+				}
+			}
+			eng.After(sim.Microsecond, watch)
+		}
+	}
+	eng.After(0, watch)
+	eng.Run()
+	if firstVisible != 0 {
+		t.Errorf("FIFO should update QP 0 first, got %d", firstVisible)
+	}
+}
+
+func TestSpuriousDelaysUpdates(t *testing.T) {
+	// Same fault pattern, with and without spurious traffic: spurious
+	// pipeline work must delay completion (the flood feedback).
+	run := func(spurious int) sim.Time {
+		eng, as, e := setup(t, DefaultConfig())
+		a := as.Alloc(hostmem.PageSize)
+		for qp := uint32(0); qp < 16; qp++ {
+			e.Fault(qp, a, 32)
+		}
+		// Distinct (QP, page) pairs so coalescing does not absorb them.
+		for i := 0; i < spurious; i++ {
+			e.Spurious(uint32(100+i), a, 32)
+		}
+		eng.Run()
+		return eng.Now()
+	}
+	quiet, noisy := run(0), run(200)
+	if noisy <= quiet+4*sim.Millisecond {
+		t.Errorf("200 spurious items should add ≈5ms: quiet=%v noisy=%v", quiet, noisy)
+	}
+}
+
+func TestSpuriousCoalescing(t *testing.T) {
+	eng, as, e := setup(t, DefaultConfig())
+	a := as.Alloc(hostmem.PageSize)
+	e.Fault(1, a, 32)
+	// A storm of re-discards on one stale pair coalesces to ≈1 queued
+	// item at a time: the pipeline must not be swamped.
+	for i := 0; i < 1000; i++ {
+		e.Spurious(1, a, 32)
+	}
+	if e.QueueLen() > 3 {
+		t.Errorf("queue = %d items, want coalesced", e.QueueLen())
+	}
+	eng.Run()
+	if e.SpuriousTotal != 1000 {
+		t.Errorf("SpuriousTotal = %d (should still count all)", e.SpuriousTotal)
+	}
+	if eng.Now() > 2*sim.Millisecond {
+		t.Errorf("coalesced storm took %v", eng.Now())
+	}
+}
+
+func TestSpuriousFreeAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpuriousFree = true
+	eng, as, e := setup(t, cfg)
+	a := as.Alloc(hostmem.PageSize)
+	e.Fault(0, a, 32)
+	for i := 0; i < 1000; i++ {
+		e.Spurious(0, a, 32)
+	}
+	eng.Run()
+	if eng.Now() > sim.Millisecond {
+		t.Errorf("with SpuriousFree, spurious items must cost nothing; took %v", eng.Now())
+	}
+	if e.SpuriousTotal != 1000 {
+		t.Errorf("SpuriousTotal = %d (should still count)", e.SpuriousTotal)
+	}
+}
+
+func TestRetransIntervalGrowsWithLoad(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RetransPerStale = 30 * sim.Microsecond
+	_, as, e := setup(t, cfg)
+	base := e.RetransInterval()
+	if base != cfg.RetransBase {
+		t.Errorf("idle interval = %v", base)
+	}
+	a := as.Alloc(100 * hostmem.PageSize)
+	for qp := uint32(0); qp < 100; qp++ {
+		e.Fault(qp, a+hostmem.Addr(qp)*hostmem.PageSize, 32)
+	}
+	loaded := e.RetransInterval()
+	want := cfg.RetransBase + 100*cfg.RetransPerStale
+	if loaded != want {
+		t.Errorf("loaded interval = %v, want %v", loaded, want)
+	}
+	if DefaultConfig().RetransPerStale != 0 {
+		t.Error("default RetransPerStale should be 0 (pure 0.5 ms rounds)")
+	}
+}
+
+func TestInvalidationClearsVisibility(t *testing.T) {
+	eng, as, e := setup(t, DefaultConfig())
+	a := as.Alloc(hostmem.PageSize)
+	e.Fault(1, a, 100)
+	e.Fault(2, a, 100)
+	eng.Run()
+	as.Release(a, hostmem.PageSize)
+	if e.Visible(1, hostmem.PageOf(a)) || e.Visible(2, hostmem.PageOf(a)) {
+		t.Error("released page should be invisible to every QP")
+	}
+	// Re-fault works.
+	e.Fault(1, a, 100)
+	eng.Run()
+	if !e.Visible(1, hostmem.PageOf(a)) {
+		t.Error("re-fault after invalidation should succeed")
+	}
+}
+
+func TestPinnedPageFaultIsCheap(t *testing.T) {
+	eng, as, e := setup(t, DefaultConfig())
+	a := as.Alloc(hostmem.PageSize)
+	as.Pin(a, hostmem.PageSize)
+	e.Fault(1, a, 100)
+	eng.Run()
+	if !e.Access(1, a, 100) {
+		t.Error("pinned page should become visible")
+	}
+	if e.Faults != 0 {
+		t.Error("no host-level fault should be needed for a pinned page")
+	}
+}
+
+func TestAccessPartialRange(t *testing.T) {
+	eng, as, e := setup(t, DefaultConfig())
+	a := as.Alloc(2 * hostmem.PageSize)
+	e.Fault(1, a, 10) // first page only
+	eng.Run()
+	if !e.Access(1, a, hostmem.PageSize) {
+		t.Error("first page should be accessible")
+	}
+	if e.Access(1, a, hostmem.PageSize+1) {
+		t.Error("range spilling into unfaulted page must not be accessible")
+	}
+}

@@ -1,0 +1,254 @@
+// Package packet models InfiniBand packets at the level ibdump shows them:
+// the Base Transport Header fields that matter to Reliable Connection
+// (opcode, 24-bit PSN, destination QP), the RDMA Extended Transport Header
+// for READ/WRITE, and the ACK Extended Transport Header carrying ACKs and
+// NAKs (including RNR NAK and the PSN sequence error NAK central to the
+// paper's analysis).
+package packet
+
+import "fmt"
+
+// Opcode is the BTH opcode. Only the RC opcodes the reproduction needs are
+// modelled; multi-packet READ responses use First/Middle/Last as on the
+// wire.
+type Opcode int
+
+// RC opcodes.
+const (
+	OpSendOnly Opcode = iota
+	OpWriteOnly
+	OpReadRequest
+	OpReadRespFirst
+	OpReadRespMiddle
+	OpReadRespLast
+	OpReadRespOnly
+	OpAcknowledge
+	// OpUDSend is an Unreliable Datagram send (its BTH differs on the
+	// wire; the simulator only needs the distinct opcode).
+	OpUDSend
+	// OpFetchAdd and OpCmpSwap are the RC atomic requests; OpAtomicResp
+	// carries the original value back.
+	OpFetchAdd
+	OpCmpSwap
+	OpAtomicResp
+)
+
+// String implements fmt.Stringer using ibdump-like names.
+func (o Opcode) String() string {
+	switch o {
+	case OpSendOnly:
+		return "SEND Only"
+	case OpWriteOnly:
+		return "RDMA WRITE Only"
+	case OpReadRequest:
+		return "RDMA READ Request"
+	case OpReadRespFirst:
+		return "RDMA READ Response First"
+	case OpReadRespMiddle:
+		return "RDMA READ Response Middle"
+	case OpReadRespLast:
+		return "RDMA READ Response Last"
+	case OpReadRespOnly:
+		return "RDMA READ Response Only"
+	case OpAcknowledge:
+		return "Acknowledge"
+	case OpUDSend:
+		return "UD SEND Only"
+	case OpFetchAdd:
+		return "ATOMIC FetchAdd"
+	case OpCmpSwap:
+		return "ATOMIC CmpSwap"
+	case OpAtomicResp:
+		return "ATOMIC Acknowledge"
+	default:
+		return fmt.Sprintf("Opcode(%d)", int(o))
+	}
+}
+
+// IsRequest reports whether the opcode is requester-to-responder.
+func (o Opcode) IsRequest() bool {
+	switch o {
+	case OpSendOnly, OpWriteOnly, OpReadRequest, OpFetchAdd, OpCmpSwap:
+		return true
+	}
+	return false
+}
+
+// IsReadResponse reports whether the opcode carries READ response data.
+func (o Opcode) IsReadResponse() bool {
+	switch o {
+	case OpReadRespFirst, OpReadRespMiddle, OpReadRespLast, OpReadRespOnly:
+		return true
+	}
+	return false
+}
+
+// Syndrome is the AETH syndrome class of an Acknowledge packet.
+type Syndrome int
+
+// Acknowledge syndromes.
+const (
+	SynACK Syndrome = iota
+	// SynRNRNAK: Receiver Not Ready — retry after the advertised timer.
+	// ODP responders use it to suspend senders during page faults.
+	SynRNRNAK
+	// SynNAKSeqErr: PSN Sequence Error — the responder saw a PSN beyond
+	// the one it expected; retransmit from the expected PSN.
+	SynNAKSeqErr
+	// SynNAKRemoteAccessErr: protection/rkey violation; fatal for the QP.
+	SynNAKRemoteAccessErr
+)
+
+// String implements fmt.Stringer.
+func (s Syndrome) String() string {
+	switch s {
+	case SynACK:
+		return "ACK"
+	case SynRNRNAK:
+		return "RNR NAK"
+	case SynNAKSeqErr:
+		return "NAK (PSN Sequence Error)"
+	case SynNAKRemoteAccessErr:
+		return "NAK (Remote Access Error)"
+	default:
+		return fmt.Sprintf("Syndrome(%d)", int(s))
+	}
+}
+
+// Packet is one InfiniBand packet in flight. Fields are grouped by the
+// wire header they correspond to.
+type Packet struct {
+	// Routing (LRH).
+	SLID, DLID uint16
+
+	// BTH.
+	Opcode Opcode
+	PSN    uint32 // 24-bit packet sequence number
+	DestQP uint32 // destination QP number
+	AckReq bool   // AckReq bit (requester asks for an acknowledge)
+
+	// SrcQP is not on the RC wire (the responder knows it from the QP
+	// context); the simulator carries it for addressing and capture.
+	SrcQP uint32
+
+	// RETH (READ requests and WRITEs).
+	RemoteAddr uint64
+	DMALen     uint32
+
+	// AETH (Acknowledge and READ Response First/Last/Only).
+	Syndrome Syndrome
+	// RNRTimerNs is the receiver-advertised minimum retry delay in
+	// nanoseconds (meaningful for SynRNRNAK).
+	RNRTimerNs int64
+	// AckPSN is the PSN being acknowledged / NAKed (equals PSN for
+	// coalesced ACKs; kept explicit for readability of traces).
+	AckPSN uint32
+
+	// Payload.
+	PayloadLen int
+
+	// AppSeq models an application-level header in the payload (used by
+	// software-reliability RPC matching over UD).
+	AppSeq uint64
+	// AppWords carries a small application payload inline (the simulator
+	// does not move bulk data, but RPC-style protocols need their
+	// headers and small values to flow).
+	AppWords []uint64
+
+	// AtomicETH fields (FetchAdd: Swap = addend; CmpSwap: Compare/Swap).
+	AtomicSwap    uint64
+	AtomicCompare uint64
+	// AtomicOrig is the original value carried by OpAtomicResp.
+	AtomicOrig uint64
+
+	// DammingDoomed is a simulator-model flag for the ConnectX-4 packet
+	// damming quirk: the packet appears on the wire (ibdump shows the
+	// retransmitted request) but the receiving RNIC discards it without
+	// processing or NAKing it. Set once per work request by the
+	// requester model; see internal/rnic.
+	DammingDoomed bool
+}
+
+// Header sizes in bytes, per the InfiniBand architecture specification.
+const (
+	lrhBytes          = 8
+	bthBytes          = 12
+	rethBytes         = 16
+	aethBytes         = 4
+	dethBytes         = 8
+	atomicEthBytes    = 28
+	atomicAckEthBytes = 8
+	icrcBytes         = 4
+	vcrcBytes         = 2
+)
+
+// WireSize returns the packet's size on the wire in bytes, used for
+// serialization-delay modelling and byte counters.
+func (p *Packet) WireSize() int {
+	n := lrhBytes + bthBytes + icrcBytes + vcrcBytes + p.PayloadLen
+	switch p.Opcode {
+	case OpReadRequest, OpWriteOnly:
+		n += rethBytes
+	case OpAcknowledge, OpReadRespFirst, OpReadRespLast, OpReadRespOnly:
+		n += aethBytes
+	case OpUDSend:
+		n += dethBytes
+	case OpFetchAdd, OpCmpSwap:
+		n += atomicEthBytes
+	case OpAtomicResp:
+		n += aethBytes + atomicAckEthBytes
+	}
+	return n
+}
+
+// HasAETH reports whether the packet carries an AETH.
+func (p *Packet) HasAETH() bool {
+	switch p.Opcode {
+	case OpAcknowledge, OpReadRespFirst, OpReadRespLast, OpReadRespOnly:
+		return true
+	}
+	return false
+}
+
+// String renders the packet the way the paper's workflow figures label
+// them.
+func (p *Packet) String() string {
+	s := fmt.Sprintf("%s PSN=%d QP=%d", p.Opcode, p.PSN, p.DestQP)
+	switch p.Opcode {
+	case OpReadRequest, OpWriteOnly:
+		s += fmt.Sprintf(" va=0x%x len=%d", p.RemoteAddr, p.DMALen)
+	case OpAcknowledge:
+		s = fmt.Sprintf("%s PSN=%d QP=%d", p.Syndrome, p.AckPSN, p.DestQP)
+	}
+	if p.PayloadLen > 0 && p.Opcode != OpReadRequest {
+		s += fmt.Sprintf(" payload=%dB", p.PayloadLen)
+	}
+	return s
+}
+
+// Clone returns a copy of the packet (retransmissions are distinct wire
+// packets).
+func (p *Packet) Clone() *Packet {
+	q := *p
+	return &q
+}
+
+const psnMask = 1<<24 - 1
+
+// PSNAdd returns the PSN n steps after psn, modulo 2^24.
+func PSNAdd(psn uint32, n int) uint32 {
+	return uint32(int64(psn)+int64(n)) & psnMask
+}
+
+// PSNDiff returns the signed distance a−b in 24-bit serial arithmetic:
+// positive if a is ahead of b, negative if behind.
+func PSNDiff(a, b uint32) int {
+	d := int32((a - b) & psnMask)
+	if d >= 1<<23 {
+		d -= 1 << 24
+	}
+	return int(d)
+}
+
+// PSNLess reports whether a precedes b in serial order.
+func PSNLess(a, b uint32) bool { return PSNDiff(a, b) < 0 }

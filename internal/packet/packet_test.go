@@ -1,0 +1,175 @@
+package packet
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeClasses(t *testing.T) {
+	reqs := []Opcode{OpSendOnly, OpWriteOnly, OpReadRequest}
+	for _, o := range reqs {
+		if !o.IsRequest() {
+			t.Errorf("%v should be a request", o)
+		}
+		if o.IsReadResponse() {
+			t.Errorf("%v should not be a read response", o)
+		}
+	}
+	resps := []Opcode{OpReadRespFirst, OpReadRespMiddle, OpReadRespLast, OpReadRespOnly}
+	for _, o := range resps {
+		if o.IsRequest() {
+			t.Errorf("%v should not be a request", o)
+		}
+		if !o.IsReadResponse() {
+			t.Errorf("%v should be a read response", o)
+		}
+	}
+	if OpAcknowledge.IsRequest() || OpAcknowledge.IsReadResponse() {
+		t.Error("Acknowledge misclassified")
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	if OpReadRequest.String() != "RDMA READ Request" {
+		t.Errorf("got %q", OpReadRequest.String())
+	}
+	if !strings.Contains(Opcode(99).String(), "99") {
+		t.Error("unknown opcode should render its number")
+	}
+}
+
+func TestSyndromeStrings(t *testing.T) {
+	if SynRNRNAK.String() != "RNR NAK" {
+		t.Errorf("got %q", SynRNRNAK.String())
+	}
+	if SynNAKSeqErr.String() != "NAK (PSN Sequence Error)" {
+		t.Errorf("got %q", SynNAKSeqErr.String())
+	}
+	if !strings.Contains(Syndrome(99).String(), "99") {
+		t.Error("unknown syndrome should render its number")
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	read := &Packet{Opcode: OpReadRequest}
+	// LRH+BTH+RETH+ICRC+VCRC = 8+12+16+4+2 = 42
+	if read.WireSize() != 42 {
+		t.Errorf("READ request wire size = %d, want 42", read.WireSize())
+	}
+	resp := &Packet{Opcode: OpReadRespOnly, PayloadLen: 100}
+	// 8+12+4+4+2+100 = 130
+	if resp.WireSize() != 130 {
+		t.Errorf("READ response wire size = %d, want 130", resp.WireSize())
+	}
+	ack := &Packet{Opcode: OpAcknowledge}
+	if ack.WireSize() != 30 {
+		t.Errorf("ACK wire size = %d, want 30", ack.WireSize())
+	}
+	mid := &Packet{Opcode: OpReadRespMiddle, PayloadLen: 4096}
+	if mid.WireSize() != 8+12+4+2+4096 {
+		t.Errorf("middle response wire size = %d", mid.WireSize())
+	}
+}
+
+func TestHasAETH(t *testing.T) {
+	with := []Opcode{OpAcknowledge, OpReadRespFirst, OpReadRespLast, OpReadRespOnly}
+	for _, o := range with {
+		if !(&Packet{Opcode: o}).HasAETH() {
+			t.Errorf("%v should carry AETH", o)
+		}
+	}
+	without := []Opcode{OpSendOnly, OpWriteOnly, OpReadRequest, OpReadRespMiddle}
+	for _, o := range without {
+		if (&Packet{Opcode: o}).HasAETH() {
+			t.Errorf("%v should not carry AETH", o)
+		}
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := &Packet{Opcode: OpReadRequest, PSN: 5, DestQP: 12, RemoteAddr: 0x1000, DMALen: 100}
+	s := p.String()
+	for _, want := range []string{"RDMA READ Request", "PSN=5", "QP=12", "va=0x1000", "len=100"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	nak := &Packet{Opcode: OpAcknowledge, Syndrome: SynRNRNAK, AckPSN: 3, DestQP: 7}
+	if !strings.Contains(nak.String(), "RNR NAK") {
+		t.Errorf("NAK String() = %q", nak.String())
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := &Packet{Opcode: OpReadRequest, PSN: 9, DMALen: 64}
+	q := p.Clone()
+	q.PSN = 10
+	if p.PSN != 9 {
+		t.Error("Clone should not alias")
+	}
+	if q.DMALen != 64 {
+		t.Error("Clone should copy fields")
+	}
+}
+
+func TestPSNAddWraps(t *testing.T) {
+	if PSNAdd(0xFFFFFF, 1) != 0 {
+		t.Errorf("PSNAdd wrap = %d", PSNAdd(0xFFFFFF, 1))
+	}
+	if PSNAdd(0, 5) != 5 {
+		t.Error("PSNAdd basic")
+	}
+	if PSNAdd(10, -3) != 7 {
+		t.Errorf("PSNAdd negative = %d", PSNAdd(10, -3))
+	}
+	if PSNAdd(2, -5) != 0xFFFFFD {
+		t.Errorf("PSNAdd negative wrap = %d", PSNAdd(2, -5))
+	}
+}
+
+func TestPSNDiff(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		want int
+	}{
+		{5, 3, 2},
+		{3, 5, -2},
+		{0, 0xFFFFFF, 1},  // wrapped ahead
+		{0xFFFFFF, 0, -1}, // wrapped behind
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := PSNDiff(c.a, c.b); got != c.want {
+			t.Errorf("PSNDiff(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: PSNDiff(PSNAdd(p,n), p) == n for |n| < 2^23.
+func TestPSNRoundTripProperty(t *testing.T) {
+	f := func(p uint32, n int32) bool {
+		p &= 1<<24 - 1
+		nn := int(n % (1 << 22))
+		return PSNDiff(PSNAdd(p, nn), p) == nn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PSNLess is a strict order on nearby PSNs.
+func TestPSNLessProperty(t *testing.T) {
+	f := func(p uint32, n uint16) bool {
+		p &= 1<<24 - 1
+		if n == 0 {
+			return !PSNLess(p, p)
+		}
+		q := PSNAdd(p, int(n))
+		return PSNLess(p, q) && !PSNLess(q, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(12))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+package perftest
+
+import (
+	"strings"
+	"testing"
+
+	"odpsim/internal/core"
+	"odpsim/internal/sim"
+)
+
+func TestReadLatPinned(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Iters = 200
+	r := ReadLat(cfg)
+	// Steady state ≈ one round trip (≈4.2 µs at 2 µs one-way).
+	if r.Typical < 3 || r.Typical > 8 {
+		t.Errorf("typical latency = %.2f µs, want ≈4-5", r.Typical)
+	}
+	if r.First > 3*sim.Microsecond*10 {
+		t.Errorf("pinned first iteration = %v, want ≈RTT", r.First)
+	}
+	if r.Min > r.Typical || r.Typical > r.Max {
+		t.Error("latency ordering violated")
+	}
+}
+
+func TestReadLatODPFirstAccessPenalty(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Iters = 200
+	cfg.Mode = core.ServerODP
+	r := ReadLat(cfg)
+	// First access carries the RNR wait (≈4.5 ms); steady state is RTT.
+	if r.First < sim.FromMillis(3.5) || r.First > sim.FromMillis(5.5) {
+		t.Errorf("first = %v, want ≈4.5 ms (the fault)", r.First)
+	}
+	if r.Typical > 8 {
+		t.Errorf("steady-state = %.2f µs, ODP should match pinned after the fault", r.Typical)
+	}
+}
+
+func TestReadLatPrefetchRemovesPenalty(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Iters = 100
+	cfg.Mode = core.ServerODP
+	cfg.Prefetch = true
+	r := ReadLat(cfg)
+	if r.First > 20*sim.Microsecond {
+		t.Errorf("prefetched first iteration = %v, want ≈RTT", r.First)
+	}
+}
+
+func TestReadLatImplicitODP(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Iters = 100
+	cfg.Mode = core.BothODP
+	cfg.Implicit = true
+	r := ReadLat(cfg)
+	if r.First < sim.FromMillis(3.5) {
+		t.Errorf("implicit-ODP first access should fault, got %v", r.First)
+	}
+	if r.Typical > 8 {
+		t.Errorf("steady-state = %.2f µs", r.Typical)
+	}
+}
+
+func TestReadLatPerPageFaults(t *testing.T) {
+	// Rotating over fresh pages makes every iteration fault (server
+	// side) — the worst case Li et al. quantify.
+	cfg := DefaultConfig()
+	cfg.Iters = 8
+	cfg.Mode = core.ServerODP
+	cfg.TouchPages = 8
+	r := ReadLat(cfg)
+	// All iterations ≈ 4.5 ms.
+	if r.Typical < 3500 {
+		t.Errorf("per-page-fault typical = %.2f µs, want ≈4500", r.Typical)
+	}
+}
+
+func TestReadBWPinned(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Size = 4096
+	cfg.Iters = 2000
+	r := ReadBW(cfg)
+	if r.MBps < 1000 {
+		t.Errorf("pipelined 4 KiB READ BW = %.1f MB/s, want ≥ 1 GB/s", r.MBps)
+	}
+	if r.MsgRate <= 0 {
+		t.Error("message rate missing")
+	}
+	// Pipelining must beat serialized latency: 2000 iters × RTT would be
+	// ≈8.4 ms; windowed should be much faster.
+	if r.Elapsed > sim.FromMillis(5) {
+		t.Errorf("windowed run took %v", r.Elapsed)
+	}
+}
+
+func TestReadBWWindowScaling(t *testing.T) {
+	run := func(window int) sim.Time {
+		cfg := DefaultConfig()
+		cfg.Size = 1024
+		cfg.Iters = 1000
+		cfg.Window = window
+		return ReadBW(cfg).Elapsed
+	}
+	w1, w16 := run(1), run(16)
+	if w16 >= w1 {
+		t.Errorf("window 16 (%v) should beat window 1 (%v)", w16, w1)
+	}
+}
+
+func TestCompareModesRenders(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Iters = 50
+	out := CompareModes(cfg)
+	for _, want := range []string{"No ODP", "Server-side ODP", "Client-side ODP", "Both-side ODP", "+prefetch", "t_first"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison missing %q:\n%s", want, out)
+		}
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 8 {
+		t.Errorf("want header + 7 rows:\n%s", out)
+	}
+}
+
+func TestResultStrings(t *testing.T) {
+	lr := LatencyResult{Size: 8, Iters: 10, Min: 1, Typical: 2, Avg: 2, Max: 3, P99: 3}
+	if !strings.Contains(lr.String(), "8") {
+		t.Error("latency row")
+	}
+	br := BandwidthResult{Size: 8, Iters: 10, MBps: 100, MsgRate: 1}
+	if !strings.Contains(br.String(), "100") {
+		t.Error("bandwidth row")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero iters should panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.Iters = 0
+	ReadLat(cfg)
+}

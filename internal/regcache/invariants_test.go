@@ -1,0 +1,96 @@
+package regcache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"odpsim/internal/cluster"
+	"odpsim/internal/hostmem"
+	"odpsim/internal/sim"
+)
+
+// TestPinDownCacheBudgetProperty: for any random access trace, the
+// pin-down cache never exceeds its pinned-byte budget while no
+// registration is in use, and cached hits never re-register.
+func TestPinDownCacheBudgetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	f := func(seed int64, accessesRaw []uint8) bool {
+		if len(accessesRaw) == 0 {
+			return true
+		}
+		cl := cluster.ReedbushH().Build(seed, 1)
+		nic := cl.Nodes[0]
+		const nBufs, size = 12, hostmem.PageSize
+		bufs := make([]hostmem.Addr, nBufs)
+		for i := range bufs {
+			bufs[i] = nic.AS.Alloc(size)
+			nic.AS.Touch(bufs[i], size)
+		}
+		budget := 4 * size
+		s := NewPinDownCache(nic, DefaultCosts(), budget).(*pinDownCache)
+
+		ok := true
+		cl.Eng.Go("w", func(p *sim.Proc) {
+			for _, a := range accessesRaw {
+				_, release := s.Acquire(p, bufs[int(a)%nBufs], size)
+				release()
+				// With everything released, the budget must hold.
+				if s.PinnedBytes() > budget {
+					ok = false
+					return
+				}
+			}
+		})
+		cl.Eng.MustRun()
+		if !ok {
+			return false
+		}
+		st := s.Stats()
+		// Conservation: every miss registered exactly once; evictions
+		// cannot exceed registrations.
+		if st.Misses != st.Registrations {
+			return false
+		}
+		if st.Evictions > st.Registrations {
+			return false
+		}
+		return st.Hits+st.Misses == uint64(len(accessesRaw))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCopyPathRoutingProperty: every access below the threshold copies,
+// every access at/above it pins — no third path.
+func TestCopyPathRoutingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64, sizesRaw []uint16) bool {
+		cl := cluster.ReedbushH().Build(seed, 1)
+		nic := cl.Nodes[0]
+		const threshold = 8 << 10
+		cp := NewCopyPath(nic, DefaultCosts(), threshold, 64<<10).(*copyPath)
+		buf := nic.AS.Alloc(64 << 10)
+		nic.AS.Touch(buf, 64<<10)
+		small, large := 0, 0
+		cl.Eng.Go("w", func(p *sim.Proc) {
+			for _, raw := range sizesRaw {
+				size := 1 + int(raw)%(32<<10)
+				_, release := cp.Acquire(p, buf, size)
+				release()
+				if size < threshold {
+					small++
+				} else {
+					large++
+				}
+			}
+		})
+		cl.Eng.MustRun()
+		st := cp.Stats()
+		return int(st.Hits) == small && int(st.Registrations) == large
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

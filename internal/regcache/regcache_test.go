@@ -1,0 +1,278 @@
+package regcache
+
+import (
+	"testing"
+
+	"odpsim/internal/cluster"
+	"odpsim/internal/hostmem"
+	"odpsim/internal/rnic"
+	"odpsim/internal/sim"
+)
+
+func newNIC(t *testing.T, seed int64) (*sim.Engine, *rnic.RNIC) {
+	t.Helper()
+	cl := cluster.ReedbushH().Build(seed, 1)
+	return cl.Eng, cl.Nodes[0]
+}
+
+func buffers(nic *rnic.RNIC, n, size int) []hostmem.Addr {
+	out := make([]hostmem.Addr, n)
+	for i := range out {
+		out[i] = nic.AS.Alloc(size)
+		nic.AS.Touch(out[i], size)
+	}
+	return out
+}
+
+func TestDirectPinRegistersEveryTime(t *testing.T) {
+	eng, nic := newNIC(t, 1)
+	bufs := buffers(nic, 1, 4096)
+	s := NewDirectPin(nic, DefaultCosts())
+	trace := []TraceOp{{bufs[0], 4096}, {bufs[0], 4096}, {bufs[0], 4096}}
+	res := RunWorkload(eng, s, trace)
+	if res.Stats.Registrations != 3 || res.Stats.Deregistrations != 3 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	if s.PinnedBytes() != 0 {
+		t.Error("everything should be unpinned at the end")
+	}
+	// 3 × (reg fixed + dereg fixed + 1 page pin) ≈ 3 × 132 µs.
+	if res.Time < 300*sim.Microsecond || res.Time > 600*sim.Microsecond {
+		t.Errorf("time = %v", res.Time)
+	}
+}
+
+func TestPinDownCacheHits(t *testing.T) {
+	eng, nic := newNIC(t, 2)
+	bufs := buffers(nic, 1, 4096)
+	s := NewPinDownCache(nic, DefaultCosts(), 1<<20)
+	trace := []TraceOp{{bufs[0], 4096}, {bufs[0], 4096}, {bufs[0], 4096}}
+	res := RunWorkload(eng, s, trace)
+	if res.Stats.Registrations != 1 {
+		t.Errorf("registrations = %d, want 1 (cached)", res.Stats.Registrations)
+	}
+	if res.Stats.Hits != 2 {
+		t.Errorf("hits = %d", res.Stats.Hits)
+	}
+	if s.PinnedBytes() != 4096 {
+		t.Errorf("pinned = %d (cache keeps the registration)", s.PinnedBytes())
+	}
+}
+
+func TestPinDownCacheLRUEviction(t *testing.T) {
+	eng, nic := newNIC(t, 3)
+	bufs := buffers(nic, 3, 4096)
+	s := NewPinDownCache(nic, DefaultCosts(), 2*4096) // room for 2
+	trace := []TraceOp{
+		{bufs[0], 4096}, {bufs[1], 4096},
+		{bufs[0], 4096}, // refresh 0: 1 becomes LRU
+		{bufs[2], 4096}, // evicts 1
+		{bufs[0], 4096}, // still cached
+		{bufs[1], 4096}, // re-register
+	}
+	res := RunWorkload(eng, s, trace)
+	if res.Stats.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2 (1 then 0-or-2)", res.Stats.Evictions)
+	}
+	if res.Stats.Registrations != 4 {
+		t.Errorf("registrations = %d, want 4", res.Stats.Registrations)
+	}
+	if res.MaxPinned > 2*4096 {
+		t.Errorf("maxPinned = %d exceeds budget", res.MaxPinned)
+	}
+}
+
+func TestPinDownCacheInUseNotEvicted(t *testing.T) {
+	eng, nic := newNIC(t, 4)
+	bufs := buffers(nic, 2, 4096)
+	s := NewPinDownCache(nic, DefaultCosts(), 4096) // room for 1
+	eng.Go("w", func(p *sim.Proc) {
+		_, rel0 := s.Acquire(p, bufs[0], 4096)
+		// Acquire a second while the first is in use: budget exceeded
+		// rather than evicting a live registration.
+		_, rel1 := s.Acquire(p, bufs[1], 4096)
+		if s.PinnedBytes() != 2*4096 {
+			panic("expected both pinned")
+		}
+		rel0()
+		rel1()
+	})
+	eng.MustRun()
+}
+
+func TestBatchedDeregFlushes(t *testing.T) {
+	eng, nic := newNIC(t, 5)
+	bufs := buffers(nic, 6, 4096)
+	s := NewBatchedDereg(nic, DefaultCosts(), 2*4096, 3)
+	var trace []TraceOp
+	for _, a := range bufs {
+		trace = append(trace, TraceOp{a, 4096})
+	}
+	res := RunWorkload(eng, s, trace)
+	if res.Stats.Evictions == 0 {
+		t.Fatal("expected evictions")
+	}
+	// Deferred entries are eventually deregistered in batches.
+	if res.Stats.Deregistrations == 0 || res.Stats.Deregistrations%3 != 0 {
+		t.Errorf("deregistrations = %d, want a multiple of the batch", res.Stats.Deregistrations)
+	}
+}
+
+func TestBatchedDeregCheaperThanEager(t *testing.T) {
+	run := func(batched bool) sim.Time {
+		eng, nic := newNIC(t, 6)
+		bufs := buffers(nic, 32, 4096)
+		var s Strategy
+		if batched {
+			s = NewBatchedDereg(nic, DefaultCosts(), 4*4096, 8)
+		} else {
+			s = NewPinDownCache(nic, DefaultCosts(), 4*4096)
+		}
+		var trace []TraceOp
+		for round := 0; round < 4; round++ {
+			for _, a := range bufs {
+				trace = append(trace, TraceOp{a, 4096})
+			}
+		}
+		return RunWorkload(eng, s, trace).Time
+	}
+	eager, batched := run(false), run(true)
+	if batched >= eager {
+		t.Errorf("batched dereg (%v) should beat eager (%v) on a thrashing trace", batched, eager)
+	}
+}
+
+func TestCopyPathCrossover(t *testing.T) {
+	// Frey & Alonso: below the threshold copying wins; above it pinning
+	// wins. Compare per-operation time around 256 KiB.
+	perOp := func(s Strategy, eng *sim.Engine, addr hostmem.Addr, size int) sim.Time {
+		res := RunWorkload(eng, s, []TraceOp{{addr, size}})
+		return res.Time
+	}
+	small := 16 << 10
+	large := 1 << 20
+
+	engA, nicA := newNIC(t, 7)
+	bufA := buffers(nicA, 1, large)
+	copySmall := perOp(NewCopyPath(nicA, DefaultCosts(), 256<<10, 1<<20), engA, bufA[0], small)
+
+	engB, nicB := newNIC(t, 8)
+	bufB := buffers(nicB, 1, large)
+	pinSmall := perOp(NewDirectPin(nicB, DefaultCosts()), engB, bufB[0], small)
+
+	if copySmall >= pinSmall {
+		t.Errorf("16 KiB: copy (%v) should beat pin (%v)", copySmall, pinSmall)
+	}
+
+	engC, nicC := newNIC(t, 9)
+	bufC := buffers(nicC, 1, large)
+	cpLarge := NewCopyPath(nicC, DefaultCosts(), 256<<10, 1<<20)
+	copyLargeRes := RunWorkload(engC, cpLarge, []TraceOp{{bufC[0], large}})
+	// At 1 MiB the copy path itself pins directly (above threshold).
+	if cpLarge.Stats().BytesCopied != 0 {
+		t.Error("1 MiB transfer must bypass the bounce buffer")
+	}
+	if copyLargeRes.Stats.Registrations != 1 {
+		t.Errorf("large transfer should direct-pin: %+v", copyLargeRes.Stats)
+	}
+
+	// And copying 1 MiB explicitly would be slower than that pin.
+	engD, nicD := newNIC(t, 10)
+	bufD := buffers(nicD, 1, large)
+	cpForced := NewCopyPath(nicD, DefaultCosts(), 2<<20, 2<<20) // threshold above 1 MiB
+	copyLarge := RunWorkload(engD, cpForced, []TraceOp{{bufD[0], large}}).Time
+	if copyLarge <= copyLargeRes.Time {
+		t.Errorf("1 MiB: pin (%v) should beat copy (%v)", copyLargeRes.Time, copyLarge)
+	}
+}
+
+func TestODPOnceNoPinning(t *testing.T) {
+	eng, nic := newNIC(t, 11)
+	bufs := buffers(nic, 4, 4096)
+	s := NewODPOnce(nic)
+	var trace []TraceOp
+	for round := 0; round < 3; round++ {
+		for _, a := range bufs {
+			trace = append(trace, TraceOp{a, 4096})
+		}
+	}
+	res := RunWorkload(eng, s, trace)
+	if res.MaxPinned != 0 {
+		t.Error("ODP must pin nothing")
+	}
+	if res.Stats.Registrations != 4 {
+		t.Errorf("registrations = %d, want one per buffer", res.Stats.Registrations)
+	}
+	if res.Time > 10*sim.Microsecond {
+		t.Errorf("ODP registration should be nearly free, took %v", res.Time)
+	}
+}
+
+func TestSyntheticTraceShape(t *testing.T) {
+	eng, nic := newNIC(t, 12)
+	trace := SyntheticTrace(eng, nic, 16, 4096, 1000, 0.25)
+	if len(trace) != 1000 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	counts := map[hostmem.Addr]int{}
+	for _, op := range trace {
+		counts[op.Addr]++
+		if op.Len != 4096 {
+			t.Fatal("wrong op size")
+		}
+	}
+	if len(counts) < 5 {
+		t.Error("trace should touch several buffers")
+	}
+	// The hot set (first 4 buffers) should absorb most accesses.
+	hot := 0
+	for addr, n := range counts {
+		if addr < trace[0].Addr+hostmem.Addr(4*4096) {
+			hot += n
+		}
+	}
+	if hot < 600 {
+		t.Errorf("hot set absorbed only %d/1000 accesses", hot)
+	}
+}
+
+func TestStrategyComparisonOnReuseTrace(t *testing.T) {
+	// The §VIII-A story: with reuse, the pin-down cache beats direct
+	// pinning by a wide margin, and ODP matches it without pinning.
+	results := map[string]WorkloadResult{}
+	for _, mk := range []func(*sim.Engine, *rnic.RNIC) Strategy{
+		func(_ *sim.Engine, n *rnic.RNIC) Strategy { return NewDirectPin(n, DefaultCosts()) },
+		func(_ *sim.Engine, n *rnic.RNIC) Strategy { return NewPinDownCache(n, DefaultCosts(), 64<<12) },
+		func(_ *sim.Engine, n *rnic.RNIC) Strategy { return NewODPOnce(n) },
+	} {
+		eng, nic := newNIC(t, 13)
+		s := mk(eng, nic)
+		trace := SyntheticTrace(eng, nic, 16, 4096, 500, 0.25)
+		results[s.Name()] = RunWorkload(eng, s, trace)
+	}
+	if results["pin-down-cache"].Time >= results["direct-pin"].Time/5 {
+		t.Errorf("cache (%v) should be ≫5× faster than direct (%v)",
+			results["pin-down-cache"].Time, results["direct-pin"].Time)
+	}
+	if results["odp"].MaxPinned != 0 {
+		t.Error("ODP footprint must be zero")
+	}
+}
+
+func TestInvalidConfigsPanic(t *testing.T) {
+	_, nic := newNIC(t, 14)
+	for name, fn := range map[string]func(){
+		"zero capacity": func() { NewPinDownCache(nic, DefaultCosts(), 0) },
+		"zero batch":    func() { NewBatchedDereg(nic, DefaultCosts(), 4096, 0) },
+		"tiny bounce":   func() { NewCopyPath(nic, DefaultCosts(), 1<<20, 1<<10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,120 @@
+package rnic
+
+import (
+	"fmt"
+
+	"odpsim/internal/sim"
+)
+
+// WCStatus is a work completion status code, mirroring ibv_wc_status.
+type WCStatus int
+
+// Completion statuses.
+const (
+	WCSuccess WCStatus = iota
+	// WCRetryExcErr is IBV_WC_RETRY_EXC_ERR: the retransmission count
+	// for a request exceeded Retry Count — the error the paper's
+	// wrong-LID experiment and failed SparkUCX runs abort with.
+	WCRetryExcErr
+	// WCRemoteAccessErr is IBV_WC_REM_ACCESS_ERR.
+	WCRemoteAccessErr
+	// WCFlushErr is IBV_WC_WR_FLUSH_ERR: the QP entered the Error state
+	// with this request still queued.
+	WCFlushErr
+	// WCRNRRetryExcErr is IBV_WC_RNR_RETRY_EXC_ERR: the RNR retry budget
+	// was exhausted.
+	WCRNRRetryExcErr
+)
+
+// String implements fmt.Stringer using the verbs constant names.
+func (s WCStatus) String() string {
+	switch s {
+	case WCSuccess:
+		return "IBV_WC_SUCCESS"
+	case WCRetryExcErr:
+		return "IBV_WC_RETRY_EXC_ERR"
+	case WCRemoteAccessErr:
+		return "IBV_WC_REM_ACCESS_ERR"
+	case WCFlushErr:
+		return "IBV_WC_WR_FLUSH_ERR"
+	case WCRNRRetryExcErr:
+		return "IBV_WC_RNR_RETRY_EXC_ERR"
+	default:
+		return fmt.Sprintf("WCStatus(%d)", int(s))
+	}
+}
+
+// CQE is a completion queue entry.
+type CQE struct {
+	WRID    uint64
+	QPN     uint32
+	Status  WCStatus
+	Op      SendOp
+	ByteLen int
+	// Recv marks completions of receive work requests.
+	Recv bool
+	// SrcQPN and SrcLID identify the sender (receive completions on UD,
+	// where they come from the datagram's GRH/DETH).
+	SrcQPN uint32
+	SrcLID uint16
+	// AppSeq carries the application header of a UD datagram.
+	AppSeq uint64
+	// AppWords carries a UD datagram's small inline payload.
+	AppWords []uint64
+	// AtomicOrig is the original value returned by an atomic operation.
+	AtomicOrig uint64
+	At         sim.Time
+}
+
+// CQ is a completion queue. Processes can block on it via Cond.
+type CQ struct {
+	eng     *sim.Engine
+	entries []CQE
+	cond    *sim.Cond
+	// Completed counts all CQEs ever pushed (polled or not).
+	Completed uint64
+}
+
+// NewCQ creates a completion queue on engine eng.
+func NewCQ(eng *sim.Engine) *CQ {
+	return &CQ{eng: eng, cond: sim.NewCond(eng)}
+}
+
+// Cond returns the condition broadcast on every new completion; use it
+// with Proc.Wait to implement blocking polls.
+func (cq *CQ) Cond() *sim.Cond { return cq.cond }
+
+// Len returns the number of unpolled completions.
+func (cq *CQ) Len() int { return len(cq.entries) }
+
+// push appends a completion and wakes waiters.
+func (cq *CQ) push(e CQE) {
+	e.At = cq.eng.Now()
+	cq.entries = append(cq.entries, e)
+	cq.Completed++
+	cq.cond.Broadcast()
+}
+
+// Poll removes and returns up to max completions (all if max <= 0).
+func (cq *CQ) Poll(max int) []CQE {
+	n := len(cq.entries)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]CQE, n)
+	copy(out, cq.entries[:n])
+	cq.entries = cq.entries[n:]
+	return out
+}
+
+// WaitN blocks the process until n completions have been polled in total
+// by this call, returning them. It is the "wait()" of the paper's
+// Figure 3 micro-benchmark: poll the CQ until all communications finish.
+func (cq *CQ) WaitN(p *sim.Proc, n int) []CQE {
+	var got []CQE
+	for len(got) < n {
+		p.Wait(cq.cond, func() bool { return len(cq.entries) > 0 })
+		got = append(got, cq.Poll(n-len(got))...)
+	}
+	return got
+}

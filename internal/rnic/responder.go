@@ -1,0 +1,201 @@
+package rnic
+
+import (
+	"odpsim/internal/hostmem"
+	"odpsim/internal/packet"
+)
+
+// responderReceive handles inbound requests: PSN sequencing, translation
+// (with server-side ODP faults answered by RNR NAK), execution and
+// acknowledgement.
+func (qp *QP) responderReceive(pkt *packet.Packet) {
+	if qp.state != QPReady {
+		return
+	}
+	r := qp.rnic
+	if pkt.DammingDoomed {
+		// The ConnectX-4 quirk: the packet reached the wire but the
+		// RNIC discards it without processing or NAK — the expected
+		// PSN stays where it was, damming everything behind it.
+		r.DammedDrops++
+		return
+	}
+	d := packet.PSNDiff(pkt.PSN, qp.ePSN)
+	if d > 0 {
+		// A gap: an earlier request was lost. NAK with the PSN we
+		// expected so the requester retransmits from there (Figure 8).
+		r.NakSeqSent++
+		qp.sendAck(packet.SynNAKSeqErr, qp.ePSN)
+		return
+	}
+	dup := d < 0
+
+	switch pkt.Opcode {
+	case packet.OpReadRequest:
+		qp.respondRead(pkt, dup)
+	case packet.OpWriteOnly:
+		qp.respondWrite(pkt, dup)
+	case packet.OpSendOnly:
+		qp.respondSend(pkt, dup)
+	case packet.OpFetchAdd, packet.OpCmpSwap:
+		qp.respondAtomic(pkt, dup)
+	}
+}
+
+// translateRemote checks responder-side access to the range; on an ODP
+// miss it registers the fault (or spurious re-access) and reports false.
+func (qp *QP) translateRemote(addr hostmem.Addr, length int) bool {
+	r := qp.rnic
+	reg, ok := r.lookupMR(addr, length)
+	if !ok {
+		return false // protection error, handled by caller
+	}
+	if !reg {
+		return true // pinned region: always translatable
+	}
+	if r.ODP.Access(qp.Num, addr, length) {
+		return true
+	}
+	// Re-arrivals while the fault is pending are free on the responder:
+	// the server is stateless — it just NAKs again and "the requests
+	// that cannot be processed can be completely ignored" (§VI-C). Only
+	// the client-side discard path loads the ODP pipeline.
+	r.ODP.Fault(qp.Num, addr, length)
+	return false
+}
+
+func (qp *QP) respondRead(pkt *packet.Packet, dup bool) {
+	r := qp.rnic
+	addr := hostmem.Addr(pkt.RemoteAddr)
+	length := int(pkt.DMALen)
+	if _, ok := r.lookupMR(addr, length); !ok {
+		qp.sendAck(packet.SynNAKRemoteAccessErr, pkt.PSN)
+		return
+	}
+	if !qp.translateRemote(addr, length) {
+		// Server-side ODP: suspend the requester; the reliability of
+		// RC leaves the request on the requester side, so nothing
+		// needs to be stored here (§III-B).
+		r.RNRNakSent++
+		qp.sendRNRNak(pkt.PSN)
+		return
+	}
+	npsn := (length + r.prof.MTU - 1) / r.prof.MTU
+	if npsn < 1 {
+		npsn = 1
+	}
+	if !dup {
+		qp.ePSN = packet.PSNAdd(pkt.PSN, npsn)
+	}
+	r.ReadsExecuted++
+	qp.sendReadResponse(pkt.PSN, length, npsn)
+}
+
+func (qp *QP) respondWrite(pkt *packet.Packet, dup bool) {
+	r := qp.rnic
+	addr := hostmem.Addr(pkt.RemoteAddr)
+	length := int(pkt.DMALen)
+	if _, ok := r.lookupMR(addr, length); !ok {
+		qp.sendAck(packet.SynNAKRemoteAccessErr, pkt.PSN)
+		return
+	}
+	if !qp.translateRemote(addr, length) {
+		r.RNRNakSent++
+		qp.sendRNRNak(pkt.PSN)
+		return
+	}
+	if !dup {
+		qp.ePSN = packet.PSNAdd(pkt.PSN, 1)
+	}
+	if pkt.AckReq {
+		qp.sendAck(packet.SynACK, pkt.PSN)
+	}
+}
+
+func (qp *QP) respondSend(pkt *packet.Packet, dup bool) {
+	r := qp.rnic
+	if dup {
+		// Already consumed a receive buffer for it; just re-ACK.
+		qp.sendAck(packet.SynACK, pkt.PSN)
+		return
+	}
+	if len(qp.rq) == 0 {
+		// The genuine Receiver-Not-Ready condition.
+		r.RNRNakSent++
+		qp.sendRNRNak(pkt.PSN)
+		return
+	}
+	rwr := qp.rq[0]
+	if !qp.translateRemote(rwr.Addr, pkt.PayloadLen) {
+		r.RNRNakSent++
+		qp.sendRNRNak(pkt.PSN)
+		return
+	}
+	qp.rq = qp.rq[1:]
+	qp.ePSN = packet.PSNAdd(pkt.PSN, 1)
+	qp.recvCQ.push(CQE{WRID: rwr.ID, QPN: qp.Num, Status: WCSuccess, Op: OpSend, ByteLen: pkt.PayloadLen, Recv: true})
+	qp.sendAck(packet.SynACK, pkt.PSN)
+}
+
+// sendAck emits an Acknowledge with the given syndrome for psn.
+func (qp *QP) sendAck(syn packet.Syndrome, psn uint32) {
+	qp.rnic.Port.Send(&packet.Packet{
+		DLID:     qp.dlid,
+		DestQP:   qp.dqpn,
+		SrcQP:    qp.Num,
+		Opcode:   packet.OpAcknowledge,
+		Syndrome: syn,
+		PSN:      psn,
+		AckPSN:   psn,
+	})
+}
+
+// sendRNRNak emits an RNR NAK advertising this QP's minimal RNR NAK delay.
+func (qp *QP) sendRNRNak(psn uint32) {
+	qp.rnic.Port.Send(&packet.Packet{
+		DLID:       qp.dlid,
+		DestQP:     qp.dqpn,
+		SrcQP:      qp.Num,
+		Opcode:     packet.OpAcknowledge,
+		Syndrome:   packet.SynRNRNAK,
+		PSN:        psn,
+		AckPSN:     psn,
+		RNRTimerNs: int64(qp.params.MinRNRDelay),
+	})
+}
+
+// sendReadResponse streams the READ payload back as one or more response
+// packets with consecutive PSNs.
+func (qp *QP) sendReadResponse(firstPSN uint32, length, npsn int) {
+	mtu := qp.rnic.prof.MTU
+	for i := 0; i < npsn; i++ {
+		chunk := length - i*mtu
+		if chunk > mtu {
+			chunk = mtu
+		}
+		if chunk < 0 {
+			chunk = 0
+		}
+		var op packet.Opcode
+		switch {
+		case npsn == 1:
+			op = packet.OpReadRespOnly
+		case i == 0:
+			op = packet.OpReadRespFirst
+		case i == npsn-1:
+			op = packet.OpReadRespLast
+		default:
+			op = packet.OpReadRespMiddle
+		}
+		qp.rnic.Port.Send(&packet.Packet{
+			DLID:       qp.dlid,
+			DestQP:     qp.dqpn,
+			SrcQP:      qp.Num,
+			Opcode:     op,
+			PSN:        packet.PSNAdd(firstPSN, i),
+			AckPSN:     packet.PSNAdd(firstPSN, i),
+			Syndrome:   packet.SynACK,
+			PayloadLen: chunk,
+		})
+	}
+}

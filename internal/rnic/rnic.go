@@ -1,0 +1,190 @@
+package rnic
+
+import (
+	"fmt"
+
+	"odpsim/internal/fabric"
+	"odpsim/internal/hostmem"
+	"odpsim/internal/odp"
+	"odpsim/internal/packet"
+	"odpsim/internal/sim"
+)
+
+// MR is a registered memory region.
+type MR struct {
+	Key  uint32
+	Addr hostmem.Addr
+	Len  int
+	// ODP marks an on-demand-paging registration: no pinning, network
+	// page faults on access.
+	ODP bool
+}
+
+// Contains reports whether the byte range lies inside the region.
+func (m *MR) Contains(addr hostmem.Addr, length int) bool {
+	return addr >= m.Addr && addr+hostmem.Addr(length) <= m.Addr+hostmem.Addr(m.Len)
+}
+
+// RNIC is one adapter: an address space, an ODP engine, a fabric port and
+// a set of queue pairs.
+type RNIC struct {
+	Name string
+	eng  *sim.Engine
+	AS   *hostmem.AddressSpace
+	ODP  *odp.Engine
+	Port *fabric.Port
+	prof Profile
+
+	qps         map[uint32]*QP
+	udqps       map[uint32]*UDQP
+	mrs         []*MR
+	nextQPN     uint32
+	nextKey     uint32
+	implicitODP bool
+	// busyQPs counts QPs with outstanding requests (the load signal for
+	// the §VI-C timeout-lengthening effect).
+	busyQPs int
+
+	// Counters.
+	DammedDrops   uint64 // requests discarded by the damming quirk
+	RNRNakSent    uint64
+	NakSeqSent    uint64
+	ReadsExecuted uint64
+}
+
+// New creates an RNIC attached to fab at the given LID, with its own
+// address space.
+func New(fab *fabric.Fabric, lid uint16, name string, prof Profile, memCfg hostmem.Config) *RNIC {
+	eng := fab.Engine()
+	as := hostmem.NewAddressSpace(eng, memCfg)
+	r := &RNIC{
+		Name:    name,
+		eng:     eng,
+		AS:      as,
+		ODP:     odp.New(as, prof.ODP),
+		prof:    prof,
+		qps:     make(map[uint32]*QP),
+		udqps:   make(map[uint32]*UDQP),
+		nextQPN: 1,
+		nextKey: 1,
+	}
+	r.Port = fab.AttachPort(lid, name, r.receive)
+	return r
+}
+
+// Engine returns the simulation engine.
+func (r *RNIC) Engine() *sim.Engine { return r.eng }
+
+// Profile returns the device profile.
+func (r *RNIC) Profile() Profile { return r.prof }
+
+// LID returns the port LID.
+func (r *RNIC) LID() uint16 { return r.Port.LID }
+
+// EnableImplicitODP turns on Implicit ODP: the whole address space is
+// accessible through on-demand paging without explicit registration.
+func (r *RNIC) EnableImplicitODP() { r.implicitODP = true }
+
+// RegisterMR registers a conventional (pinned) memory region, paying the
+// per-page pinning cost in bookkeeping (the time cost is returned so a
+// caller process can charge it).
+func (r *RNIC) RegisterMR(addr hostmem.Addr, length int) (*MR, sim.Time) {
+	cost := r.AS.Pin(addr, length)
+	mr := &MR{Key: r.nextKey, Addr: addr, Len: length}
+	r.nextKey++
+	r.mrs = append(r.mrs, mr)
+	return mr, cost
+}
+
+// RegisterODPMR registers an Explicit-ODP memory region: no pinning, and
+// RDMA access triggers network page faults.
+func (r *RNIC) RegisterODPMR(addr hostmem.Addr, length int) *MR {
+	mr := &MR{Key: r.nextKey, Addr: addr, Len: length, ODP: true}
+	r.nextKey++
+	r.mrs = append(r.mrs, mr)
+	return mr
+}
+
+// AdviseMR prefetches ODP translations for the range into qp's context,
+// modelling ibv_advise_mr(IBV_ADVISE_MR_ADVICE_PREFETCH): the faults run
+// through the same serial pipeline, but before traffic needs them. Li et
+// al. found receiver-side prefetching effective; it is also a packet-flood
+// avoidance measure, since prefetched pairs never go stale mid-transfer.
+func (r *RNIC) AdviseMR(qpn uint32, addr hostmem.Addr, length int) {
+	r.ODP.Fault(qpn, addr, length)
+}
+
+// DeregisterMR removes a region, unpinning conventional registrations.
+func (r *RNIC) DeregisterMR(mr *MR) {
+	for i, m := range r.mrs {
+		if m == mr {
+			r.mrs = append(r.mrs[:i], r.mrs[i+1:]...)
+			if !mr.ODP {
+				r.AS.Unpin(mr.Addr, mr.Len)
+			}
+			return
+		}
+	}
+	panic("rnic: DeregisterMR of unknown MR")
+}
+
+// lookupMR finds a registration covering the range. ok is false when the
+// range is not registered and implicit ODP is off; isODP reports whether
+// the covering registration uses on-demand paging.
+func (r *RNIC) lookupMR(addr hostmem.Addr, length int) (isODP, ok bool) {
+	for _, m := range r.mrs {
+		if m.Contains(addr, length) {
+			return m.ODP, true
+		}
+	}
+	if r.implicitODP {
+		return true, true
+	}
+	return false, false
+}
+
+// CreateQP creates a queue pair bound to the completion queues.
+func (r *RNIC) CreateQP(sendCQ, recvCQ *CQ) *QP {
+	qp := &QP{
+		rnic:   r,
+		Num:    r.nextQPN,
+		sendCQ: sendCQ,
+		recvCQ: recvCQ,
+	}
+	r.nextQPN++
+	r.qps[qp.Num] = qp
+	return qp
+}
+
+// receive dispatches an arriving packet to the destination QP, on the
+// requester or responder path depending on the opcode.
+func (r *RNIC) receive(pkt *packet.Packet) {
+	if pkt.Opcode == packet.OpUDSend {
+		if udqp, ok := r.udqps[pkt.DestQP]; ok {
+			udqp.receive(pkt)
+		}
+		return
+	}
+	qp, ok := r.qps[pkt.DestQP]
+	if !ok {
+		return // no such QP: silently dropped, like real hardware
+	}
+	if pkt.Opcode.IsRequest() {
+		qp.responderReceive(pkt)
+	} else {
+		qp.requesterReceive(pkt)
+	}
+}
+
+// ConnectPair wires two QPs into one Reliable Connection with symmetric
+// parameters, the way the benchmark's init phase exchanges QP numbers and
+// LIDs out of band.
+func ConnectPair(a, b *QP, pa, pb ConnParams) {
+	a.Connect(b.rnic.LID(), b.Num, pa)
+	b.Connect(a.rnic.LID(), a.Num, pb)
+}
+
+// String implements fmt.Stringer.
+func (r *RNIC) String() string {
+	return fmt.Sprintf("%s(%s, LID %d)", r.Name, r.prof.Name, r.Port.LID)
+}

@@ -1,0 +1,95 @@
+package rnic
+
+import (
+	"odpsim/internal/hostmem"
+	"odpsim/internal/packet"
+)
+
+// UDSendWR is a datagram send: the destination travels with the work
+// request (address handle), not the QP.
+type UDSendWR struct {
+	ID      uint64
+	DestLID uint16
+	DestQPN uint32
+	Local   hostmem.Addr
+	Len     int
+	// AppSeq models an application header carried in the payload (the
+	// RPC sequence number software reliability schemes match on).
+	AppSeq uint64
+	// AppWords is a small inline application payload.
+	AppWords []uint64
+}
+
+// UDQP is an Unreliable Datagram queue pair: connectionless, no
+// acknowledgements, no retransmission — the transport §VIII-C's
+// software-reliability systems build on. Loss recovery, if any, is the
+// application's job.
+type UDQP struct {
+	rnic   *RNIC
+	Num    uint32
+	sendCQ *CQ
+	recvCQ *CQ
+	rq     []RecvWR
+
+	// Counters.
+	Sent          uint64
+	Delivered     uint64
+	DroppedNoRecv uint64 // arrived with an empty receive queue
+	DroppedFault  uint64 // arrived into a stale ODP page
+}
+
+// CreateUDQP creates a datagram QP. It shares the QPN space with RC QPs.
+func (r *RNIC) CreateUDQP(sendCQ, recvCQ *CQ) *UDQP {
+	qp := &UDQP{rnic: r, Num: r.nextQPN, sendCQ: sendCQ, recvCQ: recvCQ}
+	r.nextQPN++
+	r.udqps[qp.Num] = qp
+	return qp
+}
+
+// PostRecv posts a receive buffer.
+func (qp *UDQP) PostRecv(wr RecvWR) { qp.rq = append(qp.rq, wr) }
+
+// RecvDepth returns the number of posted receive buffers.
+func (qp *UDQP) RecvDepth() int { return len(qp.rq) }
+
+// PostSend transmits one datagram. UD sends complete as soon as the
+// packet leaves the port; there is no acknowledgement.
+func (qp *UDQP) PostSend(wr UDSendWR) {
+	qp.Sent++
+	qp.rnic.Port.Send(&packet.Packet{
+		DLID:       wr.DestLID,
+		DestQP:     wr.DestQPN,
+		SrcQP:      qp.Num,
+		Opcode:     packet.OpUDSend,
+		PayloadLen: wr.Len,
+		AppSeq:     wr.AppSeq,
+		AppWords:   wr.AppWords,
+	})
+	qp.sendCQ.push(CQE{WRID: wr.ID, QPN: qp.Num, Status: WCSuccess, Op: OpSend, ByteLen: wr.Len})
+}
+
+// receive handles an arriving datagram. Unlike RC there is no RNR NAK: a
+// datagram that cannot be placed — no receive buffer, or a stale ODP page
+// — is silently dropped, and nobody retransmits it.
+func (qp *UDQP) receive(pkt *packet.Packet) {
+	if len(qp.rq) == 0 {
+		qp.DroppedNoRecv++
+		return
+	}
+	rwr := qp.rq[0]
+	r := qp.rnic
+	if isODP, ok := r.lookupMR(rwr.Addr, pkt.PayloadLen); ok && isODP &&
+		!r.ODP.Access(qp.Num, rwr.Addr, pkt.PayloadLen) {
+		// Start the fault for next time, but this datagram is gone.
+		r.ODP.Fault(qp.Num, rwr.Addr, pkt.PayloadLen)
+		qp.DroppedFault++
+		return
+	}
+	qp.rq = qp.rq[1:]
+	qp.Delivered++
+	qp.recvCQ.push(CQE{
+		WRID: rwr.ID, QPN: qp.Num, Status: WCSuccess, Op: OpSend,
+		ByteLen: pkt.PayloadLen, Recv: true, SrcQPN: pkt.SrcQP, SrcLID: pkt.SLID,
+		AppSeq: pkt.AppSeq, AppWords: pkt.AppWords,
+	})
+}

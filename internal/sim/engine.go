@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// event is a scheduled callback. Events at the same instant fire in the
+// order they were scheduled (seq breaks ties), which keeps runs
+// deterministic.
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // position in the heap, -1 when popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event; it allows cancellation.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's callback from firing. Cancelling an
+// already-fired or already-cancelled timer is a no-op. Cancel reports
+// whether the callback was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled {
+		return false
+	}
+	t.ev.cancelled = true
+	return t.ev.index >= 0 && t.ev.fn != nil
+}
+
+// Pending reports whether the timer's callback has neither fired nor been
+// cancelled.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.cancelled && t.ev.index >= 0
+}
+
+// Engine is the simulation core. It is not safe for concurrent use; the
+// process layer (see proc.go) serializes all goroutines onto the engine's
+// event loop.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	fired   uint64
+	stopped bool
+	procs   int // live (not finished, not aborted) processes
+	blocked int // processes currently parked on a Cond or sleep
+}
+
+// New creates an engine whose random stream is seeded with seed. The same
+// seed always produces the same simulation.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsFired returns how many events have executed so far.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// Rand exposes the engine's deterministic random stream.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current time. Negative delays are
+// clamped to zero.
+func (e *Engine) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single next event, advancing the clock. It reports
+// whether an event was executed.
+func (e *Engine) Step() bool {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped {
+		if e.events.Len() == 0 {
+			break
+		}
+		if e.events[0].at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// QueueLen returns the number of scheduled (possibly cancelled) events.
+func (e *Engine) QueueLen() int { return e.events.Len() }

@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{12300 * Nanosecond, "12.30µs"},
+		{4500 * Microsecond, "4.50ms"},
+		{1200 * Millisecond, "1.200s"},
+		{-3 * Millisecond, "-3.00ms"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if FromMicros(4.096) != 4096*Nanosecond {
+		t.Errorf("FromMicros(4.096) = %v", FromMicros(4.096))
+	}
+	if FromMillis(0.5) != 500*Microsecond {
+		t.Errorf("FromMillis(0.5) = %v", FromMillis(0.5))
+	}
+	if got := (2500 * Microsecond).Millis(); got != 2.5 {
+		t.Errorf("Millis = %v", got)
+	}
+	if got := (2500 * Microsecond).Seconds(); got != 0.0025 {
+		t.Errorf("Seconds = %v", got)
+	}
+	if got := (3 * Microsecond).Micros(); got != 3 {
+		t.Errorf("Micros = %v", got)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := New(1)
+	var order []int
+	e.After(10, func() { order = append(order, 2) })
+	e.After(5, func() { order = append(order, 1) })
+	e.After(10, func() { order = append(order, 3) }) // same instant: FIFO
+	e.After(20, func() { order = append(order, 4) })
+	e.Run()
+	want := []int{1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now = %v, want 20", e.Now())
+	}
+	if e.EventsFired() != 4 {
+		t.Errorf("EventsFired = %d", e.EventsFired())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New(1)
+	e.After(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	tm := e.After(10, func() { fired = true })
+	if !tm.Pending() {
+		t.Error("timer should be pending")
+	}
+	if !tm.Cancel() {
+		t.Error("Cancel should report true on a pending timer")
+	}
+	if tm.Cancel() {
+		t.Error("second Cancel should report false")
+	}
+	e.Run()
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+	if tm.Pending() {
+		t.Error("cancelled timer still pending")
+	}
+}
+
+func TestTimerCancelAfterFire(t *testing.T) {
+	e := New(1)
+	tm := e.After(1, func() {})
+	e.Run()
+	if tm.Cancel() {
+		t.Error("Cancel after fire should report false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	var fired []Time
+	for _, d := range []Time{5, 10, 15, 20} {
+		d := d
+		e.After(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want 2 events", fired)
+	}
+	if e.Now() != 12 {
+		t.Errorf("Now = %v, want 12", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Errorf("fired = %v, want 4 events", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New(1)
+	n := 0
+	e.After(1, func() { n++; e.Stop() })
+	e.After(2, func() { n++ })
+	e.Run()
+	if n != 1 {
+		t.Errorf("n = %d, want 1 (Stop should halt Run)", n)
+	}
+	e.Run() // resumes
+	if n != 2 {
+		t.Errorf("n = %d, want 2 after resuming", n)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New(1)
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			e.After(1, rec)
+		}
+	}
+	e.After(0, rec)
+	e.Run()
+	if depth != 100 {
+		t.Errorf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 99 {
+		t.Errorf("Now = %v, want 99", e.Now())
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and ties fire in scheduling order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := New(7)
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var got []rec
+		for i, d := range delays {
+			i, at := i, Time(d%1000)
+			e.After(at, func() { got = append(got, rec{at, i}) })
+		}
+		e.Run()
+		if len(got) != len(delays) {
+			return false
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool {
+			if got[i].at != got[j].at {
+				return got[i].at < got[j].at
+			}
+			return got[i].seq < got[j].seq
+		}) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(42))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		e := New(123)
+		var samples []int64
+		var loop func()
+		n := 0
+		loop = func() {
+			samples = append(samples, int64(e.Uniform(0, 1000)), int64(e.Now()))
+			n++
+			if n < 50 {
+				e.After(e.Uniform(1, 100), loop)
+			}
+		}
+		e.After(0, loop)
+		e.Run()
+		return samples
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	e := New(5)
+	for i := 0; i < 1000; i++ {
+		v := e.Uniform(10, 20)
+		if v < 10 || v > 20 {
+			t.Fatalf("Uniform out of bounds: %v", v)
+		}
+	}
+	if e.Uniform(30, 30) != 30 {
+		t.Error("degenerate Uniform should return lo")
+	}
+	if e.Uniform(30, 10) != 30 {
+		t.Error("inverted Uniform should return lo")
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	e := New(5)
+	base := 100 * Microsecond
+	for i := 0; i < 1000; i++ {
+		v := e.Jitter(base, 0.1)
+		if v < 90*Microsecond || v > 110*Microsecond {
+			t.Fatalf("Jitter out of bounds: %v", v)
+		}
+	}
+	if e.Jitter(base, 0) != base {
+		t.Error("zero-frac Jitter should return base")
+	}
+}
+
+func TestNormalTruncation(t *testing.T) {
+	e := New(5)
+	for i := 0; i < 1000; i++ {
+		if v := e.Normal(10, 1000); v < 0 {
+			t.Fatalf("Normal returned negative %v", v)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	e := New(5)
+	if e.Bernoulli(0) {
+		t.Error("Bernoulli(0) = true")
+	}
+	if !e.Bernoulli(1) {
+		t.Error("Bernoulli(1) = false")
+	}
+	n := 0
+	for i := 0; i < 10000; i++ {
+		if e.Bernoulli(0.3) {
+			n++
+		}
+	}
+	if n < 2700 || n > 3300 {
+		t.Errorf("Bernoulli(0.3) hit %d/10000 times", n)
+	}
+}

@@ -1,0 +1,181 @@
+package sim
+
+import "fmt"
+
+// procAbort is the panic value used to unwind a process goroutine when the
+// simulation shuts down while the process is parked.
+type procAbort struct{}
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with the event loop so that at most one thing (the loop or exactly one
+// process) runs at a time. This gives blocking-style code — sleeps, waits
+// — with fully deterministic scheduling.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{} // event loop -> proc: you may run
+	parked chan struct{} // proc -> event loop: I am parked or done
+	done   bool
+	abort  bool
+}
+
+// Name returns the name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Go starts fn as a simulated process named name. The process begins
+// running at the current virtual time (scheduled as an event). fn runs in
+// its own goroutine but only while the event loop is handing it control,
+// so no synchronization with other simulation state is needed.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	e.procs++
+	go func() {
+		<-p.resume // wait for the start event
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procAbort); ok {
+					// Simulation shut down; exit quietly.
+					p.done = true
+					p.parked <- struct{}{}
+					return
+				}
+				panic(r)
+			}
+		}()
+		fn(p)
+		p.done = true
+		e.procs--
+		p.parked <- struct{}{}
+	}()
+	e.After(0, func() { p.run() })
+	return p
+}
+
+// run hands control to the process goroutine and blocks the event loop
+// until the process parks (sleeps/waits) or finishes.
+func (p *Proc) run() {
+	if p.done || p.abort {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.parked
+}
+
+// park returns control to the event loop and blocks until the loop
+// resumes this process.
+func (p *Proc) park() {
+	p.parked <- struct{}{}
+	<-p.resume
+	if p.abort {
+		panic(procAbort{})
+	}
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.blocked++
+	p.eng.After(d, func() {
+		p.eng.blocked--
+		p.run()
+	})
+	p.park()
+}
+
+// Yield lets every other event scheduled for the current instant run
+// before the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Cond is a broadcast condition for processes. The zero value is not
+// usable; create with NewCond.
+type Cond struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewCond creates a condition bound to engine e.
+func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
+
+// Broadcast wakes every process currently waiting on the condition. The
+// woken processes run (and re-check their predicates) as events at the
+// current instant, in the order they began waiting.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		p := p
+		c.eng.blocked--
+		c.eng.After(0, func() { p.run() })
+	}
+}
+
+// Wait parks the process until pred() is true, re-checking after every
+// Broadcast. pred is evaluated with the event loop paused, so it may read
+// any simulation state.
+func (p *Proc) Wait(c *Cond, pred func() bool) {
+	for !pred() {
+		c.waiters = append(c.waiters, p)
+		p.eng.blocked++
+		p.park()
+	}
+}
+
+// WaitTimeout is like Wait but gives up after d, reporting whether the
+// predicate became true.
+func (p *Proc) WaitTimeout(c *Cond, d Time, pred func() bool) bool {
+	deadline := p.eng.Now() + d
+	for !pred() {
+		if p.eng.Now() >= deadline {
+			return false
+		}
+		woke := false
+		c.waiters = append(c.waiters, p)
+		p.eng.blocked++
+		var t *Timer
+		t = p.eng.At(deadline, func() {
+			// Remove ourselves from the waiter list and wake up.
+			for i, w := range c.waiters {
+				if w == p {
+					c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+					break
+				}
+			}
+			p.eng.blocked--
+			woke = true
+			p.run()
+		})
+		p.park()
+		if !woke {
+			t.Cancel()
+		}
+	}
+	return true
+}
+
+// Deadlocked reports whether live processes exist but everything is
+// parked with no scheduled events — i.e. the simulation cannot progress.
+func (e *Engine) Deadlocked() bool {
+	return e.procs > 0 && e.QueueLen() == 0
+}
+
+// MustRun runs the simulation and panics if it ends with live processes
+// still parked (a deadlock in the modelled system).
+func (e *Engine) MustRun() {
+	e.Run()
+	if e.procs > 0 {
+		panic(fmt.Sprintf("sim: deadlock, %d process(es) parked forever at %v", e.procs, e.now))
+	}
+}

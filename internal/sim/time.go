@@ -1,0 +1,60 @@
+// Package sim implements a deterministic discrete-event simulation kernel:
+// a virtual clock, an event queue with stable ordering, seeded randomness,
+// and a goroutine-based process layer so workloads can be written in a
+// blocking style (post, sleep, wait) while the whole simulation stays
+// single-threaded and reproducible.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+// It doubles as a duration; arithmetic on Time values is plain int64
+// arithmetic.
+type Time int64
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns t expressed in seconds as a float64.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis returns t expressed in milliseconds as a float64.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Micros returns t expressed in microseconds as a float64.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String renders the time with a unit chosen for readability, e.g.
+// "12.3µs", "4.50ms", "1.20s".
+func (t Time) String() string {
+	neg := ""
+	v := t
+	if v < 0 {
+		neg = "-"
+		v = -v
+	}
+	switch {
+	case v < Microsecond:
+		return fmt.Sprintf("%s%dns", neg, int64(v))
+	case v < Millisecond:
+		return fmt.Sprintf("%s%.2fµs", neg, float64(v)/float64(Microsecond))
+	case v < Second:
+		return fmt.Sprintf("%s%.2fms", neg, float64(v)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%s%.3fs", neg, float64(v)/float64(Second))
+	}
+}
+
+// FromSeconds converts a float64 number of seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromMicros converts a float64 number of microseconds to a Time.
+func FromMicros(us float64) Time { return Time(us * float64(Microsecond)) }
+
+// FromMillis converts a float64 number of milliseconds to a Time.
+func FromMillis(ms float64) Time { return Time(ms * float64(Millisecond)) }

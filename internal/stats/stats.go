@@ -1,0 +1,197 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: summaries (mean, standard deviation, percentiles),
+// fixed-width histograms for the Figure-12 style execution-time
+// distributions, and labelled series for sweep outputs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Max      float64
+	P50, P90, P99 float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(sq / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = Percentile(sorted, 0.50)
+	s.P90 = Percentile(sorted, 0.90)
+	s.P99 = Percentile(sorted, 0.99)
+	return s
+}
+
+// Percentile returns the p-quantile (0..1) of an already sorted sample
+// using nearest-rank interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ±%.3g min=%.4g p50=%.4g p90=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Min, s.P50, s.P90, s.Max)
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi); values outside
+// the range land in the edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Bars renders the histogram as text, one bin per line.
+func (h *Histogram) Bars(unit string) string {
+	var b strings.Builder
+	maxc := 1
+	for _, c := range h.Counts {
+		if c > maxc {
+			maxc = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := strings.Repeat("█", c*50/maxc)
+		fmt.Fprintf(&b, "%8.3g %-3s |%-50s %d\n", h.BinCenter(i), unit, bar, c)
+	}
+	return b.String()
+}
+
+// Modes returns the indices of local maxima with counts >= minCount —
+// used to verify the bimodal shape of the Figure-12 distributions.
+func (h *Histogram) Modes(minCount int) []int {
+	var modes []int
+	for i, c := range h.Counts {
+		if c < minCount {
+			continue
+		}
+		leftOK := i == 0 || h.Counts[i-1] < c
+		rightOK := i == len(h.Counts)-1 || h.Counts[i+1] <= c
+		// Skip plateaus already counted.
+		if i > 0 && h.Counts[i-1] == c {
+			leftOK = false
+		}
+		if leftOK && rightOK {
+			modes = append(modes, i)
+		}
+	}
+	return modes
+}
+
+// Series is a labelled sequence of (x, y) points, the unit of exchange
+// between sweep drivers and renderers.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Table renders aligned columns for one or more series sharing the same X
+// values (taken from the first series).
+func Table(xName string, series ...*Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", xName)
+	for _, s := range series {
+		fmt.Fprintf(&b, " %16s", s.Label)
+	}
+	b.WriteByte('\n')
+	if len(series) == 0 {
+		return b.String()
+	}
+	for i := range series[0].X {
+		fmt.Fprintf(&b, "%-12.6g", series[0].X[i])
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, " %16.6g", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, " %16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	want := math.Sqrt(2.5)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Errorf("Std = %v, want %v", s.Std, want)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.P99 != 7 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if Percentile(xs, 0) != 10 || Percentile(xs, 1) != 40 {
+		t.Error("extremes wrong")
+	}
+	if got := Percentile(xs, 0.5); got != 25 {
+		t.Errorf("P50 = %v, want 25 (interpolated)", got)
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+// Property: Min <= P50 <= Max and Mean within [Min, Max].
+func TestSummaryBoundsProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50 && s.P50 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(21))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0.5, 1, 3, 3, 9, -2, 15} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	// -2 clamps to bin 0, 15 clamps to bin 4.
+	if h.Counts[0] != 3 { // 0.5, 1, -2
+		t.Errorf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 2 { // 3, 3
+		t.Errorf("bin1 = %d", h.Counts[1])
+	}
+	if h.Counts[4] != 2 { // 9, 15
+		t.Errorf("bin4 = %d", h.Counts[4])
+	}
+	if h.BinCenter(0) != 1 {
+		t.Errorf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+}
+
+func TestHistogramModes(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	// Two clusters: around 2 and around 7.
+	for i := 0; i < 30; i++ {
+		h.Add(2.1)
+	}
+	for i := 0; i < 20; i++ {
+		h.Add(7.3)
+	}
+	modes := h.Modes(5)
+	if len(modes) != 2 {
+		t.Fatalf("modes = %v, want 2", modes)
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid histogram should panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestSeriesTable(t *testing.T) {
+	a := &Series{Label: "a"}
+	b := &Series{Label: "b"}
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b.Add(1, 100)
+	out := Table("x", a, b)
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Errorf("missing headers:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "-") {
+		t.Errorf("short series should render '-':\n%s", out)
+	}
+}
+
+func TestHistogramBars(t *testing.T) {
+	h := NewHistogram(0, 4, 2)
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	out := h.Bars("s")
+	if !strings.Contains(out, "█") {
+		t.Errorf("bars missing:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Errorf("want 2 lines:\n%s", out)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2})
+	if !strings.Contains(s.String(), "n=2") {
+		t.Errorf("String = %q", s.String())
+	}
+}

@@ -1,0 +1,246 @@
+// Package ucx is a minimal UCX-like communication layer over the verbs
+// model: workers, endpoints, blocking and asynchronous RMA (GET/PUT) and
+// tagged-ish SEND/RECV. It mirrors the configuration surface the paper
+// uses to toggle ODP from the environment (§VII: UCX prioritizes ODP over
+// direct registration when enabled, with a default minimal RNR NAK delay
+// of 0.96 ms and C_ACK = 18).
+package ucx
+
+import (
+	"fmt"
+
+	"odpsim/internal/hostmem"
+	"odpsim/internal/rnic"
+	"odpsim/internal/sim"
+)
+
+// Config mirrors the UCX environment variables that matter here.
+type Config struct {
+	// EnableODP makes every registration an ODP registration, like
+	// UCX_IB_REG_METHODS=odp. The paper notes UCX even *prioritizes*
+	// ODP when available — which is how the authors ran into the
+	// pitfalls unknowingly.
+	EnableODP bool
+	// MinRNRDelay is the minimal RNR NAK delay (default 0.96 ms).
+	MinRNRDelay sim.Time
+	// CACK is the Local ACK Timeout exponent (default 18).
+	CACK int
+	// RetryCnt is C_retry (default 7).
+	RetryCnt int
+}
+
+// DefaultConfig returns the UCX defaults reported in §VII.
+func DefaultConfig() Config {
+	return Config{
+		MinRNRDelay: sim.FromMillis(0.96),
+		CACK:        18,
+		RetryCnt:    7,
+	}
+}
+
+// Context binds a configuration to one node's RNIC.
+type Context struct {
+	nic *rnic.RNIC
+	cfg Config
+}
+
+// NewContext creates a UCX context on a node.
+func NewContext(nic *rnic.RNIC, cfg Config) *Context {
+	return &Context{nic: nic, cfg: cfg}
+}
+
+// NIC exposes the underlying device.
+func (c *Context) NIC() *rnic.RNIC { return c.nic }
+
+// Config returns the context configuration.
+func (c *Context) Config() Config { return c.cfg }
+
+// Worker is a progress context: one CQ plus completion bookkeeping.
+type Worker struct {
+	ctx    *Context
+	cq     *rnic.CQ
+	nextID uint64
+	done   map[uint64]rnic.CQE
+	recvs  []rnic.CQE
+}
+
+// NewWorker creates a worker.
+func (c *Context) NewWorker() *Worker {
+	return &Worker{
+		ctx:  c,
+		cq:   rnic.NewCQ(c.nic.Engine()),
+		done: make(map[uint64]rnic.CQE),
+	}
+}
+
+// RegisterBuffer registers a buffer according to the context's ODP
+// setting and returns the virtual-time registration cost the caller
+// should charge (zero for ODP — that is its appeal).
+func (w *Worker) RegisterBuffer(addr hostmem.Addr, length int) sim.Time {
+	if w.ctx.cfg.EnableODP {
+		w.ctx.nic.RegisterODPMR(addr, length)
+		return 0
+	}
+	_, cost := w.ctx.nic.RegisterMR(addr, length)
+	return cost
+}
+
+// Endpoint is a connection from one worker to a peer worker.
+type Endpoint struct {
+	worker *Worker
+	qp     *rnic.QP
+}
+
+// QP exposes the underlying queue pair (stats, state).
+func (e *Endpoint) QP() *rnic.QP { return e.qp }
+
+// Connect wires a QP pair between two workers using both contexts'
+// connection attributes and returns the two endpoints.
+func Connect(a, b *Worker) (*Endpoint, *Endpoint) {
+	qa := a.ctx.nic.CreateQP(a.cq, a.cq)
+	qb := b.ctx.nic.CreateQP(b.cq, b.cq)
+	pa := rnic.ConnParams{CACK: a.ctx.cfg.CACK, RetryCount: a.ctx.cfg.RetryCnt, MinRNRDelay: a.ctx.cfg.MinRNRDelay}
+	pb := rnic.ConnParams{CACK: b.ctx.cfg.CACK, RetryCount: b.ctx.cfg.RetryCnt, MinRNRDelay: b.ctx.cfg.MinRNRDelay}
+	rnic.ConnectPair(qa, qb, pa, pb)
+	return &Endpoint{worker: a, qp: qa}, &Endpoint{worker: b, qp: qb}
+}
+
+// Request identifies an in-flight asynchronous operation.
+type Request uint64
+
+// drain moves completions from the CQ into the worker's tables.
+func (w *Worker) drain() {
+	for _, e := range w.cq.Poll(0) {
+		if e.Recv {
+			w.recvs = append(w.recvs, e)
+		} else {
+			w.done[e.WRID] = e
+		}
+	}
+}
+
+func (w *Worker) statusErr(e rnic.CQE) error {
+	if e.Status == rnic.WCSuccess {
+		return nil
+	}
+	return fmt.Errorf("ucx: operation %d failed: %s", e.WRID, e.Status)
+}
+
+// GetAsync starts an RMA GET (RDMA READ) and returns its request handle.
+func (e *Endpoint) GetAsync(local, remote hostmem.Addr, length int) Request {
+	id := e.worker.nextID
+	e.worker.nextID++
+	e.qp.PostSend(rnic.SendWR{ID: id, Op: rnic.OpRead, LocalAddr: local, RemoteAddr: remote, Len: length})
+	return Request(id)
+}
+
+// PutAsync starts an RMA PUT (RDMA WRITE).
+func (e *Endpoint) PutAsync(local, remote hostmem.Addr, length int) Request {
+	id := e.worker.nextID
+	e.worker.nextID++
+	e.qp.PostSend(rnic.SendWR{ID: id, Op: rnic.OpWrite, LocalAddr: local, RemoteAddr: remote, Len: length})
+	return Request(id)
+}
+
+// FetchAddAsync starts an 8-byte remote fetch-and-add.
+func (e *Endpoint) FetchAddAsync(local, remote hostmem.Addr, add uint64) Request {
+	id := e.worker.nextID
+	e.worker.nextID++
+	e.qp.PostSend(rnic.SendWR{ID: id, Op: rnic.OpAtomicFA, LocalAddr: local, RemoteAddr: remote, Len: 8, CompareAdd: add})
+	return Request(id)
+}
+
+// CASAsync starts an 8-byte remote compare-and-swap.
+func (e *Endpoint) CASAsync(local, remote hostmem.Addr, compare, swap uint64) Request {
+	id := e.worker.nextID
+	e.worker.nextID++
+	e.qp.PostSend(rnic.SendWR{ID: id, Op: rnic.OpAtomicCS, LocalAddr: local, RemoteAddr: remote, Len: 8, CompareAdd: compare, Swap: swap})
+	return Request(id)
+}
+
+// WaitAtomic blocks until the atomic completes and returns the original
+// remote value.
+func (w *Worker) WaitAtomic(p *sim.Proc, r Request) (uint64, error) {
+	var got rnic.CQE
+	p.Wait(w.cq.Cond(), func() bool {
+		w.drain()
+		e, ok := w.done[uint64(r)]
+		if ok {
+			got = e
+			delete(w.done, uint64(r))
+		}
+		return ok
+	})
+	return got.AtomicOrig, w.statusErr(got)
+}
+
+// SendAsync starts a two-sided send (the peer must have posted a recv).
+func (e *Endpoint) SendAsync(local hostmem.Addr, length int) Request {
+	id := e.worker.nextID
+	e.worker.nextID++
+	e.qp.PostSend(rnic.SendWR{ID: id, Op: rnic.OpSend, LocalAddr: local, Len: length})
+	return Request(id)
+}
+
+// PostRecv posts a receive buffer on the endpoint.
+func (e *Endpoint) PostRecv(addr hostmem.Addr, length int) {
+	e.qp.PostRecv(rnic.RecvWR{ID: 0, Addr: addr, Len: length})
+}
+
+// Wait blocks the process until the request completes, returning its
+// error status.
+func (w *Worker) Wait(p *sim.Proc, r Request) error {
+	var got rnic.CQE
+	p.Wait(w.cq.Cond(), func() bool {
+		w.drain()
+		e, ok := w.done[uint64(r)]
+		if ok {
+			got = e
+			delete(w.done, uint64(r))
+		}
+		return ok
+	})
+	return w.statusErr(got)
+}
+
+// WaitAll blocks until every request completes; it returns the first
+// error encountered (still waiting for the rest).
+func (w *Worker) WaitAll(p *sim.Proc, rs []Request) error {
+	var firstErr error
+	for _, r := range rs {
+		if err := w.Wait(p, r); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// WaitRecv blocks until a receive completes and returns it.
+func (w *Worker) WaitRecv(p *sim.Proc) rnic.CQE {
+	var got rnic.CQE
+	p.Wait(w.cq.Cond(), func() bool {
+		w.drain()
+		if len(w.recvs) == 0 {
+			return false
+		}
+		got = w.recvs[0]
+		w.recvs = w.recvs[1:]
+		return true
+	})
+	return got
+}
+
+// Get performs a blocking RMA GET.
+func (e *Endpoint) Get(p *sim.Proc, local, remote hostmem.Addr, length int) error {
+	return e.worker.Wait(p, e.GetAsync(local, remote, length))
+}
+
+// Put performs a blocking RMA PUT.
+func (e *Endpoint) Put(p *sim.Proc, local, remote hostmem.Addr, length int) error {
+	return e.worker.Wait(p, e.PutAsync(local, remote, length))
+}
+
+// Send performs a blocking two-sided send.
+func (e *Endpoint) Send(p *sim.Proc, local hostmem.Addr, length int) error {
+	return e.worker.Wait(p, e.SendAsync(local, length))
+}

@@ -1,0 +1,144 @@
+package verbs
+
+import (
+	"testing"
+
+	"odpsim/internal/hostmem"
+	"odpsim/internal/rnic"
+	"odpsim/internal/sim"
+)
+
+func TestVerbsAtomics(t *testing.T) {
+	e := newEnv(t, 20, 0)
+	e.cl.Nodes[1].AS.WriteWord(e.rbuf, 10)
+	if err := e.qpC.PostFetchAdd(1, e.lbuf, e.rbuf, 7); err != nil {
+		t.Fatal(err)
+	}
+	e.cl.Eng.Run()
+	cqes := e.cqC.Poll(0)
+	if len(cqes) != 1 || cqes[0].AtomicOrig != 10 {
+		t.Fatalf("cqes = %+v", cqes)
+	}
+	if got := e.cl.Nodes[1].AS.ReadWord(e.rbuf); got != 17 {
+		t.Errorf("word = %d", got)
+	}
+	if err := e.qpC.PostCmpSwap(2, e.lbuf, e.rbuf, 17, 100); err != nil {
+		t.Fatal(err)
+	}
+	e.cl.Eng.Run()
+	if got := e.cl.Nodes[1].AS.ReadWord(e.rbuf); got != 100 {
+		t.Errorf("CAS word = %d", got)
+	}
+}
+
+func TestVerbsImplicitODP(t *testing.T) {
+	e := newEnv(t, 21, 0)
+	e.ctxS.EnableImplicitODP()
+	unregistered := e.cl.Nodes[1].AS.Alloc(hostmem.PageSize)
+	if err := e.qpC.PostRead(1, e.lbuf, unregistered, 64); err != nil {
+		t.Fatal(err)
+	}
+	e.cl.Eng.Run()
+	cqes := e.cqC.Poll(0)
+	if len(cqes) != 1 || cqes[0].Status != rnic.WCSuccess {
+		t.Fatalf("cqes = %+v", cqes)
+	}
+	if e.ctxS.NIC().RNRNakSent == 0 {
+		t.Error("implicit ODP access should fault")
+	}
+}
+
+func TestVerbsAdvisePrefetch(t *testing.T) {
+	e := newEnv(t, 22, AccessOnDemand)
+	// Re-register remote as ODP and prefetch into the server QP.
+	mr, err := e.pdS.RegisterMR(e.rbuf, hostmem.PageSize, AccessOnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr.Advise(e.qpS)
+	e.cl.Eng.Run() // drain the prefetch pipeline
+	start := e.cl.Eng.Now()
+	if err := e.qpC.PostRead(1, e.lbuf, e.rbuf, 64); err != nil {
+		t.Fatal(err)
+	}
+	e.cl.Eng.Run()
+	if d := e.cl.Eng.Now() - start; d > 20*sim.Microsecond {
+		t.Errorf("prefetched READ took %v", d)
+	}
+	if e.ctxS.NIC().RNRNakSent != 0 {
+		t.Error("prefetched page must not fault")
+	}
+}
+
+func TestVerbsUDQP(t *testing.T) {
+	e := newEnv(t, 23, 0)
+	cqA, cqB := e.ctxC.CreateCQ(), e.ctxS.CreateCQ()
+	qa := e.pdC.CreateUDQP(cqA, cqA)
+	qb := e.pdS.CreateUDQP(cqB, cqB)
+	qb.PostRecv(9, e.rbuf, hostmem.PageSize)
+	qa.PostSend(1, e.ctxS.LID(), qb.Num(), e.lbuf, 64)
+	e.cl.Eng.Run()
+	send := cqA.Poll(0)
+	if len(send) != 1 || send[0].Status != rnic.WCSuccess {
+		t.Fatalf("send cqes = %+v", send)
+	}
+	recv := cqB.Poll(0)
+	if len(recv) != 1 || !recv[0].Recv || recv[0].ByteLen != 64 {
+		t.Fatalf("recv cqes = %+v", recv)
+	}
+	if recv[0].SrcQPN != qa.Num() || recv[0].SrcLID != e.ctxC.LID() {
+		t.Errorf("source identity missing: %+v", recv[0])
+	}
+}
+
+func TestVerbsUDNoConnectionNeeded(t *testing.T) {
+	// A UD QP can address multiple peers without any modify sequence.
+	e := newEnv(t, 24, 0)
+	cqA := e.ctxC.CreateCQ()
+	qa := e.pdC.CreateUDQP(cqA, cqA)
+	// Datagram into the void (unknown LID): silently gone, send still
+	// completes.
+	qa.PostSend(1, 99, 1, e.lbuf, 8)
+	e.cl.Eng.Run()
+	if got := cqA.Poll(0); len(got) != 1 || got[0].Status != rnic.WCSuccess {
+		t.Fatalf("UD send must complete locally: %+v", got)
+	}
+}
+
+func TestQPResetRecovery(t *testing.T) {
+	// The standard recovery path: retry exhaustion → RESET → reconnect.
+	e := newEnv(t, 25, 0)
+	qp := e.pdC.CreateQP(e.cqC, e.cqC)
+	if err := qp.Connect(QPAttr{DestLID: 99, DestQPNum: 1, Timeout: 1, RetryCnt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := qp.PostRead(1, e.lbuf, e.rbuf, 64); err != nil {
+		t.Fatal(err)
+	}
+	e.cl.Eng.Run()
+	e.cqC.Poll(0)
+	if qp.State() != StateError {
+		t.Fatal("expected error state")
+	}
+
+	// Recover: reset, reconnect to the real peer QP, retry.
+	qp.ToReset()
+	if qp.State() != StateReset {
+		t.Fatal("reset failed")
+	}
+	peer := e.pdS.CreateQP(e.cqS, e.cqS)
+	if err := peer.Connect(QPAttr{DestLID: e.ctxC.LID(), DestQPNum: qp.Num(), Timeout: 1, RetryCnt: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := qp.Connect(QPAttr{DestLID: e.ctxS.LID(), DestQPNum: peer.Num(), Timeout: 1, RetryCnt: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := qp.PostRead(2, e.lbuf, e.rbuf, 64); err != nil {
+		t.Fatal(err)
+	}
+	e.cl.Eng.Run()
+	cqes := e.cqC.Poll(0)
+	if len(cqes) != 1 || cqes[0].Status != rnic.WCSuccess {
+		t.Fatalf("post-recovery READ: %+v", cqes)
+	}
+}

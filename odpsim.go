@@ -1,0 +1,423 @@
+// Package odpsim is a deterministic, packet-level simulator of InfiniBand
+// Reliable Connection transport with On-Demand Paging (ODP), built to
+// reproduce "Pitfalls of InfiniBand with On-Demand Paging" (Fukuoka,
+// Sato, Taura — ISPASS 2021).
+//
+// The library models RNIC device generations (ConnectX-3…6), the RC
+// requester/responder state machines with real timeout/retry/RNR-NAK
+// semantics, the ODP fault pipeline with per-QP page-status updates, an
+// ibdump-style capture layer, and the two performance pitfalls the paper
+// reveals:
+//
+//   - packet damming — a request posted during a pending window is lost
+//     on replay and recovers only through a several-hundred-millisecond
+//     Local-ACK timeout (§V);
+//   - packet flood — simultaneous client-side page faults across many QPs
+//     starve the per-QP page-status updates, provoking seconds of massive
+//     retransmission (§VI).
+//
+// This package is a façade: it re-exports the stable public surface of
+// the internal packages so downstream users and the bundled examples need
+// a single import.
+package odpsim
+
+import (
+	"io"
+
+	"odpsim/internal/apps/kvstore"
+	"odpsim/internal/capture"
+	"odpsim/internal/cluster"
+	"odpsim/internal/core"
+	"odpsim/internal/fabric"
+	"odpsim/internal/hostmem"
+	"odpsim/internal/mpi"
+	"odpsim/internal/odp"
+	"odpsim/internal/perftest"
+	"odpsim/internal/regcache"
+	"odpsim/internal/rnic"
+	"odpsim/internal/sim"
+	"odpsim/internal/softrel"
+	"odpsim/internal/stats"
+	"odpsim/internal/ucx"
+	"odpsim/internal/verbs"
+)
+
+// --- Simulation kernel ---
+
+// Engine is the deterministic discrete-event simulation engine.
+type Engine = sim.Engine
+
+// Proc is a simulated process (blocking-style code on the engine).
+type Proc = sim.Proc
+
+// Cond is a broadcast condition for processes.
+type Cond = sim.Cond
+
+// Time is virtual time in nanoseconds.
+type Time = sim.Time
+
+// Virtual-time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// NewEngine creates a simulation engine with the given random seed; the
+// same seed always reproduces the same run.
+func NewEngine(seed int64) *Engine { return sim.New(seed) }
+
+// FromMillis converts milliseconds to Time.
+func FromMillis(ms float64) Time { return sim.FromMillis(ms) }
+
+// FromMicros converts microseconds to Time.
+func FromMicros(us float64) Time { return sim.FromMicros(us) }
+
+// FromSeconds converts seconds to Time.
+func FromSeconds(s float64) Time { return sim.FromSeconds(s) }
+
+// --- Memory ---
+
+// Addr is a virtual address in a node's address space.
+type Addr = hostmem.Addr
+
+// AddressSpace is one node's virtual memory.
+type AddressSpace = hostmem.AddressSpace
+
+// PageSize is the host page size (4096).
+const PageSize = hostmem.PageSize
+
+// --- Fabric and devices ---
+
+// Fabric is the simulated InfiniBand fabric.
+type Fabric = fabric.Fabric
+
+// DeviceProfile describes one RNIC model's timing and quirks.
+type DeviceProfile = rnic.Profile
+
+// RNIC is one simulated adapter.
+type RNIC = rnic.RNIC
+
+// Device profiles for the generations of Table I.
+var (
+	ConnectX3 = rnic.ConnectX3
+	ConnectX4 = rnic.ConnectX4
+	ConnectX5 = rnic.ConnectX5
+	ConnectX6 = rnic.ConnectX6
+)
+
+// ODPConfig tunes the ODP engine model.
+type ODPConfig = odp.Config
+
+// --- Systems (Tables I & II) ---
+
+// System is one of the paper's measured systems.
+type System = cluster.System
+
+// Cluster is a built simulation (engine + fabric + nodes).
+type Cluster = cluster.Cluster
+
+// The systems of Table I.
+var (
+	PrivateA  = cluster.PrivateA
+	KNL       = cluster.KNL
+	ReedbushH = cluster.ReedbushH
+	ReedbushL = cluster.ReedbushL
+	ABCI      = cluster.ABCI
+	ITO       = cluster.ITO
+	AzureHC   = cluster.AzureHC
+	AzureHBv2 = cluster.AzureHBv2
+)
+
+// AllSystems returns every system of Table I.
+func AllSystems() []System { return cluster.All() }
+
+// SystemByName looks a system up by name.
+func SystemByName(name string) (System, error) { return cluster.ByName(name) }
+
+// --- Verbs ---
+
+// Context is an opened device (the verbs entry point).
+type Context = verbs.Context
+
+// PD is a protection domain.
+type PD = verbs.PD
+
+// MR is a registered memory region.
+type MR = verbs.MR
+
+// CQ is a completion queue.
+type CQ = verbs.CQ
+
+// QP is a queue pair.
+type QP = verbs.QP
+
+// QPAttr carries modify-QP attributes (timeout, retry_cnt, min RNR).
+type QPAttr = verbs.QPAttr
+
+// AccessFlags are MR registration flags.
+type AccessFlags = verbs.AccessFlags
+
+// Registration flags; AccessOnDemand selects an ODP registration.
+const (
+	AccessLocalWrite  = verbs.AccessLocalWrite
+	AccessRemoteRead  = verbs.AccessRemoteRead
+	AccessRemoteWrite = verbs.AccessRemoteWrite
+	AccessOnDemand    = verbs.AccessOnDemand
+)
+
+// CQE is a work completion.
+type CQE = rnic.CQE
+
+// WCStatus is a work completion status.
+type WCStatus = rnic.WCStatus
+
+// Completion statuses.
+const (
+	WCSuccess        = rnic.WCSuccess
+	WCRetryExcErr    = rnic.WCRetryExcErr
+	WCRNRRetryExcErr = rnic.WCRNRRetryExcErr
+	WCFlushErr       = rnic.WCFlushErr
+)
+
+// OpenDevice wraps an RNIC into a verbs context.
+func OpenDevice(nic *RNIC) *Context { return verbs.Open(nic) }
+
+// --- Capture (ibdump) ---
+
+// Capture records packets crossing the fabric.
+type Capture = capture.Capture
+
+// AttachCapture taps a fabric like ibdump.
+func AttachCapture(f *Fabric) *Capture { return capture.Attach(f) }
+
+// CaptureRecord is one captured packet.
+type CaptureRecord = capture.Record
+
+// ReadTrace parses a binary capture written with Capture.WriteTrace.
+func ReadTrace(r io.Reader) ([]CaptureRecord, error) { return capture.ReadTrace(r) }
+
+// CaptureFromRecords rebuilds a capture from reloaded records so the
+// detectors can analyze saved traces offline.
+func CaptureFromRecords(rs []CaptureRecord) *Capture { return capture.FromRecords(rs) }
+
+// --- MPI (the middle layer the paper's applications run on) ---
+
+// MPIComm is a communicator over a cluster.
+type MPIComm = mpi.Comm
+
+// MPIRank is one process of a communicator.
+type MPIRank = mpi.Rank
+
+// MPIWin is a one-sided RMA window.
+type MPIWin = mpi.Win
+
+// NewMPIComm builds a fully connected communicator over the cluster's
+// nodes (one rank per node), on the given UCX configuration.
+func NewMPIComm(p *Proc, cl *Cluster, ucfg UCXConfig) *MPIComm { return mpi.NewComm(p, cl, ucfg) }
+
+// --- UCX-like layer ---
+
+// UCXConfig mirrors the UCX environment settings the paper toggles.
+type UCXConfig = ucx.Config
+
+// UCXContext binds a UCX configuration to a node.
+type UCXContext = ucx.Context
+
+// UCXWorker is a UCX progress context.
+type UCXWorker = ucx.Worker
+
+// UCXEndpoint is a UCX connection.
+type UCXEndpoint = ucx.Endpoint
+
+// Request is an in-flight asynchronous UCX operation.
+type Request = ucx.Request
+
+// DefaultUCXConfig returns the paper's UCX defaults (min RNR 0.96 ms,
+// C_ACK 18, C_retry 7, ODP off).
+func DefaultUCXConfig() UCXConfig { return ucx.DefaultConfig() }
+
+// NewUCXContext creates a UCX context on a node.
+func NewUCXContext(nic *RNIC, cfg UCXConfig) *UCXContext { return ucx.NewContext(nic, cfg) }
+
+// UCXConnect wires two workers together.
+func UCXConnect(a, b *UCXWorker) (*UCXEndpoint, *UCXEndpoint) { return ucx.Connect(a, b) }
+
+// --- Pitfalls toolkit (the paper's contribution) ---
+
+// ODPMode selects which sides register buffers with ODP.
+type ODPMode = core.ODPMode
+
+// ODP modes.
+const (
+	NoODP     = core.NoODP
+	ServerODP = core.ServerODP
+	ClientODP = core.ClientODP
+	BothODP   = core.BothODP
+)
+
+// BenchConfig parameterizes the Figure-3 micro-benchmark.
+type BenchConfig = core.BenchConfig
+
+// BenchResult is one micro-benchmark run's measurements.
+type BenchResult = core.BenchResult
+
+// DefaultBench returns the paper's §V configuration.
+func DefaultBench() BenchConfig { return core.DefaultBench() }
+
+// RunMicrobench executes the micro-benchmark once.
+func RunMicrobench(cfg BenchConfig) *BenchResult { return core.RunMicrobench(cfg) }
+
+// MeasureTimeout runs the Figure-2 wrong-LID probe: T_o for one C_ACK.
+func MeasureTimeout(sys System, cack int, seed int64) Time {
+	return core.MeasureTimeout(sys, cack, seed)
+}
+
+// DammingIncident is a detected packet-damming occurrence.
+type DammingIncident = core.DammingIncident
+
+// FloodIncident is a detected packet-flood burst.
+type FloodIncident = core.FloodIncident
+
+// DetectDamming scans a capture for timeout-scale request stalls.
+func DetectDamming(c *Capture, minStall Time) []DammingIncident {
+	return core.DetectDamming(c, minStall)
+}
+
+// DetectFlood scans a capture for retransmission bursts.
+func DetectFlood(c *Capture, window Time, threshold int) []FloodIncident {
+	return core.DetectFlood(c, window, threshold)
+}
+
+// DummyPinger is the §IX-A dummy-communication damming workaround.
+type DummyPinger = core.DummyPinger
+
+// SmallestRNRDelay is the smallest InfiniBand RNR timer encoding, the
+// paper's first workaround.
+const SmallestRNRDelay = core.SmallestRNRDelay
+
+// --- Unreliable Datagram + software reliability (§VIII-C) ---
+
+// UDQP is an Unreliable Datagram queue pair.
+type UDQP = rnic.UDQP
+
+// UDSendWR is a datagram send work request.
+type UDSendWR = rnic.UDSendWR
+
+// RPCConfig tunes the software-reliability RPC layer.
+type RPCConfig = softrel.Config
+
+// RPCClient issues RPCs over UD with software timeouts and retries.
+type RPCClient = softrel.Client
+
+// RPCServer answers RPCs over UD.
+type RPCServer = softrel.Server
+
+// ErrRPCTimeout is returned when an RPC exhausts its retry budget.
+var ErrRPCTimeout = softrel.ErrTimeout
+
+// DefaultRPCConfig returns a 1 ms software timeout with 5 retries.
+func DefaultRPCConfig() RPCConfig { return softrel.DefaultConfig() }
+
+// NewRPCServer starts an RPC echo server on a node.
+func NewRPCServer(nic *RNIC, cfg RPCConfig) *RPCServer { return softrel.NewServer(nic, cfg) }
+
+// NewRPCClient creates an RPC client on a node.
+func NewRPCClient(nic *RNIC, cfg RPCConfig) *RPCClient { return softrel.NewClient(nic, cfg) }
+
+// --- Registration strategies (§VIII-A baselines) ---
+
+// RegStrategy manages memory registrations for communication buffers.
+type RegStrategy = regcache.Strategy
+
+// RegCosts models (de)registration and bounce-copy costs.
+type RegCosts = regcache.Costs
+
+// RegWorkloadResult compares one strategy on a trace.
+type RegWorkloadResult = regcache.WorkloadResult
+
+// Registration strategy constructors.
+var (
+	NewDirectPin    = regcache.NewDirectPin
+	NewPinDownCache = regcache.NewPinDownCache
+	NewBatchedDereg = regcache.NewBatchedDereg
+	NewCopyPath     = regcache.NewCopyPath
+	NewODPOnce      = regcache.NewODPOnce
+)
+
+// DefaultRegCosts calibrates the Frey & Alonso crossover near 256 KiB.
+func DefaultRegCosts() RegCosts { return regcache.DefaultCosts() }
+
+// TraceOp is one buffer use in a registration workload.
+type TraceOp = regcache.TraceOp
+
+// RunRegWorkload replays a buffer-access trace against a strategy.
+func RunRegWorkload(eng *Engine, s RegStrategy, trace []TraceOp) RegWorkloadResult {
+	return regcache.RunWorkload(eng, s, trace)
+}
+
+// SyntheticTrace builds a hot/cold buffer-reuse trace for registration
+// workload comparisons.
+func SyntheticTrace(eng *Engine, nic *RNIC, nBuffers, size, n int, hotFraction float64) []TraceOp {
+	return regcache.SyntheticTrace(eng, nic, nBuffers, size, n, hotFraction)
+}
+
+// --- perftest (ib_read_lat / ib_read_bw with ODP options) ---
+
+// PerfConfig parameterizes a latency/bandwidth measurement.
+type PerfConfig = perftest.Config
+
+// LatencyResult is a perftest-style latency row.
+type LatencyResult = perftest.LatencyResult
+
+// BandwidthResult is a perftest-style bandwidth row.
+type BandwidthResult = perftest.BandwidthResult
+
+// DefaultPerfConfig returns an ib_read_lat-like setup.
+func DefaultPerfConfig() PerfConfig { return perftest.DefaultConfig() }
+
+// ReadLat measures RDMA READ latency (ib_read_lat).
+func ReadLat(cfg PerfConfig) LatencyResult { return perftest.ReadLat(cfg) }
+
+// ReadBW measures pipelined RDMA READ bandwidth (ib_read_bw).
+func ReadBW(cfg PerfConfig) BandwidthResult { return perftest.ReadBW(cfg) }
+
+// CompareRegistrationModes renders the Li et al. style latency table
+// across every ODP mode, with and without prefetch.
+func CompareRegistrationModes(base PerfConfig) string { return perftest.CompareModes(base) }
+
+// --- Key-value store over UD (§VIII-C's HERD pattern) ---
+
+// KVServer is a HERD-style key-value server over UD.
+type KVServer = kvstore.Server
+
+// KVClient issues KV operations with software reliability.
+type KVClient = kvstore.Client
+
+// NewKVServer starts a KV server on a node.
+func NewKVServer(nic *RNIC, cfg RPCConfig, handleCost Time) *KVServer {
+	return kvstore.NewServer(nic, cfg, handleCost)
+}
+
+// NewKVClient creates a client bound to the server.
+func NewKVClient(nic *RNIC, cfg RPCConfig, srv *KVServer) *KVClient {
+	return kvstore.NewClient(nic, cfg, srv)
+}
+
+// --- Statistics ---
+
+// Series is a labelled (x, y) sequence.
+type Series = stats.Series
+
+// Summary describes a sample (mean, std, percentiles).
+type Summary = stats.Summary
+
+// Histogram is a fixed-width-bin histogram.
+type Histogram = stats.Histogram
+
+// Summarize computes a Summary.
+func Summarize(xs []float64) Summary { return stats.Summarize(xs) }
+
+// NewHistogram creates a histogram.
+func NewHistogram(lo, hi float64, bins int) *Histogram { return stats.NewHistogram(lo, hi, bins) }
