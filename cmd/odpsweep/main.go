@@ -14,6 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 
 	"odpsim/internal/cluster"
 	"odpsim/internal/core"
@@ -26,6 +30,7 @@ func main() {
 	trials := flag.Int("trials", 10, "trials per point (probability/average figures)")
 	quick := flag.Bool("quick", false, "smaller grids for a fast run")
 	seed := flag.Int64("seed", 1, "base seed")
+	counters := flag.String("counters", "", "with -fig 11: also write each run's sampled device counters as CSV to FILE (suffixed per run)")
 	flag.Parse()
 
 	switch *fig {
@@ -42,7 +47,7 @@ func main() {
 	case "9":
 		fig9(*quick, *seed)
 	case "11":
-		fig11(*seed)
+		fig11(*seed, *counters)
 	default:
 		log.Fatalf("unknown figure %q", *fig)
 	}
@@ -148,7 +153,7 @@ func fig9(quick bool, seed int64) {
 	fmt.Print(stats.Table("#QPs", res.Packets[core.NoODP], res.Packets[core.ServerODP], res.Packets[core.ClientODP], res.Packets[core.BothODP]))
 }
 
-func fig11(seed int64) {
+func fig11(seed int64, counters string) {
 	for _, ops := range []int{128, 512} {
 		fmt.Printf("Figure 11 (%d operations): cumulative completions per page [ms grid]\n", ops)
 		cfg := core.DefaultBench()
@@ -158,7 +163,13 @@ func fig11(seed int64) {
 		cfg.NumOps = ops
 		cfg.CACK = 18
 		cfg.Seed = seed
+		if counters != "" {
+			cfg.SampleEvery = 10 * sim.Millisecond
+		}
 		r := core.RunMicrobench(cfg)
+		if counters != "" {
+			writeCounterCSV(counters, ops, r)
+		}
 		step := sim.Millisecond
 		if ops > 128 {
 			step = 100 * sim.Millisecond
@@ -167,4 +178,23 @@ func fig11(seed int64) {
 		fmt.Print(stats.Table("t[ms]", series...))
 		fmt.Println()
 	}
+}
+
+// writeCounterCSV writes one fig-11 run's sampled counter series to
+// base-<ops>.ext (the two runs of the figure would otherwise clobber one
+// file).
+func writeCounterCSV(base string, ops int, r *core.BenchResult) {
+	ext := filepath.Ext(base)
+	path := strings.TrimSuffix(base, ext) + "-" + strconv.Itoa(ops) + ext
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := r.Telemetry.WriteCSV(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(wrote counters to %s)\n", path)
 }

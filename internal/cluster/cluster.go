@@ -10,6 +10,7 @@ import (
 	"odpsim/internal/hostmem"
 	"odpsim/internal/rnic"
 	"odpsim/internal/sim"
+	"odpsim/internal/telemetry"
 )
 
 // System is one row of Table I, joined with its Table II host data.
@@ -121,6 +122,21 @@ type Cluster struct {
 	Fab   *fabric.Fabric
 	Nodes []*rnic.RNIC
 	Sys   System
+
+	tel *telemetry.Hub
+}
+
+// Telemetry returns a hub over every registry in the cluster — the
+// fabric's plus each device's — the way a monitoring agent sees a host's
+// whole /sys/class/infiniband tree in one scrape.
+func (c *Cluster) Telemetry() *telemetry.Hub {
+	if c.tel == nil {
+		c.tel = telemetry.NewHub(c.Fab.Telemetry())
+		for _, n := range c.Nodes {
+			c.tel.Add(n.Telemetry())
+		}
+	}
+	return c.tel
 }
 
 // Build creates a cluster of nodes node RNICs (LIDs 1..nodes) on a fresh

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"odpsim/internal/sim"
+	"odpsim/internal/telemetry"
+)
+
+// This file diagnoses the paper's two pitfalls from device counters
+// alone. The capture-based detectors in detect.go replay what the paper
+// did on KNL with ibdump and sudo; on the six production systems where
+// neither was available (§IV), counters like local_ack_timeout_err and
+// the ODP fault counters are all an operator gets. The diagnosers here
+// deliberately never read sim_dammed_drops — the ground-truth counter a
+// real RNIC does not expose — so that what works in the simulator would
+// work against /sys/class/infiniband too.
+
+// CounterDammingIncident is a packet-damming episode inferred from
+// counters: a window where completions stop advancing while requests
+// remain outstanding, resolved by a Local ACK Timeout expiration.
+type CounterDammingIncident struct {
+	Start sim.Time
+	End   sim.Time
+	// Outstanding is posted-minus-completed during the stall.
+	Outstanding uint64
+	// Timeouts is the growth of local_ack_timeout_err attributable to
+	// the stall.
+	Timeouts uint64
+}
+
+// Stall returns the length of the completion plateau.
+func (d CounterDammingIncident) Stall() sim.Time { return d.End - d.Start }
+
+// String implements fmt.Stringer.
+func (d CounterDammingIncident) String() string {
+	return fmt.Sprintf("completions stalled %v (%v..%v) with %d outstanding; local_ack_timeout_err +%d",
+		d.Stall(), d.Start, d.End, d.Outstanding, d.Timeouts)
+}
+
+// DiagnoseDammingCounters scans a sampled counter series for damming: a
+// maximal run of samples over which sim_req_completed is flat,
+// sim_req_posted exceeds sim_req_completed, the plateau lasts at least
+// minStall, and local_ack_timeout_err grows during the plateau or at the
+// sample that ends it (the timeout is what finally breaks the dam, so
+// its increment may land together with the resumed completions).
+// minStall <= 0 selects 100 ms, comfortably above any healthy
+// completion gap yet well below the ≈0.5 s default timeout.
+func DiagnoseDammingCounters(ts *telemetry.TimeSeries, minStall sim.Time) []CounterDammingIncident {
+	if minStall <= 0 {
+		minStall = 100 * sim.Millisecond
+	}
+	if ts == nil || ts.Len() < 2 {
+		return nil
+	}
+	at := ts.Times()
+	completed := ts.Sum(telemetry.SimReqCompleted)
+	posted := ts.Sum(telemetry.SimReqPosted)
+	timeouts := ts.Sum(telemetry.LocalAckTimeoutErr)
+
+	var out []CounterDammingIncident
+	n := ts.Len()
+	for i := 0; i < n-1; {
+		// Extend the plateau while completions stay flat.
+		j := i
+		for j+1 < n && completed[j+1] == completed[i] {
+			j++
+		}
+		if j > i && posted[i] > completed[i] && at[j]-at[i] >= minStall {
+			// Timeout growth during the plateau, or at the sample
+			// right after it where the unblocked completions land.
+			end := j
+			if end+1 < n {
+				end = j + 1
+			}
+			if grown := timeouts[end] - timeouts[i]; grown > 0 {
+				out = append(out, CounterDammingIncident{
+					Start:       at[i],
+					End:         at[j],
+					Outstanding: uint64(posted[i] - completed[i]),
+					Timeouts:    uint64(grown),
+				})
+			}
+		}
+		if j == i {
+			j = i + 1
+		}
+		i = j
+	}
+	return out
+}
+
+// CounterFloodIncident is a packet-flood episode inferred from counters:
+// a sustained window of high request-retransmission rate.
+type CounterFloodIncident struct {
+	Start sim.Time
+	End   sim.Time
+	// Retransmits is the sim_retransmits growth over the window.
+	Retransmits uint64
+	// Rate is retransmissions per second over the window.
+	Rate float64
+}
+
+// String implements fmt.Stringer.
+func (f CounterFloodIncident) String() string {
+	return fmt.Sprintf("%d retransmissions in %v..%v (%.0f/s)",
+		f.Retransmits, f.Start, f.End, f.Rate)
+}
+
+// minFloodRetransmits discards windows whose total retransmission count
+// is below it: a lone go-back-N replay after one timeout can look
+// briefly fast against a short sampling interval, but a flood by
+// definition keeps going.
+const minFloodRetransmits = 10
+
+// DiagnoseFloodCounters scans a sampled counter series for flood: maximal
+// runs of inter-sample intervals whose request-retransmission rate is at
+// least ratePerSec, keeping windows with at least minFloodRetransmits
+// total. The paper's fingerprint — "many READ packets were retransmitted
+// every several tens of milliseconds" — shows up in counters as a
+// retransmission rate orders of magnitude above the handful a single
+// timeout recovery produces. ratePerSec <= 0 selects 100 retransmissions
+// per second.
+func DiagnoseFloodCounters(ts *telemetry.TimeSeries, ratePerSec float64) []CounterFloodIncident {
+	if ratePerSec <= 0 {
+		ratePerSec = 100
+	}
+	if ts == nil || ts.Len() < 2 {
+		return nil
+	}
+	at := ts.Times()
+	retr := ts.Sum(telemetry.SimRetransmits)
+
+	hot := func(i int) bool { // is interval [i, i+1] above threshold?
+		dt := at[i+1] - at[i]
+		if dt <= 0 {
+			return false
+		}
+		return (retr[i+1]-retr[i])/dt.Seconds() >= ratePerSec
+	}
+
+	var out []CounterFloodIncident
+	n := ts.Len()
+	for i := 0; i < n-1; {
+		if !hot(i) {
+			i++
+			continue
+		}
+		j := i
+		for j+1 < n-1 && hot(j+1) {
+			j++
+		}
+		dur := at[j+1] - at[i]
+		grown := retr[j+1] - retr[i]
+		if grown >= minFloodRetransmits {
+			out = append(out, CounterFloodIncident{
+				Start:       at[i],
+				End:         at[j+1],
+				Retransmits: uint64(grown),
+				Rate:        grown / dur.Seconds(),
+			})
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// CounterDiagnosis bundles both diagnoses of one counter series.
+type CounterDiagnosis struct {
+	Damming []CounterDammingIncident
+	Flood   []CounterFloodIncident
+}
+
+// Healthy reports whether neither pitfall was diagnosed.
+func (d CounterDiagnosis) Healthy() bool { return len(d.Damming) == 0 && len(d.Flood) == 0 }
+
+// DiagnoseCounters runs both counter-only diagnosers with their default
+// thresholds.
+func DiagnoseCounters(ts *telemetry.TimeSeries) CounterDiagnosis {
+	return CounterDiagnosis{
+		Damming: DiagnoseDammingCounters(ts, 0),
+		Flood:   DiagnoseFloodCounters(ts, 0),
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"odpsim/internal/sim"
+)
+
+// The agreement tests: the counter-only diagnosers must reach the same
+// verdicts the capture-based detectors reach on the same runs — damming
+// on the Figure-5 scenario, flood on the Figure-8 scenario, nothing on a
+// healthy baseline — without ever seeing a packet.
+
+func TestCounterDammingAgreesWithCapture(t *testing.T) {
+	cfg := DefaultBench()
+	cfg.Interval = sim.Millisecond
+	cfg.WithCapture = true
+	cfg.SampleEvery = 10 * sim.Millisecond
+	r := RunMicrobench(cfg)
+
+	capIncidents := DetectDamming(r.Cap, 100*sim.Millisecond)
+	if len(capIncidents) == 0 {
+		t.Fatal("capture detector found no damming; scenario broken")
+	}
+	d := DiagnoseCounters(r.Telemetry)
+	if len(d.Damming) == 0 {
+		t.Fatalf("counter diagnoser missed the damming the capture shows: %v", capIncidents)
+	}
+	if len(d.Flood) != 0 {
+		t.Errorf("spurious flood diagnosis on a damming run: %v", d.Flood)
+	}
+	inc := d.Damming[0]
+	if inc.Stall() < 300*sim.Millisecond {
+		t.Errorf("stall = %v, want timeout-scale plateau", inc.Stall())
+	}
+	if inc.Timeouts == 0 || inc.Outstanding == 0 {
+		t.Errorf("incident missing evidence: %+v", inc)
+	}
+	if !strings.Contains(inc.String(), "local_ack_timeout_err") {
+		t.Errorf("String() = %q", inc.String())
+	}
+}
+
+func TestCounterFloodAgreesWithCapture(t *testing.T) {
+	cfg := DefaultBench()
+	cfg.Mode = ClientODP
+	cfg.Size = 32
+	cfg.NumQPs = 64
+	cfg.NumOps = 256
+	cfg.CACK = 18
+	cfg.WithCapture = true
+	cfg.SampleEvery = 10 * sim.Millisecond
+	r := RunMicrobench(cfg)
+
+	capIncidents := DetectFlood(r.Cap, 50*sim.Millisecond, 100)
+	if len(capIncidents) == 0 {
+		t.Fatal("capture detector found no flood; scenario broken")
+	}
+	d := DiagnoseCounters(r.Telemetry)
+	if len(d.Flood) == 0 {
+		t.Fatalf("counter diagnoser missed the flood the capture shows (retransmits=%d)", r.Retransmits)
+	}
+	if !strings.Contains(d.Flood[0].String(), "retransmissions") {
+		t.Errorf("String() = %q", d.Flood[0].String())
+	}
+	// This scenario in fact exhibits both pitfalls — the flooded QPs end
+	// up waiting out Local ACK Timeouts too (§VI: the victim's
+	// communication stops until the timeouts resolve). Agreement means
+	// the counter view matches the capture view on damming as well,
+	// whichever way the capture calls it.
+	capDamming := DetectDamming(r.Cap, 100*sim.Millisecond)
+	if (len(capDamming) > 0) != (len(d.Damming) > 0) {
+		t.Errorf("damming disagreement: capture=%d incidents, counters=%d", len(capDamming), len(d.Damming))
+	}
+}
+
+func TestCounterDiagnosisHealthyBaseline(t *testing.T) {
+	cfg := DefaultBench()
+	cfg.NumOps = 8
+	cfg.Mode = NoODP
+	cfg.SampleEvery = 10 * sim.Millisecond
+	r := RunMicrobench(cfg)
+	if d := DiagnoseCounters(r.Telemetry); !d.Healthy() {
+		t.Errorf("false positives on healthy run: damming=%v flood=%v", d.Damming, d.Flood)
+	}
+}
+
+func TestCounterDiagnosersDegradeGracefully(t *testing.T) {
+	// nil and too-short series must diagnose nothing, not panic.
+	if got := DiagnoseDammingCounters(nil, 0); got != nil {
+		t.Errorf("nil series: %v", got)
+	}
+	if got := DiagnoseFloodCounters(nil, 0); got != nil {
+		t.Errorf("nil series: %v", got)
+	}
+	cfg := DefaultBench()
+	cfg.NumOps = 1
+	cfg.Mode = NoODP
+	r := RunMicrobench(cfg) // SampleEvery unset: Telemetry stays nil
+	if r.Telemetry != nil {
+		t.Error("Telemetry should be nil without SampleEvery")
+	}
+	if d := DiagnoseCounters(r.Telemetry); !d.Healthy() {
+		t.Error("nil telemetry must be healthy")
+	}
+}

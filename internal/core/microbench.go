@@ -13,6 +13,7 @@ import (
 	"odpsim/internal/hostmem"
 	"odpsim/internal/rnic"
 	"odpsim/internal/sim"
+	"odpsim/internal/telemetry"
 )
 
 // ODPMode selects which sides of the connection register their buffers
@@ -85,6 +86,12 @@ type BenchConfig struct {
 	// gaps quickly instead of waiting out the timeout.
 	DummyPing         bool
 	DummyPingInterval sim.Time
+
+	// SampleEvery, when positive, scrapes the cluster's counter
+	// registries on the sim clock at that interval, the way a monitoring
+	// daemon polls `rdma statistic` — no packet capture needed. The
+	// series lands in BenchResult.Telemetry.
+	SampleEvery sim.Time
 }
 
 // DefaultBench returns the §V configuration: KNL, 100-byte messages, one
@@ -121,6 +128,12 @@ type BenchResult struct {
 	CompletionTime []sim.Time // per op index; -1 if failed
 
 	Cap *capture.Capture // nil unless WithCapture
+
+	// Telemetry holds the sampled counter time-series (nil unless
+	// SampleEvery was set), and Final the end-of-run counter snapshot
+	// (always taken).
+	Telemetry *telemetry.TimeSeries
+	Final     telemetry.Snapshot
 }
 
 // TimedOut reports whether any Local-ACK timeout fired during the run —
@@ -201,8 +214,15 @@ func RunMicrobench(cfg BenchConfig) *BenchResult {
 	}
 
 	var pinger *DummyPinger
+	var sampler *telemetry.Sampler
+	if cfg.SampleEvery > 0 {
+		sampler = telemetry.NewSampler(cl.Eng, cl.Telemetry(), cfg.SampleEvery)
+	}
 	cl.Eng.Go("microbench", func(p *sim.Proc) {
 		start := p.Now()
+		if sampler != nil {
+			sampler.Start()
+		}
 		if cfg.DummyPing {
 			pinger = StartDummyPinger(cl.Eng, qps[0], lbuf, rbuf, cfg.DummyPingInterval)
 		}
@@ -240,9 +260,17 @@ func RunMicrobench(cfg BenchConfig) *BenchResult {
 		if pinger != nil {
 			pinger.Stop()
 		}
+		if sampler != nil {
+			sampler.Stop()
+		}
 		res.ExecTime = p.Now() - start
 	})
 	cl.Eng.MustRun()
+
+	if sampler != nil {
+		res.Telemetry = sampler.Series()
+	}
+	res.Final = cl.Telemetry().Snapshot(cl.Eng.Now())
 
 	for _, qp := range qps {
 		res.Timeouts += qp.Stats.Timeouts

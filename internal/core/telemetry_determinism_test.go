@@ -1,0 +1,94 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"odpsim/internal/sim"
+	"odpsim/internal/telemetry"
+)
+
+// exportAll renders a run's telemetry to bytes: the sampled series as CSV
+// plus the final snapshot in Prometheus form.
+func exportAll(t *testing.T, r *BenchResult) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.Telemetry.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Final.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestTelemetryDeterminism runs the same seeded scenario twice and
+// demands byte-identical telemetry exports — the property that makes
+// golden files and cross-run counter diffs trustworthy.
+func TestTelemetryDeterminism(t *testing.T) {
+	run := func() *BenchResult {
+		cfg := DefaultBench()
+		cfg.Mode = ClientODP
+		cfg.Size = 32
+		cfg.NumQPs = 8
+		cfg.NumOps = 64
+		cfg.CACK = 18
+		cfg.SampleEvery = 10 * sim.Millisecond
+		return RunMicrobench(cfg)
+	}
+	a, b := run(), run()
+	ea, eb := exportAll(t, a), exportAll(t, b)
+	if ea != eb {
+		t.Fatalf("same-seed exports differ (%d vs %d bytes)", len(ea), len(eb))
+	}
+	if a.Telemetry.Len() < 2 {
+		t.Fatalf("series too short to be meaningful: %d samples", a.Telemetry.Len())
+	}
+	// Different seeds must still export the same metric schema (names and
+	// label sets), even if values differ.
+	cfg := DefaultBench()
+	cfg.Seed = 99
+	cfg.Mode = ClientODP
+	cfg.Size = 32
+	cfg.NumQPs = 8
+	cfg.NumOps = 64
+	cfg.CACK = 18
+	cfg.SampleEvery = 10 * sim.Millisecond
+	c := RunMicrobench(cfg)
+	schema := func(s telemetry.Snapshot) string {
+		var sb strings.Builder
+		for _, smp := range s.Samples {
+			sb.WriteString(smp.Name)
+			sb.WriteString(smp.Labels)
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	if schema(a.Final) != schema(c.Final) {
+		t.Error("metric schema depends on seed")
+	}
+}
+
+// TestFinalSnapshotMatchesLegacyFields checks the registry and the
+// pre-existing exported fields are two views of the same storage.
+func TestFinalSnapshotMatchesLegacyFields(t *testing.T) {
+	cfg := DefaultBench()
+	cfg.Interval = sim.Millisecond
+	r := RunMicrobench(cfg)
+
+	if got := r.Final.Total(telemetry.LocalAckTimeoutErr); uint64(got) != r.Timeouts {
+		t.Errorf("local_ack_timeout_err total = %v, legacy Timeouts = %d", got, r.Timeouts)
+	}
+	if got := r.Final.Total(telemetry.SimDammedDrops); uint64(got) != r.DammedDrops {
+		t.Errorf("sim_dammed_drops total = %v, legacy DammedDrops = %d", got, r.DammedDrops)
+	}
+	if got := r.Final.Total(telemetry.SimRNRNakSent); uint64(got) != r.RNRNaksSent {
+		t.Errorf("sim_rnr_nak_sent total = %v, legacy RNRNaksSent = %d", got, r.RNRNaksSent)
+	}
+	if got := r.Final.Total(telemetry.SimRetransmits); uint64(got) != r.Retransmits {
+		t.Errorf("sim_retransmits total = %v, legacy Retransmits = %d", got, r.Retransmits)
+	}
+	if got := r.Final.Total(telemetry.SimFabricPacketsSent); uint64(got) != r.PacketsOnWire {
+		t.Errorf("sim_fabric_packets_sent = %v, legacy PacketsOnWire = %d", got, r.PacketsOnWire)
+	}
+}

@@ -8,9 +8,11 @@ package fabric
 
 import (
 	"fmt"
+	"strconv"
 
 	"odpsim/internal/packet"
 	"odpsim/internal/sim"
+	"odpsim/internal/telemetry"
 )
 
 // Handler receives a delivered packet on a port.
@@ -62,6 +64,27 @@ type Port struct {
 	Name    string
 	fab     *Fabric
 	handler Handler
+
+	// Counters, in the sysfs port-counter vocabulary. TxPackets/TxBytes
+	// count at Send time, RxPackets/RxBytes at delivery, TxDiscards on
+	// any drop (unknown DLID, drop filter, random loss).
+	TxPackets  uint64
+	RxPackets  uint64
+	TxBytes    uint64
+	RxBytes    uint64
+	TxDiscards uint64
+}
+
+// RegisterMetrics publishes the port counters on reg with a port label
+// (the simulator models one port per device, so the port number is 1 and
+// the LID distinguishes attachment points).
+func (p *Port) RegisterMetrics(reg *telemetry.Registry) {
+	l := telemetry.Labels{"port": "1", "lid": strconv.Itoa(int(p.LID))}
+	reg.Counter(telemetry.PortXmitPackets, "packets transmitted by the port", l, &p.TxPackets)
+	reg.Counter(telemetry.PortRcvPackets, "packets delivered to the port", l, &p.RxPackets)
+	reg.Counter(telemetry.PortXmitData, "bytes transmitted by the port", l, &p.TxBytes)
+	reg.Counter(telemetry.PortRcvData, "bytes delivered to the port", l, &p.RxBytes)
+	reg.Counter(telemetry.PortXmitDiscards, "transmitted packets dropped by the fabric", l, &p.TxDiscards)
 }
 
 type pairKey struct{ src, dst uint16 }
@@ -81,6 +104,8 @@ type Fabric struct {
 	lossRate float64
 	// dropFilter, when non-nil, drops packets it returns true for.
 	dropFilter func(*packet.Packet) bool
+	// tel publishes the fabric-wide counters below.
+	tel *telemetry.Registry
 
 	// Counters.
 	Sent      uint64
@@ -94,17 +119,27 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 	if cfg.BandwidthGbps <= 0 {
 		cfg.BandwidthGbps = 56
 	}
-	return &Fabric{
+	f := &Fabric{
 		eng:         eng,
 		cfg:         cfg,
 		ports:       make(map[uint16]*Port),
 		lastArrival: make(map[pairKey]sim.Time),
 		egressFree:  make(map[uint16]sim.Time),
+		tel:         telemetry.NewRegistry(telemetry.Labels{"device": "fabric"}),
 	}
+	f.tel.Counter(telemetry.SimFabricPacketsSent, "packets handed to the fabric", nil, &f.Sent)
+	f.tel.Counter(telemetry.SimFabricPacketsDelivered, "packets delivered to a port", nil, &f.Delivered)
+	f.tel.Counter(telemetry.SimFabricPacketsDropped, "packets dropped in flight", nil, &f.Dropped)
+	f.tel.Counter(telemetry.SimFabricBytesSent, "wire bytes handed to the fabric", nil, &f.BytesSent)
+	return f
 }
 
 // Engine returns the simulation engine.
 func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// Telemetry returns the fabric-wide counter registry (per-port counters
+// live on the owning device's registry; see Port.RegisterMetrics).
+func (f *Fabric) Telemetry() *telemetry.Registry { return f.tel }
 
 // AttachPort registers a port with the given LID. LIDs must be unique.
 func (f *Fabric) AttachPort(lid uint16, name string, h Handler) *Port {
@@ -150,6 +185,8 @@ func (p *Port) Send(pkt *packet.Packet) {
 	pkt.SLID = p.LID
 	f.Sent++
 	f.BytesSent += uint64(pkt.WireSize())
+	p.TxPackets++
+	p.TxBytes += uint64(pkt.WireSize())
 
 	dst, ok := f.ports[pkt.DLID]
 	drop := !ok
@@ -171,6 +208,7 @@ func (p *Port) Send(pkt *packet.Packet) {
 	f.emitTap(TapEvent{At: f.eng.Now(), Pkt: pkt, SrcName: p.Name, DstName: dstName, Dropped: drop, Reason: reason})
 	if drop {
 		f.Dropped++
+		p.TxDiscards++
 		return
 	}
 
@@ -192,6 +230,8 @@ func (p *Port) Send(pkt *packet.Packet) {
 	f.lastArrival[key] = at
 	f.eng.At(at, func() {
 		f.Delivered++
+		dst.RxPackets++
+		dst.RxBytes += uint64(pkt.WireSize())
 		dst.handler(pkt)
 	})
 }

@@ -26,6 +26,7 @@ package odp
 import (
 	"odpsim/internal/hostmem"
 	"odpsim/internal/sim"
+	"odpsim/internal/telemetry"
 )
 
 // Key identifies a per-QP view of one page's translation status.
@@ -106,11 +107,15 @@ type Engine struct {
 	// which bounds the queue at one item per stale pair.
 	queuedSpurious map[Key]bool
 
-	// Counters.
+	// Counters. The fields are the live storage behind the telemetry
+	// registry (see RegisterMetrics); reading them directly and reading
+	// the registry always agree.
 	Faults        uint64 // page-level faults initiated
 	PairFaults    uint64 // (QP,page) pair faults registered
 	Updates       uint64 // status updates completed
 	SpuriousTotal uint64 // spurious accesses recorded
+	Invalidations uint64 // (QP,page) translations flushed by the notifier
+	Prefetches    uint64 // (QP,page) pairs prefetched via AdviseMR
 }
 
 // New creates an ODP engine bound to an address space. It registers an
@@ -131,6 +136,22 @@ func New(as *hostmem.AddressSpace, cfg Config) *Engine {
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// RegisterMetrics publishes the engine's counters and load gauges on reg
+// under the mlx5 ODP vocabulary. The owning device calls this once with
+// its per-device registry.
+func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Counter(telemetry.OdpPageFaults, "page-level network page faults entering host resolution", nil, &e.Faults)
+	reg.Counter(telemetry.OdpPairFaults, "(QP,page) pair faults registered with the ODP pipeline", nil, &e.PairFaults)
+	reg.Counter(telemetry.OdpStatusUpdates, "per-QP page-status updates completed", nil, &e.Updates)
+	reg.Counter(telemetry.OdpSpuriousAccesses, "discarded retransmitted accesses on still-stale pairs", nil, &e.SpuriousTotal)
+	reg.Counter(telemetry.OdpInvalidations, "(QP,page) translations flushed by MMU notifier invalidations", nil, &e.Invalidations)
+	reg.Counter(telemetry.OdpPrefetches, "(QP,page) pairs prefetched via ibv_advise_mr", nil, &e.Prefetches)
+	reg.Gauge(telemetry.OdpStalePairs, "(QP,page) pairs faulted but not yet visible", nil,
+		func() float64 { return float64(len(e.pending)) })
+	reg.Gauge(telemetry.OdpPipelineDepth, "items queued in the serial ODP pipeline", nil,
+		func() float64 { return float64(len(e.queue)) })
+}
 
 // StaleCount returns the number of (QP, page) pairs that have faulted but
 // whose status update has not yet completed.
@@ -199,6 +220,20 @@ func (e *Engine) Fault(qp uint32, addr hostmem.Addr, length int) {
 	e.kick()
 }
 
+// Prefetch pre-faults the range into qp's context on behalf of
+// ibv_advise_mr(IBV_ADVISE_MR_ADVICE_PREFETCH). It runs the ordinary
+// fault path — the serial pipeline still pays for it — but counts
+// separately, the way the driver's num_prefetch does.
+func (e *Engine) Prefetch(qp uint32, addr hostmem.Addr, length int) {
+	for _, p := range hostmem.PagesSpanned(addr, length) {
+		k := Key{qp, p}
+		if !e.visible[k] && !e.pending[k] {
+			e.Prefetches++
+		}
+	}
+	e.Fault(qp, addr, length)
+}
+
 // Spurious records a discarded retransmitted access on a still-stale
 // pair. It consumes pipeline time, delaying resolves and updates queued
 // behind it — the packet-flood feedback loop.
@@ -225,6 +260,7 @@ func (e *Engine) invalidate(inv hostmem.Invalidation) {
 	for k := range e.visible {
 		if reclaimed[k.Page] {
 			delete(e.visible, k)
+			e.Invalidations++
 		}
 	}
 }

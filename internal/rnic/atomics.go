@@ -68,6 +68,7 @@ func (qp *QP) respondAtomic(pkt *packet.Packet, dup bool) {
 		}
 	}
 	qp.ePSN = packet.PSNAdd(pkt.PSN, 1)
+	r.AtomicsExecuted++
 	qp.rememberAtomic(pkt.PSN, orig)
 	qp.sendAtomicResp(pkt.PSN, orig)
 }

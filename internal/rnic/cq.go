@@ -24,6 +24,9 @@ const (
 	// WCRNRRetryExcErr is IBV_WC_RNR_RETRY_EXC_ERR: the RNR retry budget
 	// was exhausted.
 	WCRNRRetryExcErr
+
+	// numWCStatuses sizes per-status counter arrays.
+	numWCStatuses = int(WCRNRRetryExcErr) + 1
 )
 
 // String implements fmt.Stringer using the verbs constant names.

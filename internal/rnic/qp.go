@@ -2,10 +2,12 @@ package rnic
 
 import (
 	"fmt"
+	"strconv"
 
 	"odpsim/internal/hostmem"
 	"odpsim/internal/packet"
 	"odpsim/internal/sim"
+	"odpsim/internal/telemetry"
 )
 
 // SendOp is the operation type of a send work request.
@@ -156,6 +158,28 @@ type QP struct {
 	Stats QPStats
 }
 
+// registerMetrics publishes the QP's requester statistics as per-QP
+// counters, the way `rdma statistic qp show` exposes them. The Stats
+// fields are the live storage.
+func (qp *QP) registerMetrics(reg *telemetry.Registry) {
+	l := telemetry.Labels{"qpn": strconv.FormatUint(uint64(qp.Num), 10)}
+	reg.Counter(telemetry.LocalAckTimeoutErr, "Local ACK Timeout expirations on the requester", l, &qp.Stats.Timeouts)
+	reg.Counter(telemetry.RNRNakRetryErr, "RNR NAKs received by the requester", l, &qp.Stats.RNRNakReceived)
+	reg.Counter(telemetry.PacketSeqErr, "PSN sequence error NAKs received by the requester", l, &qp.Stats.NakSeqReceived)
+	reg.Counter(telemetry.SimReqPosted, "send work requests posted", l, &qp.Stats.Posted)
+	reg.Counter(telemetry.SimReqCompleted, "send work requests completed", l, &qp.Stats.Completed)
+	reg.Counter(telemetry.SimRetransmits, "request packets retransmitted (go-back-N sends)", l, &qp.Stats.Retransmits)
+	reg.Counter(telemetry.SimResponsesDiscarded, "READ responses discarded (pending window or stale page)", l, &qp.Stats.ResponsesDiscarded)
+	reg.Counter(telemetry.SimClientFaultRounds, "client-side ODP fault rounds", l, &qp.Stats.ClientFaultRounds)
+}
+
+// deliver pushes a CQE, tallying it in the device's per-status
+// completion counters first.
+func (qp *QP) deliver(cq *CQ, e CQE) {
+	qp.rnic.countWC(e.Status)
+	cq.push(e)
+}
+
 // State returns the QP state.
 func (qp *QP) State() QPState { return qp.state }
 
@@ -206,7 +230,7 @@ func (qp *QP) PostRecv(wr RecvWR) {
 // immediately with a flush error.
 func (qp *QP) PostSend(wr SendWR) {
 	if qp.state != QPReady {
-		qp.sendCQ.push(CQE{WRID: wr.ID, QPN: qp.Num, Status: WCFlushErr, Op: wr.Op})
+		qp.deliver(qp.sendCQ, CQE{WRID: wr.ID, QPN: qp.Num, Status: WCFlushErr, Op: wr.Op})
 		return
 	}
 	qp.Stats.Posted++
@@ -497,7 +521,7 @@ func (qp *QP) completeThrough(o *outReq) {
 		if isAtomic(h.w.Op) {
 			cqe.AtomicOrig = qp.pendingAtomicOrig
 		}
-		qp.sendCQ.push(cqe)
+		qp.deliver(qp.sendCQ, cqe)
 	}
 	qp.afterProgress()
 }
@@ -513,7 +537,7 @@ func (qp *QP) ackThrough(psn uint32) {
 		}
 		qp.out = qp.out[1:]
 		qp.Stats.Completed++
-		qp.sendCQ.push(CQE{WRID: h.w.ID, QPN: qp.Num, Status: WCSuccess, Op: h.w.Op, ByteLen: h.w.Len})
+		qp.deliver(qp.sendCQ, CQE{WRID: h.w.ID, QPN: qp.Num, Status: WCSuccess, Op: h.w.Op, ByteLen: h.w.Len})
 		progressed = true
 	}
 	if progressed {
@@ -540,14 +564,14 @@ func (qp *QP) fatal(culprit *outReq, status WCStatus) {
 	if len(qp.out) > 0 {
 		qp.rnic.busyQPs--
 	}
-	qp.sendCQ.push(CQE{WRID: culprit.w.ID, QPN: qp.Num, Status: status, Op: culprit.w.Op})
+	qp.deliver(qp.sendCQ, CQE{WRID: culprit.w.ID, QPN: qp.Num, Status: status, Op: culprit.w.Op})
 	for _, o := range qp.out {
 		if o != culprit {
-			qp.sendCQ.push(CQE{WRID: o.w.ID, QPN: qp.Num, Status: WCFlushErr, Op: o.w.Op})
+			qp.deliver(qp.sendCQ, CQE{WRID: o.w.ID, QPN: qp.Num, Status: WCFlushErr, Op: o.w.Op})
 		}
 	}
 	for _, w := range qp.sq {
-		qp.sendCQ.push(CQE{WRID: w.ID, QPN: qp.Num, Status: WCFlushErr, Op: w.Op})
+		qp.deliver(qp.sendCQ, CQE{WRID: w.ID, QPN: qp.Num, Status: WCFlushErr, Op: w.Op})
 	}
 	qp.out = nil
 	qp.sq = nil

@@ -29,6 +29,9 @@ func (qp *QP) responderReceive(pkt *packet.Packet) {
 		return
 	}
 	dup := d < 0
+	if dup {
+		r.DuplicateRequests++
+	}
 
 	switch pkt.Opcode {
 	case packet.OpReadRequest:
@@ -107,6 +110,7 @@ func (qp *QP) respondWrite(pkt *packet.Packet, dup bool) {
 	if !dup {
 		qp.ePSN = packet.PSNAdd(pkt.PSN, 1)
 	}
+	r.WritesExecuted++
 	if pkt.AckReq {
 		qp.sendAck(packet.SynACK, pkt.PSN)
 	}
@@ -122,6 +126,7 @@ func (qp *QP) respondSend(pkt *packet.Packet, dup bool) {
 	if len(qp.rq) == 0 {
 		// The genuine Receiver-Not-Ready condition.
 		r.RNRNakSent++
+		r.OutOfBuffer++
 		qp.sendRNRNak(pkt.PSN)
 		return
 	}
@@ -133,7 +138,7 @@ func (qp *QP) respondSend(pkt *packet.Packet, dup bool) {
 	}
 	qp.rq = qp.rq[1:]
 	qp.ePSN = packet.PSNAdd(pkt.PSN, 1)
-	qp.recvCQ.push(CQE{WRID: rwr.ID, QPN: qp.Num, Status: WCSuccess, Op: OpSend, ByteLen: pkt.PayloadLen, Recv: true})
+	qp.deliver(qp.recvCQ, CQE{WRID: rwr.ID, QPN: qp.Num, Status: WCSuccess, Op: OpSend, ByteLen: pkt.PayloadLen, Recv: true})
 	qp.sendAck(packet.SynACK, pkt.PSN)
 }
 

@@ -8,6 +8,7 @@ import (
 	"odpsim/internal/odp"
 	"odpsim/internal/packet"
 	"odpsim/internal/sim"
+	"odpsim/internal/telemetry"
 )
 
 // MR is a registered memory region.
@@ -44,12 +45,23 @@ type RNIC struct {
 	// busyQPs counts QPs with outstanding requests (the load signal for
 	// the §VI-C timeout-lengthening effect).
 	busyQPs int
+	// tel is the device's counter registry — the simulator's equivalent
+	// of /sys/class/infiniband/<dev>. The exported counter fields below
+	// are its live storage (pointer-backed), so reading them directly
+	// and scraping the registry always agree.
+	tel *telemetry.Registry
 
 	// Counters.
-	DammedDrops   uint64 // requests discarded by the damming quirk
-	RNRNakSent    uint64
-	NakSeqSent    uint64
-	ReadsExecuted uint64
+	DammedDrops       uint64 // requests discarded by the damming quirk
+	RNRNakSent        uint64
+	NakSeqSent        uint64 // out_of_sequence: OOS arrivals NAKed by the responder
+	ReadsExecuted     uint64
+	WritesExecuted    uint64
+	AtomicsExecuted   uint64
+	DuplicateRequests uint64 // already-executed requests re-received
+	OutOfBuffer       uint64 // RNR NAKs caused by an empty receive queue
+	// wcByStatus counts work completions per WCStatus.
+	wcByStatus [numWCStatuses]uint64
 }
 
 // New creates an RNIC attached to fab at the given LID, with its own
@@ -63,13 +75,45 @@ func New(fab *fabric.Fabric, lid uint16, name string, prof Profile, memCfg hostm
 		AS:      as,
 		ODP:     odp.New(as, prof.ODP),
 		prof:    prof,
+		tel:     telemetry.NewRegistry(telemetry.Labels{"device": name}),
 		qps:     make(map[uint32]*QP),
 		udqps:   make(map[uint32]*UDQP),
 		nextQPN: 1,
 		nextKey: 1,
 	}
+	r.registerMetrics()
+	r.ODP.RegisterMetrics(r.tel)
 	r.Port = fab.AttachPort(lid, name, r.receive)
+	r.Port.RegisterMetrics(r.tel)
 	return r
+}
+
+// Telemetry returns the device's counter registry.
+func (r *RNIC) Telemetry() *telemetry.Registry { return r.tel }
+
+// registerMetrics publishes the device-level counters under the
+// hw_counter vocabulary (plus sim_* names for quantities real hardware
+// does not export).
+func (r *RNIC) registerMetrics() {
+	r.tel.Counter(telemetry.OutOfSequence, "out-of-order request arrivals NAKed by the responder", nil, &r.NakSeqSent)
+	r.tel.Counter(telemetry.DuplicateRequest, "already-executed requests re-received by the responder", nil, &r.DuplicateRequests)
+	r.tel.Counter(telemetry.OutOfBuffer, "responder RNR NAKs caused by an empty receive queue", nil, &r.OutOfBuffer)
+	r.tel.Counter(telemetry.RxReadRequests, "RDMA READ requests executed by the responder", nil, &r.ReadsExecuted)
+	r.tel.Counter(telemetry.RxWriteRequests, "RDMA WRITE requests executed by the responder", nil, &r.WritesExecuted)
+	r.tel.Counter(telemetry.RxAtomicRequests, "atomic requests executed by the responder", nil, &r.AtomicsExecuted)
+	r.tel.Counter(telemetry.SimRNRNakSent, "RNR NAKs sent for any cause (ODP miss or empty RQ)", nil, &r.RNRNakSent)
+	r.tel.Counter(telemetry.SimDammedDrops, "requests silently discarded by the damming quirk (sim ground truth)", nil, &r.DammedDrops)
+	for s := 0; s < numWCStatuses; s++ {
+		r.tel.Counter(telemetry.Completions, "work completions by status",
+			telemetry.Labels{"status": WCStatus(s).String()}, &r.wcByStatus[s])
+	}
+}
+
+// countWC tallies one work completion in the per-status counters.
+func (r *RNIC) countWC(s WCStatus) {
+	if int(s) >= 0 && int(s) < numWCStatuses {
+		r.wcByStatus[s]++
+	}
 }
 
 // Engine returns the simulation engine.
@@ -111,7 +155,7 @@ func (r *RNIC) RegisterODPMR(addr hostmem.Addr, length int) *MR {
 // al. found receiver-side prefetching effective; it is also a packet-flood
 // avoidance measure, since prefetched pairs never go stale mid-transfer.
 func (r *RNIC) AdviseMR(qpn uint32, addr hostmem.Addr, length int) {
-	r.ODP.Fault(qpn, addr, length)
+	r.ODP.Prefetch(qpn, addr, length)
 }
 
 // DeregisterMR removes a region, unpinning conventional registrations.
@@ -153,6 +197,7 @@ func (r *RNIC) CreateQP(sendCQ, recvCQ *CQ) *QP {
 	}
 	r.nextQPN++
 	r.qps[qp.Num] = qp
+	qp.registerMetrics(r.tel)
 	return qp
 }
 

@@ -1,8 +1,11 @@
 package rnic
 
 import (
+	"strconv"
+
 	"odpsim/internal/hostmem"
 	"odpsim/internal/packet"
+	"odpsim/internal/telemetry"
 )
 
 // UDSendWR is a datagram send: the destination travels with the work
@@ -43,6 +46,11 @@ func (r *RNIC) CreateUDQP(sendCQ, recvCQ *CQ) *UDQP {
 	qp := &UDQP{rnic: r, Num: r.nextQPN, sendCQ: sendCQ, recvCQ: recvCQ}
 	r.nextQPN++
 	r.udqps[qp.Num] = qp
+	l := telemetry.Labels{"qpn": strconv.FormatUint(uint64(qp.Num), 10)}
+	r.tel.Counter(telemetry.SimUDSent, "datagrams transmitted", l, &qp.Sent)
+	r.tel.Counter(telemetry.SimUDDelivered, "datagrams placed into receive buffers", l, &qp.Delivered)
+	r.tel.Counter(telemetry.SimUDDroppedNoRecv, "datagrams dropped for lack of a receive buffer", l, &qp.DroppedNoRecv)
+	r.tel.Counter(telemetry.SimUDDroppedFault, "datagrams dropped into a stale ODP page", l, &qp.DroppedFault)
 	return qp
 }
 
@@ -65,6 +73,7 @@ func (qp *UDQP) PostSend(wr UDSendWR) {
 		AppSeq:     wr.AppSeq,
 		AppWords:   wr.AppWords,
 	})
+	qp.rnic.countWC(WCSuccess)
 	qp.sendCQ.push(CQE{WRID: wr.ID, QPN: qp.Num, Status: WCSuccess, Op: OpSend, ByteLen: wr.Len})
 }
 
@@ -87,6 +96,7 @@ func (qp *UDQP) receive(pkt *packet.Packet) {
 	}
 	qp.rq = qp.rq[1:]
 	qp.Delivered++
+	qp.rnic.countWC(WCSuccess)
 	qp.recvCQ.push(CQE{
 		WRID: rwr.ID, QPN: qp.Num, Status: WCSuccess, Op: OpSend,
 		ByteLen: pkt.PayloadLen, Recv: true, SrcQPN: pkt.SrcQP, SrcLID: pkt.SLID,

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// formatValue renders a metric value: integers without a decimal point
+// (the common case for counters), everything else in shortest-round-trip
+// form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format, with one HELP/TYPE header per metric name. The output is
+// byte-deterministic for a given snapshot.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	lastName := ""
+	for _, smp := range s.Samples {
+		if smp.Name != lastName {
+			if smp.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", smp.Name, smp.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", smp.Name, smp.Kind); err != nil {
+				return err
+			}
+			lastName = smp.Name
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", smp.Name, smp.Labels, formatValue(smp.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvHeader is the long-format header shared by snapshot and time-series
+// exports: one row per (time, metric, labels).
+const csvHeader = "time_ns,name,labels,value\n"
+
+func writeCSVRows(w io.Writer, s Snapshot) error {
+	for _, smp := range s.Samples {
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%s\n",
+			int64(s.At), smp.Name, strconv.Quote(smp.Labels), formatValue(smp.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the snapshot as long-format CSV (header + one row per
+// sample). Labels are quoted since the canonical form contains commas.
+func (s Snapshot) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, csvHeader); err != nil {
+		return err
+	}
+	return writeCSVRows(w, s)
+}
+
+// WriteCSV renders the whole sampled series as long-format CSV: the
+// header once, then every snapshot's rows in time order.
+func (ts *TimeSeries) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, csvHeader); err != nil {
+		return err
+	}
+	for _, s := range ts.Snaps {
+		if err := writeCSVRows(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package telemetry
+
+// The metric vocabulary, modeled on the counters a real mlx5 deployment
+// exposes. Three families:
+//
+//   - `rdma statistic` / hw_counters names (local_ack_timeout_err, …):
+//     kept verbatim so dashboards written against real devices read the
+//     simulator unchanged;
+//   - ODP counters (num_page_faults, …) as the mlx5 driver reports them
+//     per device;
+//   - sim_* names for quantities the simulator can observe but real
+//     hardware does not export (ground truth like dammed drops — the very
+//     invisibility the paper complains about — and software-visible
+//     requester statistics).
+//
+// The counter-only diagnosers in internal/core consume only names an
+// operator would realistically have: the hw_counter family plus the
+// completion counters.
+
+// Per-QP / per-device transport counters (`rdma statistic qp show`,
+// /sys/class/infiniband/<dev>/ports/<n>/hw_counters).
+const (
+	// LocalAckTimeoutErr counts Local ACK Timeout expirations on the
+	// requester — the counter that grows when packet damming rides out
+	// the several-hundred-millisecond timeout.
+	LocalAckTimeoutErr = "local_ack_timeout_err"
+	// RNRNakRetryErr counts RNR NAKs received by the requester.
+	RNRNakRetryErr = "rnr_nak_retry_err"
+	// PacketSeqErr counts PSN sequence error NAKs received by the
+	// requester.
+	PacketSeqErr = "packet_seq_err"
+	// OutOfSequence counts out-of-order request arrivals observed by the
+	// responder (each answered with a sequence error NAK).
+	OutOfSequence = "out_of_sequence"
+	// DuplicateRequest counts requests the responder had already
+	// executed (PSN below the expected one).
+	DuplicateRequest = "duplicate_request"
+	// OutOfBuffer counts responder RNR NAKs caused by an empty receive
+	// queue (as opposed to an ODP translation miss).
+	OutOfBuffer = "out_of_buffer"
+	// RxReadRequests counts RDMA READ requests executed by the responder.
+	RxReadRequests = "rx_read_requests"
+	// RxWriteRequests counts RDMA WRITE requests executed by the responder.
+	RxWriteRequests = "rx_write_requests"
+	// RxAtomicRequests counts atomic requests executed by the responder.
+	RxAtomicRequests = "rx_atomic_requests"
+)
+
+// Port counters (/sys/class/infiniband/<dev>/ports/<n>/counters). Data
+// counters are in bytes (real port_xmit_data is in 32-bit lane words;
+// the simulator does not model lanes).
+const (
+	PortXmitPackets  = "port_xmit_packets"
+	PortRcvPackets   = "port_rcv_packets"
+	PortXmitData     = "port_xmit_data"
+	PortRcvData      = "port_rcv_data"
+	PortXmitDiscards = "port_xmit_discards"
+)
+
+// ODP counters, per device, following the mlx5 driver's vocabulary.
+const (
+	// OdpPageFaults counts page-level network page faults entering host
+	// resolution (num_page_faults).
+	OdpPageFaults = "num_page_faults"
+	// OdpInvalidations counts (QP, page) translations flushed by MMU
+	// notifier invalidations.
+	OdpInvalidations = "num_invalidations"
+	// OdpPrefetches counts (QP, page) pairs prefetched via
+	// ibv_advise_mr (num_prefetch).
+	OdpPrefetches = "num_prefetch"
+	// OdpPairFaults counts (QP, page) pair faults registered with the
+	// pipeline — the unit Figure 11a's update batches are made of.
+	OdpPairFaults = "num_pair_faults"
+	// OdpStatusUpdates counts per-QP page-status updates completed —
+	// the step whose starvation the paper names "update failure of page
+	// statuses" (§VI-B).
+	OdpStatusUpdates = "num_status_updates"
+	// OdpSpuriousAccesses counts discarded retransmitted accesses on
+	// still-stale pairs — the packet-flood feedback load.
+	OdpSpuriousAccesses = "num_spurious_accesses"
+	// OdpStalePairs gauges (QP, page) pairs faulted but not yet visible
+	// ("update failures" currently outstanding).
+	OdpStalePairs = "stale_pairs"
+	// OdpPipelineDepth gauges queued items in the serial ODP pipeline.
+	OdpPipelineDepth = "pipeline_depth"
+)
+
+// Completion counters: completions by work-completion status, labelled
+// status="IBV_WC_…". Software sees these through the CQ, so the
+// counter-only diagnosers may use them.
+const (
+	Completions = "completions"
+)
+
+// Simulator-side counters real hardware does not export. sim_dammed_drops
+// is ground truth for the damming quirk — kept out of the diagnosers on
+// purpose, since no real counter reveals it (§IX-A: the pitfalls are
+// invisible without raw packets; the diagnosers show how close counters
+// alone can get).
+const (
+	SimDammedDrops        = "sim_dammed_drops"
+	SimRNRNakSent         = "sim_rnr_nak_sent"
+	SimReqPosted          = "sim_req_posted"
+	SimReqCompleted       = "sim_req_completed"
+	SimRetransmits        = "sim_retransmits"
+	SimResponsesDiscarded = "sim_responses_discarded"
+	SimClientFaultRounds  = "sim_client_fault_rounds"
+)
+
+// Unreliable Datagram counters (per UD QP).
+const (
+	SimUDSent          = "sim_ud_sent"
+	SimUDDelivered     = "sim_ud_delivered"
+	SimUDDroppedNoRecv = "sim_ud_dropped_no_recv"
+	SimUDDroppedFault  = "sim_ud_dropped_fault"
+)
+
+// Fabric-wide counters.
+const (
+	SimFabricPacketsSent      = "sim_fabric_packets_sent"
+	SimFabricPacketsDelivered = "sim_fabric_packets_delivered"
+	SimFabricPacketsDropped   = "sim_fabric_packets_dropped"
+	SimFabricBytesSent        = "sim_fabric_bytes_sent"
+)

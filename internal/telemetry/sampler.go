@@ -1,0 +1,96 @@
+package telemetry
+
+import "odpsim/internal/sim"
+
+// TimeSeries is a sequence of snapshots taken on the sim clock — the raw
+// material of the counter-only pitfall diagnosers.
+type TimeSeries struct {
+	Snaps []Snapshot
+}
+
+// Len returns the number of snapshots.
+func (ts *TimeSeries) Len() int { return len(ts.Snaps) }
+
+// Times returns the sampling instants.
+func (ts *TimeSeries) Times() []sim.Time {
+	out := make([]sim.Time, len(ts.Snaps))
+	for i, s := range ts.Snaps {
+		out[i] = s.At
+	}
+	return out
+}
+
+// Sum returns, per snapshot, the sum of every sample with the given name
+// (across devices, ports and QPs) — the cluster-wide view of one counter
+// over time.
+func (ts *TimeSeries) Sum(name string) []float64 {
+	out := make([]float64, len(ts.Snaps))
+	for i, s := range ts.Snaps {
+		out[i] = s.Total(name)
+	}
+	return out
+}
+
+// Sampler periodically scrapes a Hub on the simulation clock, like a
+// monitoring agent polling `rdma statistic` at a fixed period. It follows
+// the DummyPinger pattern: the scenario driver Starts it when the
+// workload begins and Stops it when the workload ends, so the recurring
+// timer never keeps the event loop alive on its own.
+type Sampler struct {
+	eng      *sim.Engine
+	hub      *Hub
+	interval sim.Time
+	series   TimeSeries
+	timer    *sim.Timer
+	running  bool
+}
+
+// NewSampler creates a sampler scraping hub every interval; intervals
+// below 1 µs are clamped to 1 µs to keep runaway schedules impossible.
+func NewSampler(eng *sim.Engine, hub *Hub, interval sim.Time) *Sampler {
+	if interval < sim.Microsecond {
+		interval = sim.Microsecond
+	}
+	return &Sampler{eng: eng, hub: hub, interval: interval}
+}
+
+// Start takes an immediate sample and then one every interval until Stop.
+func (s *Sampler) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.sample()
+	s.arm()
+}
+
+func (s *Sampler) arm() {
+	s.timer = s.eng.After(s.interval, func() {
+		if !s.running {
+			return
+		}
+		s.sample()
+		s.arm()
+	})
+}
+
+func (s *Sampler) sample() {
+	s.series.Snaps = append(s.series.Snaps, s.hub.Snapshot(s.eng.Now()))
+}
+
+// Stop cancels the schedule and takes one final sample (unless one was
+// already taken at the current instant), so the series always records the
+// workload's end state.
+func (s *Sampler) Stop() {
+	if !s.running {
+		return
+	}
+	s.running = false
+	s.timer.Cancel()
+	if n := len(s.series.Snaps); n == 0 || s.series.Snaps[n-1].At != s.eng.Now() {
+		s.sample()
+	}
+}
+
+// Series returns the snapshots collected so far.
+func (s *Sampler) Series() *TimeSeries { return &s.series }

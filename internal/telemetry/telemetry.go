@@ -1,0 +1,254 @@
+// Package telemetry is the simulator's vendor-counter observability
+// layer: the equivalent of the mlx5 hardware counters an operator reads
+// with `rdma statistic` or from sysfs when packet capture is unavailable.
+// The paper diagnosed its pitfalls from ibdump traces, but notes that in
+// production that visibility rarely exists — counters are the practical
+// interface to RDMA pathologies, which is why internal/core grows
+// counter-only diagnosers on top of this package.
+//
+// The design is read-side: components keep counting into plain uint64
+// fields exactly as before (a single increment on the hot path, no
+// indirection), and the registry holds *pointers* to those fields plus
+// callback-backed gauges. A Snapshot reads every registered metric at one
+// virtual instant; snapshots subtract to deltas; a Sampler scrapes a Hub
+// of registries periodically on the sim clock into a TimeSeries; export
+// helpers render Prometheus text exposition and CSV. Because the struct
+// field *is* the counter's storage, the pre-existing exported fields
+// (rnic.RNIC.DammedDrops, odp.Engine.Faults, …) remain valid read-through
+// accessors of the registry values.
+//
+// Everything is deterministic: snapshots are sorted by (name, labels),
+// values are read in registration order, and the only clock is sim.Time —
+// two runs of the same seeded scenario produce byte-identical exports.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"odpsim/internal/sim"
+)
+
+// Kind distinguishes monotonically increasing counters from
+// instantaneous gauges.
+type Kind int
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+)
+
+// String implements fmt.Stringer with the Prometheus type names.
+func (k Kind) String() string {
+	if k == KindGauge {
+		return "gauge"
+	}
+	return "counter"
+}
+
+// Labels attach dimensions to a metric, e.g. {"device": "node0",
+// "qpn": "3"}. They render sorted by key, so map order never leaks into
+// output.
+type Labels map[string]string
+
+// renderLabels merges common and specific labels (specific wins) into the
+// canonical `{k="v",…}` form, or "" when there are none.
+func renderLabels(common, specific Labels) string {
+	merged := make(map[string]string, len(common)+len(specific))
+	for k, v := range common {
+		merged[k] = v
+	}
+	for k, v := range specific {
+		merged[k] = v
+	}
+	if len(merged) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, merged[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// metric is one registered counter or gauge.
+type metric struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  string // canonical rendered form
+	counter *uint64
+	gauge   func() float64
+}
+
+// Registry holds the metrics of one component (a device, the fabric).
+// Registration happens at construction time; reads happen at snapshot
+// time. The zero value is not usable; create with NewRegistry.
+type Registry struct {
+	common  Labels
+	metrics []*metric
+	seen    map[string]bool // name+labels, to reject duplicates
+}
+
+// NewRegistry creates a registry whose metrics all carry the common
+// labels (typically {"device": name}).
+func NewRegistry(common Labels) *Registry {
+	return &Registry{common: common, seen: make(map[string]bool)}
+}
+
+func (r *Registry) add(m *metric, specific Labels) {
+	m.labels = renderLabels(r.common, specific)
+	key := m.name + m.labels
+	if r.seen[key] {
+		panic(fmt.Sprintf("telemetry: duplicate metric %s%s", m.name, m.labels))
+	}
+	r.seen[key] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers a pointer-backed counter: v is the live storage, so
+// the owning component keeps incrementing its field directly and the
+// registry observes it for free.
+func (r *Registry) Counter(name, help string, labels Labels, v *uint64) {
+	if v == nil {
+		panic("telemetry: Counter requires non-nil storage")
+	}
+	r.add(&metric{name: name, help: help, kind: KindCounter, counter: v}, labels)
+}
+
+// Gauge registers a callback-backed gauge, read at snapshot time. read
+// must only touch simulation state (it runs on the event loop).
+func (r *Registry) Gauge(name, help string, labels Labels, read func() float64) {
+	if read == nil {
+		panic("telemetry: Gauge requires a read callback")
+	}
+	r.add(&metric{name: name, help: help, kind: KindGauge, gauge: read}, labels)
+}
+
+// Len returns the number of registered metrics.
+func (r *Registry) Len() int { return len(r.metrics) }
+
+// Sample is one metric's value at one instant.
+type Sample struct {
+	Name   string
+	Labels string // canonical `{k="v",…}` form, "" when unlabelled
+	Help   string
+	Kind   Kind
+	Value  float64
+}
+
+// Snapshot is a consistent reading of every metric at one virtual
+// instant, sorted by (Name, Labels).
+type Snapshot struct {
+	At      sim.Time
+	Samples []Sample
+}
+
+// snapshotInto appends this registry's current values.
+func (r *Registry) snapshotInto(out []Sample) []Sample {
+	for _, m := range r.metrics {
+		s := Sample{Name: m.name, Labels: m.labels, Help: m.help, Kind: m.kind}
+		if m.kind == KindCounter {
+			s.Value = float64(*m.counter)
+		} else {
+			s.Value = m.gauge()
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Snapshot reads the registry at virtual time at.
+func (r *Registry) Snapshot(at sim.Time) Snapshot {
+	return finishSnapshot(at, r.snapshotInto(nil))
+}
+
+func finishSnapshot(at sim.Time, samples []Sample) Snapshot {
+	sort.SliceStable(samples, func(i, j int) bool {
+		if samples[i].Name != samples[j].Name {
+			return samples[i].Name < samples[j].Name
+		}
+		return samples[i].Labels < samples[j].Labels
+	})
+	return Snapshot{At: at, Samples: samples}
+}
+
+// Get returns the value of the sample with the given name and rendered
+// labels, and whether it exists.
+func (s Snapshot) Get(name, labels string) (float64, bool) {
+	i := sort.Search(len(s.Samples), func(i int) bool {
+		if s.Samples[i].Name != name {
+			return s.Samples[i].Name > name
+		}
+		return s.Samples[i].Labels >= labels
+	})
+	if i < len(s.Samples) && s.Samples[i].Name == name && s.Samples[i].Labels == labels {
+		return s.Samples[i].Value, true
+	}
+	return 0, false
+}
+
+// Total sums every sample with the given name across all label sets —
+// e.g. per-QP local_ack_timeout_err over the whole cluster.
+func (s Snapshot) Total(name string) float64 {
+	var sum float64
+	for _, smp := range s.Samples {
+		if smp.Name == name {
+			sum += smp.Value
+		}
+	}
+	return sum
+}
+
+// Delta returns cur - prev per metric: counters become differences,
+// gauges keep their current value. Metrics absent from prev (e.g. QPs
+// created mid-run) count from zero.
+func Delta(prev, cur Snapshot) Snapshot {
+	type key struct{ name, labels string }
+	old := make(map[key]float64, len(prev.Samples))
+	for _, s := range prev.Samples {
+		old[key{s.Name, s.Labels}] = s.Value
+	}
+	out := Snapshot{At: cur.At, Samples: make([]Sample, len(cur.Samples))}
+	copy(out.Samples, cur.Samples)
+	for i := range out.Samples {
+		if out.Samples[i].Kind == KindCounter {
+			out.Samples[i].Value -= old[key{out.Samples[i].Name, out.Samples[i].Labels}]
+		}
+	}
+	return out
+}
+
+// Hub aggregates the registries of a whole simulation (fabric + every
+// device) so one scrape sees the cluster the way a monitoring agent sees
+// a host's /sys/class/infiniband tree.
+type Hub struct {
+	regs []*Registry
+}
+
+// NewHub creates a hub over the given registries.
+func NewHub(regs ...*Registry) *Hub { return &Hub{regs: regs} }
+
+// Add attaches another registry.
+func (h *Hub) Add(r *Registry) { h.regs = append(h.regs, r) }
+
+// Snapshot reads every registry at virtual time at.
+func (h *Hub) Snapshot(at sim.Time) Snapshot {
+	var samples []Sample
+	for _, r := range h.regs {
+		samples = r.snapshotInto(samples)
+	}
+	return finishSnapshot(at, samples)
+}

@@ -12,6 +12,7 @@ import (
 	"odpsim/internal/hostmem"
 	"odpsim/internal/rnic"
 	"odpsim/internal/sim"
+	"odpsim/internal/telemetry"
 )
 
 // Config mirrors the UCX environment variables that matter here.
@@ -51,6 +52,10 @@ func NewContext(nic *rnic.RNIC, cfg Config) *Context {
 
 // NIC exposes the underlying device.
 func (c *Context) NIC() *rnic.RNIC { return c.nic }
+
+// Telemetry returns the device's counter registry, the moral
+// equivalent of reading its /sys/class/infiniband counters.
+func (c *Context) Telemetry() *telemetry.Registry { return c.nic.Telemetry() }
 
 // Config returns the context configuration.
 func (c *Context) Config() Config { return c.cfg }

@@ -13,6 +13,7 @@ import (
 	"odpsim/internal/hostmem"
 	"odpsim/internal/rnic"
 	"odpsim/internal/sim"
+	"odpsim/internal/telemetry"
 )
 
 // Access flags for RegisterMR, mirroring IBV_ACCESS_*.
@@ -44,6 +45,10 @@ func Open(nic *rnic.RNIC) *Context { return &Context{nic: nic} }
 
 // NIC exposes the underlying device (for counters and capture use).
 func (c *Context) NIC() *rnic.RNIC { return c.nic }
+
+// Telemetry returns the device's counter registry, the moral
+// equivalent of reading its /sys/class/infiniband counters.
+func (c *Context) Telemetry() *telemetry.Registry { return c.nic.Telemetry() }
 
 // LID returns the port LID.
 func (c *Context) LID() uint16 { return c.nic.LID() }

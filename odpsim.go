@@ -38,6 +38,7 @@ import (
 	"odpsim/internal/sim"
 	"odpsim/internal/softrel"
 	"odpsim/internal/stats"
+	"odpsim/internal/telemetry"
 	"odpsim/internal/ucx"
 	"odpsim/internal/verbs"
 )
@@ -292,6 +293,69 @@ func DetectFlood(c *Capture, window Time, threshold int) []FloodIncident {
 
 // DummyPinger is the §IX-A dummy-communication damming workaround.
 type DummyPinger = core.DummyPinger
+
+// --- Telemetry (vendor-counter observability) ---
+
+// TelemetryRegistry holds one component's counters and gauges under
+// mlx5-style names (local_ack_timeout_err, num_page_faults, …).
+type TelemetryRegistry = telemetry.Registry
+
+// TelemetryHub aggregates the registries of a whole simulation; get a
+// cluster's with Cluster.Telemetry().
+type TelemetryHub = telemetry.Hub
+
+// TelemetryLabels attach dimensions to a metric.
+type TelemetryLabels = telemetry.Labels
+
+// TelemetrySnapshot is a consistent counter reading at one instant; it
+// exports Prometheus text and CSV.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// TelemetrySample is one metric's value inside a snapshot.
+type TelemetrySample = telemetry.Sample
+
+// TelemetryTimeSeries is a sequence of snapshots sampled on the sim
+// clock (BenchResult.Telemetry when BenchConfig.SampleEvery is set).
+type TelemetryTimeSeries = telemetry.TimeSeries
+
+// TelemetrySampler periodically scrapes a hub on the sim clock.
+type TelemetrySampler = telemetry.Sampler
+
+// NewTelemetrySampler creates a sampler; the workload driver Starts it
+// when the run begins and Stops it when the run ends.
+func NewTelemetrySampler(eng *Engine, hub *TelemetryHub, interval Time) *TelemetrySampler {
+	return telemetry.NewSampler(eng, hub, interval)
+}
+
+// TelemetryDelta subtracts counter snapshots (counters diff, gauges keep
+// their current value).
+func TelemetryDelta(prev, cur TelemetrySnapshot) TelemetrySnapshot {
+	return telemetry.Delta(prev, cur)
+}
+
+// CounterDammingIncident is damming diagnosed from counters alone.
+type CounterDammingIncident = core.CounterDammingIncident
+
+// CounterFloodIncident is flood diagnosed from counters alone.
+type CounterFloodIncident = core.CounterFloodIncident
+
+// CounterDiagnosis bundles both counter-only diagnoses.
+type CounterDiagnosis = core.CounterDiagnosis
+
+// DiagnoseDammingCounters finds damming in a sampled counter series
+// without a capture (minStall <= 0 selects 100 ms).
+func DiagnoseDammingCounters(ts *TelemetryTimeSeries, minStall Time) []CounterDammingIncident {
+	return core.DiagnoseDammingCounters(ts, minStall)
+}
+
+// DiagnoseFloodCounters finds flood in a sampled counter series without
+// a capture (ratePerSec <= 0 selects 100/s).
+func DiagnoseFloodCounters(ts *TelemetryTimeSeries, ratePerSec float64) []CounterFloodIncident {
+	return core.DiagnoseFloodCounters(ts, ratePerSec)
+}
+
+// DiagnoseCounters runs both counter-only diagnosers with defaults.
+func DiagnoseCounters(ts *TelemetryTimeSeries) CounterDiagnosis { return core.DiagnoseCounters(ts) }
 
 // SmallestRNRDelay is the smallest InfiniBand RNR timer encoding, the
 // paper's first workaround.
