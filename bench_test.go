@@ -16,6 +16,7 @@ import (
 	"odpsim/internal/core"
 	"odpsim/internal/hostmem"
 	"odpsim/internal/odp"
+	"odpsim/internal/parallel"
 	"odpsim/internal/perftest"
 	"odpsim/internal/regcache"
 	"odpsim/internal/rnic"
@@ -666,3 +667,69 @@ func BenchmarkExtension_SparkEngine(b *testing.B) {
 }
 
 var _ = odp.DefaultConfig // keep the odp import for ablation docs references
+
+// --- BenchmarkSweep family: the parallel sweep runner and engine hot
+// path, tracked in BENCH_sweeps.json via `odpperf -write-bench` ---
+
+// benchSweepGrid is the reduced Fig-4 sweep the runner benchmarks share.
+func benchSweepGrid(b *testing.B, jobs int) {
+	parallel.SetJobs(jobs)
+	defer parallel.SetJobs(0)
+	for i := 0; i < b.N; i++ {
+		base := core.DefaultBench()
+		base.Seed = int64(i + 1)
+		core.SweepExecTime(base, core.IntervalRange(0, 6, 1), 3)
+	}
+}
+
+// BenchmarkSweepSequential is the -j 1 baseline for the multi-trial
+// Figure-4 sweep.
+func BenchmarkSweepSequential(b *testing.B) { benchSweepGrid(b, 1) }
+
+// BenchmarkSweepParallel is the same sweep on the full worker pool; the
+// wall-clock ratio against BenchmarkSweepSequential is the fan-out
+// speedup (≈1x on a single-core host, ≥2x from 4 cores up).
+func BenchmarkSweepParallel(b *testing.B) { benchSweepGrid(b, 0) }
+
+// BenchmarkSweepTimeoutProbability exercises the probability sweep the
+// Fig-6/7 drivers use, on the worker pool.
+func BenchmarkSweepTimeoutProbability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := core.DefaultBench()
+		base.Mode = core.ServerODP
+		base.Seed = int64(i + 1)
+		core.SweepTimeoutProbability(base, core.IntervalRange(0, 6, 1), 4, "1.28 ms")
+	}
+}
+
+// BenchmarkSweepEngineEventLoop measures the engine hot path alone: the
+// RC requester's schedule-ACK-cancel pattern on a Reset-reused engine.
+// The event free list and eager Cancel keep allocs/op flat (one Timer
+// handle per After is all that escapes).
+func BenchmarkSweepEngineEventLoop(b *testing.B) {
+	eng := sim.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.Reset(int64(i))
+		var pending sim.Timer
+		for j := 0; j < 1024; j++ {
+			pending.Cancel() // no-op on the zero Timer
+			pending = eng.After(sim.Time(j+1)*sim.Microsecond, func() {})
+			eng.After(sim.Time(j)*sim.Microsecond, func() {})
+		}
+		eng.Run()
+	}
+}
+
+// BenchmarkSweepMicrobenchReuse measures one default micro-benchmark run
+// on a Reset-reused engine — the per-trial cost inside every sweep.
+func BenchmarkSweepMicrobenchReuse(b *testing.B) {
+	eng := sim.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultBench()
+		cfg.Eng = eng
+		cfg.Seed = int64(i + 1)
+		core.RunMicrobench(cfg)
+	}
+}

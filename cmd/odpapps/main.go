@@ -12,6 +12,7 @@ import (
 	"odpsim/internal/apps/argodsm"
 	"odpsim/internal/apps/sparkucx"
 	"odpsim/internal/cluster"
+	"odpsim/internal/parallel"
 	"odpsim/internal/stats"
 )
 
@@ -20,7 +21,9 @@ func main() {
 	trials := flag.Int("trials", 0, "trials (default: 100 for argodsm, 10 for sparkucx)")
 	seed := flag.Int64("seed", 1, "base seed")
 	waves := flag.Int("waves", 2, "sampled shuffle waves per sparkucx run")
+	jobs := flag.Int("j", 0, "parallel trial workers (0 = GOMAXPROCS); output is identical for any value")
 	flag.Parse()
+	parallel.SetJobs(*jobs)
 
 	switch *app {
 	case "argodsm":

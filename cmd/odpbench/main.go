@@ -12,6 +12,7 @@ import (
 
 	"odpsim/internal/cluster"
 	"odpsim/internal/core"
+	"odpsim/internal/parallel"
 	"odpsim/internal/sim"
 	"odpsim/internal/stats"
 )
@@ -29,7 +30,9 @@ func main() {
 	trials := flag.Int("trials", 10, "number of trials")
 	seed := flag.Int64("seed", 1, "base simulation seed")
 	ping := flag.Bool("dummy-ping", false, "enable the dummy-communication workaround")
+	jobs := flag.Int("j", 0, "parallel trial workers (0 = GOMAXPROCS); output is identical for any value")
 	flag.Parse()
+	parallel.SetJobs(*jobs)
 
 	sys, err := cluster.ByName(*system)
 	if err != nil {
@@ -62,12 +65,19 @@ func main() {
 	fmt.Printf("%s: %d ops × %d B over %d QP(s), interval %v, %s, C_ACK=%d\n\n",
 		sys.Name, *numOps, *size, *numQPs, *interval, cfg.Mode, *cack)
 
+	// Trials fan across the worker pool (each derives its seed from its
+	// index); the per-trial lines print in index order afterwards.
+	engs := core.NewEngines()
+	results := make([]*core.BenchResult, *trials)
+	parallel.Run(*trials, func(w, i int) {
+		c := cfg
+		c.Eng = engs.Get(w)
+		c.Seed = *seed + int64(i)*7919
+		results[i] = core.RunMicrobench(c)
+	})
 	var times []float64
 	timeouts := 0
-	for i := 0; i < *trials; i++ {
-		c := cfg
-		c.Seed = *seed + int64(i)*7919
-		r := core.RunMicrobench(c)
+	for i, r := range results {
 		status := ""
 		if r.TimedOut() {
 			timeouts++

@@ -9,17 +9,25 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
 
 	"odpsim/internal/cluster"
 	"odpsim/internal/core"
+	"odpsim/internal/parallel"
 	"odpsim/internal/perftest"
+	"odpsim/internal/sim"
 )
 
 func main() {
 	test := flag.String("test", "lat", "lat, bw, or compare")
+	writeBench := flag.String("write-bench", "", "write a perf snapshot (sequential-vs-parallel sweep wall clock, engine event-loop ns/op and allocs/op) as JSON to FILE, e.g. BENCH_sweeps.json, and exit")
 	size := flag.Int("size", 8, "message size in bytes")
 	iters := flag.Int("iters", 1000, "iterations")
 	mode := flag.String("mode", "none", "ODP mode: none, server, client, both")
@@ -30,6 +38,13 @@ func main() {
 	system := flag.String("system", "KNL (Private servers B)", "system profile")
 	seed := flag.Int64("seed", 1, "seed")
 	flag.Parse()
+
+	if *writeBench != "" {
+		if err := writeBenchFile(*writeBench); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	sys, err := cluster.ByName(*system)
 	if err != nil {
@@ -67,4 +82,123 @@ func main() {
 	default:
 		log.Fatalf("unknown test %q", *test)
 	}
+}
+
+// benchReport is the BENCH_sweeps.json schema: one snapshot of the sweep
+// runner's wall-clock behaviour and the engine hot path's per-event cost,
+// tracked across PRs.
+type benchReport struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Jobs       int `json:"jobs"`
+	Sweep      struct {
+		Name         string  `json:"name"`
+		Points       int     `json:"points"`
+		Trials       int     `json:"trials"`
+		SequentialNs int64   `json:"sequential_ns"`
+		ParallelNs   int64   `json:"parallel_ns"`
+		Speedup      float64 `json:"speedup"`
+		Identical    bool    `json:"identical"`
+	} `json:"sweep"`
+	Engine struct {
+		Name          string  `json:"name"`
+		NsPerEvent    float64 `json:"ns_per_event"`
+		AllocsPerLoop int64   `json:"allocs_per_loop"`
+	} `json:"engine"`
+	Microbench struct {
+		Name    string `json:"name"`
+		NsPerOp int64  `json:"ns_per_op"`
+		Allocs  int64  `json:"allocs_per_op"`
+	} `json:"microbench"`
+}
+
+// writeBenchFile measures the multi-trial Figure-4 sweep sequentially and
+// with the full worker pool, plus the engine event-loop microbenchmarks,
+// and writes the snapshot as JSON.
+func writeBenchFile(path string) error {
+	var rep benchReport
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Jobs = parallel.Jobs()
+
+	base := core.DefaultBench()
+	grid := core.IntervalRange(0, 6, 0.5)
+	const trials = 6
+	sweep := func(jobs int) (time.Duration, []float64) {
+		parallel.SetJobs(jobs)
+		defer parallel.SetJobs(0)
+		start := time.Now()
+		s := core.SweepExecTime(base, grid, trials)
+		return time.Since(start), s.Y
+	}
+	seqD, seqY := sweep(1)
+	parD, parY := sweep(0)
+	rep.Sweep.Name = "SweepExecTime fig4 0..6ms step 0.5ms"
+	rep.Sweep.Points = len(grid)
+	rep.Sweep.Trials = trials
+	rep.Sweep.SequentialNs = seqD.Nanoseconds()
+	rep.Sweep.ParallelNs = parD.Nanoseconds()
+	if parD > 0 {
+		rep.Sweep.Speedup = float64(seqD) / float64(parD)
+	}
+	rep.Sweep.Identical = equalSlices(seqY, parY)
+
+	// Engine hot path: the RC requester's schedule-ACK-cancel pattern —
+	// each posted retransmit timer is cancelled before it fires — on one
+	// Reset-reused engine. The free list and eager cancel keep this
+	// allocation-flat per loop.
+	const eventsPerLoop = 4096
+	engRes := testing.Benchmark(func(b *testing.B) {
+		eng := sim.New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.Reset(int64(i))
+			var pending sim.Timer
+			for j := 0; j < eventsPerLoop; j++ {
+				pending.Cancel() // no-op on the zero Timer
+				pending = eng.After(sim.Time(j+1)*sim.Microsecond, func() {})
+				eng.After(sim.Time(j)*sim.Microsecond, func() {})
+			}
+			eng.Run()
+		}
+	})
+	rep.Engine.Name = "engine schedule+cancel loop, 4096 events, Reset-reused"
+	rep.Engine.NsPerEvent = float64(engRes.NsPerOp()) / eventsPerLoop
+	rep.Engine.AllocsPerLoop = engRes.AllocsPerOp()
+
+	mbRes := testing.Benchmark(func(b *testing.B) {
+		eng := sim.New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := core.DefaultBench()
+			cfg.Eng = eng
+			cfg.Seed = int64(i + 1)
+			core.RunMicrobench(cfg)
+		}
+	})
+	rep.Microbench.Name = "RunMicrobench default config, Reset-reused engine"
+	rep.Microbench.NsPerOp = mbRes.NsPerOp()
+	rep.Microbench.Allocs = mbRes.AllocsPerOp()
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: sweep %.2fx speedup (%d workers), engine %.0f ns/event, %d allocs/loop\n",
+		path, rep.Sweep.Speedup, rep.Jobs, rep.Engine.NsPerEvent, rep.Engine.AllocsPerLoop)
+	return nil
+}
+
+func equalSlices(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

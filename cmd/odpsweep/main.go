@@ -21,6 +21,7 @@ import (
 
 	"odpsim/internal/cluster"
 	"odpsim/internal/core"
+	"odpsim/internal/parallel"
 	"odpsim/internal/sim"
 	"odpsim/internal/stats"
 )
@@ -31,7 +32,9 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller grids for a fast run")
 	seed := flag.Int64("seed", 1, "base seed")
 	counters := flag.String("counters", "", "with -fig 11: also write each run's sampled device counters as CSV to FILE (suffixed per run)")
+	jobs := flag.Int("j", 0, "parallel sweep workers (0 = GOMAXPROCS); output is identical for any value")
 	flag.Parse()
+	parallel.SetJobs(*jobs)
 
 	switch *fig {
 	case "2":

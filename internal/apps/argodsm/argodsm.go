@@ -10,6 +10,7 @@ package argodsm
 import (
 	"odpsim/internal/cluster"
 	"odpsim/internal/hostmem"
+	"odpsim/internal/parallel"
 	"odpsim/internal/sim"
 	"odpsim/internal/stats"
 	"odpsim/internal/ucx"
@@ -123,14 +124,16 @@ func Run(cfg Config) Result {
 // total times in seconds plus a histogram, reproducing Figure 12's
 // methodology (100 trials).
 func Distribution(cfg Config, trials int, histHi float64) ([]float64, *stats.Histogram) {
-	times := make([]float64, 0, trials)
-	h := stats.NewHistogram(0, histHi, 25)
-	for i := 0; i < trials; i++ {
+	// Trials are independent (each builds its own cluster from its own
+	// derived seed), so they fan across the worker pool; the histogram
+	// is filled from the index-ordered results afterwards.
+	times := parallel.Map(trials, func(i int) float64 {
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)*6151
-		r := Run(c)
-		s := r.Total.Seconds()
-		times = append(times, s)
+		return Run(c).Total.Seconds()
+	})
+	h := stats.NewHistogram(0, histHi, 25)
+	for _, s := range times {
 		h.Add(s)
 	}
 	return times, h

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"odpsim/internal/cluster"
+	"odpsim/internal/parallel"
 	"odpsim/internal/sim"
 	"odpsim/internal/stats"
 )
@@ -187,18 +188,35 @@ type Row struct {
 // MeasureRow runs trials with and without ODP and summarizes, mirroring
 // the paper's 10-trial methodology with failed samples omitted.
 func MeasureRow(e Example, sc SystemConfig, trials int, seed int64, sampleWaves int) Row {
-	var dis, ena []float64
-	omitted := 0
-	for i := 0; i < trials; i++ {
+	// A trial's disable and enable runs share a seed but no state, so
+	// both fan across the worker pool; the summaries are assembled from
+	// the index-ordered results, exactly as the sequential loop did.
+	type trial struct {
+		dis     float64
+		ena     float64
+		omitted bool
+	}
+	results := parallel.Map(trials, func(i int) trial {
 		cfg := Config{Example: e, Sys: sc, Seed: seed + int64(i)*3547, SampleWaves: sampleWaves}
-		dis = append(dis, Run(cfg).ExecTime.Seconds())
+		t := trial{dis: Run(cfg).ExecTime.Seconds()}
 		cfg.ODP = true
 		r := Run(cfg)
 		if r.Failed {
+			t.omitted = true
+		} else {
+			t.ena = r.ExecTime.Seconds()
+		}
+		return t
+	})
+	var dis, ena []float64
+	omitted := 0
+	for _, t := range results {
+		dis = append(dis, t.dis)
+		if t.omitted {
 			omitted++
 			continue
 		}
-		ena = append(ena, r.ExecTime.Seconds())
+		ena = append(ena, t.ena)
 	}
 	row := Row{
 		Example: e, Label: sc.Label, QPs: sc.QPs[e],

@@ -142,7 +142,19 @@ func (c *Cluster) Telemetry() *telemetry.Hub {
 // Build creates a cluster of nodes node RNICs (LIDs 1..nodes) on a fresh
 // engine seeded with seed.
 func (s System) Build(seed int64, nodes int) *Cluster {
-	eng := sim.New(seed)
+	return s.BuildOn(nil, seed, nodes)
+}
+
+// BuildOn is Build, but reuses eng — Reset with seed — instead of
+// allocating a fresh engine, so tight trial loops recycle the engine's
+// event storage. A nil eng falls back to Build's fresh engine. The
+// resulting simulation is byte-identical either way.
+func (s System) BuildOn(eng *sim.Engine, seed int64, nodes int) *Cluster {
+	if eng == nil {
+		eng = sim.New(seed)
+	} else {
+		eng.Reset(seed)
+	}
 	fab := fabric.New(eng, s.FabricConfig())
 	c := &Cluster{Eng: eng, Fab: fab, Sys: s}
 	for i := 0; i < nodes; i++ {

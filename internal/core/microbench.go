@@ -92,6 +92,13 @@ type BenchConfig struct {
 	// daemon polls `rdma statistic` — no packet capture needed. The
 	// series lands in BenchResult.Telemetry.
 	SampleEvery sim.Time
+
+	// Eng, when non-nil, is Reset with the trial seed and reused as the
+	// simulation engine, recycling event storage across a sweep's
+	// trials. The run is byte-identical to one on a fresh engine. An
+	// engine must not be shared by concurrent trials; the sweep layer
+	// keeps one per parallel worker (see Engines).
+	Eng *sim.Engine
 }
 
 // DefaultBench returns the §V configuration: KNL, 100-byte messages, one
@@ -146,7 +153,7 @@ func RunMicrobench(cfg BenchConfig) *BenchResult {
 	if cfg.NumOps <= 0 || cfg.NumQPs <= 0 || cfg.Size <= 0 {
 		panic("core: NumOps, NumQPs and Size must be positive")
 	}
-	cl := cfg.System.Build(cfg.Seed, 2)
+	cl := cfg.System.BuildOn(cfg.Eng, cfg.Seed, 2)
 	client, server := cl.Nodes[0], cl.Nodes[1]
 
 	var cap_ *capture.Capture

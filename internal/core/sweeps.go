@@ -5,20 +5,52 @@ import (
 	"strconv"
 
 	"odpsim/internal/cluster"
+	"odpsim/internal/parallel"
 	"odpsim/internal/sim"
 	"odpsim/internal/stats"
 )
 
+// The sweep layer fans its grids across internal/parallel's worker pool.
+// The determinism contract (see that package's doc and DESIGN.md): every
+// point's seed is derived from the point's grid position exactly as the
+// historical sequential loops derived it, each point runs on its own
+// engine and cluster, and results are committed in index order — so
+// output is byte-identical to sequential execution for any -j.
+
+// Engines is a per-worker engine cache for parallel sweeps: Get(worker)
+// lazily creates one engine per worker, and passing it as BenchConfig.Eng
+// recycles event storage across that worker's trials. Index only with the
+// worker argument parallel.Run supplies — that is what makes the reuse
+// race-free.
+type Engines []*sim.Engine
+
+// NewEngines sizes a cache for the current worker bound.
+func NewEngines() Engines { return make(Engines, parallel.Jobs()) }
+
+// Get returns worker w's engine, creating it on first use. The seed is
+// irrelevant: every run Resets the engine with its own trial seed.
+func (e Engines) Get(w int) *sim.Engine {
+	if e[w] == nil {
+		e[w] = sim.New(0)
+	}
+	return e[w]
+}
+
 // SweepTimeouts regenerates Figure 2: the measured timeout T_o as a
 // function of C_ACK for each system, one series per system (Y in
-// seconds).
+// seconds). Points run across the worker pool.
 func SweepTimeouts(systems []cluster.System, cacks []int, seed int64) []*stats.Series {
+	tos := make([]sim.Time, len(systems)*len(cacks))
+	engs := NewEngines()
+	parallel.Run(len(tos), func(w, i int) {
+		si, ci := i/len(cacks), i%len(cacks)
+		tos[i] = MeasureTimeoutOn(engs.Get(w), systems[si], cacks[ci], seed+int64(si*1000+cacks[ci]))
+	})
 	var out []*stats.Series
 	for si, sys := range systems {
 		s := &stats.Series{Label: sys.Name}
-		for _, c := range cacks {
-			to := MeasureTimeout(sys, c, seed+int64(si*1000+c))
-			s.Add(float64(c), to.Seconds())
+		for ci, c := range cacks {
+			s.Add(float64(c), tos[si*len(cacks)+ci].Seconds())
 		}
 		out = append(out, s)
 	}
@@ -26,27 +58,45 @@ func SweepTimeouts(systems []cluster.System, cacks []int, seed int64) []*stats.S
 }
 
 // IntervalRange builds an interval grid in milliseconds: from, from+step,
-// …, to (inclusive within floating tolerance).
+// …, to (inclusive within floating tolerance). Each point is computed as
+// from + i·step — accumulating x += step instead drifts by an ulp per
+// step, enough to truncate grid points one nanosecond low over long
+// grids (the Fig-6b 0.1 ms grid's 0.8 ms point used to land on
+// 799999 ns).
 func IntervalRange(fromMs, toMs, stepMs float64) []sim.Time {
+	if stepMs <= 0 {
+		panic("core: IntervalRange needs a positive step")
+	}
 	var out []sim.Time
-	for x := fromMs; x <= toMs+1e-9; x += stepMs {
+	for i := 0; ; i++ {
+		x := fromMs + float64(i)*stepMs
+		if x > toMs+1e-9 {
+			return out
+		}
 		out = append(out, sim.FromMillis(x))
 	}
-	return out
 }
 
 // SweepExecTime regenerates Figure 4: the mean execution time of the
 // micro-benchmark across trials at each posting interval (X in ms, Y in
-// seconds).
+// seconds). The interval×trial grid runs across the worker pool; per-
+// interval means are reduced in trial order, so the result is bit-equal
+// to the sequential sum.
 func SweepExecTime(base BenchConfig, intervals []sim.Time, trials int) *stats.Series {
+	execs := make([]float64, len(intervals)*trials)
+	engs := NewEngines()
+	parallel.Run(len(execs), func(w, i int) {
+		cfg := base
+		cfg.Eng = engs.Get(w)
+		cfg.Interval = intervals[i/trials]
+		cfg.Seed = base.Seed + int64(i%trials)*7919 + int64(cfg.Interval)
+		execs[i] = RunMicrobench(cfg).ExecTime.Seconds()
+	})
 	s := &stats.Series{Label: base.Mode.String()}
-	for _, iv := range intervals {
+	for ivi, iv := range intervals {
 		var sum float64
 		for t := 0; t < trials; t++ {
-			cfg := base
-			cfg.Interval = iv
-			cfg.Seed = base.Seed + int64(t)*7919 + int64(iv)
-			sum += RunMicrobench(cfg).ExecTime.Seconds()
+			sum += execs[ivi*trials+t]
 		}
 		s.Add(iv.Millis(), sum/float64(trials))
 	}
@@ -55,15 +105,22 @@ func SweepExecTime(base BenchConfig, intervals []sim.Time, trials int) *stats.Se
 
 // SweepTimeoutProbability regenerates Figures 6 and 7: the fraction of
 // trials (in %) in which a Local-ACK timeout fired, per posting interval.
+// The interval×trial grid runs across the worker pool.
 func SweepTimeoutProbability(base BenchConfig, intervals []sim.Time, trials int, label string) *stats.Series {
+	timedOut := make([]bool, len(intervals)*trials)
+	engs := NewEngines()
+	parallel.Run(len(timedOut), func(w, i int) {
+		cfg := base
+		cfg.Eng = engs.Get(w)
+		cfg.Interval = intervals[i/trials]
+		cfg.Seed = base.Seed + int64(i%trials)*104729 + int64(cfg.Interval)
+		timedOut[i] = RunMicrobench(cfg).TimedOut()
+	})
 	s := &stats.Series{Label: label}
-	for _, iv := range intervals {
+	for ivi, iv := range intervals {
 		hits := 0
 		for t := 0; t < trials; t++ {
-			cfg := base
-			cfg.Interval = iv
-			cfg.Seed = base.Seed + int64(t)*104729 + int64(iv)
-			if RunMicrobench(cfg).TimedOut() {
+			if timedOut[ivi*trials+t] {
 				hits++
 			}
 		}
@@ -82,7 +139,23 @@ type QPSweepResult struct {
 
 // SweepQPs regenerates Figure 9: the micro-benchmark with a fixed
 // operation count across a range of QP counts for each requested mode.
+// The qps×modes grid runs across the worker pool.
 func SweepQPs(base BenchConfig, qps []int, modes []ODPMode) *QPSweepResult {
+	type point struct {
+		exec    float64
+		packets float64
+	}
+	pts := make([]point, len(qps)*len(modes))
+	engs := NewEngines()
+	parallel.Run(len(pts), func(w, i int) {
+		cfg := base
+		cfg.Eng = engs.Get(w)
+		cfg.NumQPs = qps[i/len(modes)]
+		cfg.Mode = modes[i%len(modes)]
+		cfg.Seed = base.Seed + int64(cfg.NumQPs)*31 + int64(cfg.Mode)
+		r := RunMicrobench(cfg)
+		pts[i] = point{exec: r.ExecTime.Seconds(), packets: float64(r.PacketsOnWire) / 1000}
+	})
 	res := &QPSweepResult{
 		QPs:     qps,
 		Time:    make(map[ODPMode]*stats.Series),
@@ -92,15 +165,11 @@ func SweepQPs(base BenchConfig, qps []int, modes []ODPMode) *QPSweepResult {
 		res.Time[m] = &stats.Series{Label: m.String()}
 		res.Packets[m] = &stats.Series{Label: m.String()}
 	}
-	for _, n := range qps {
-		for _, m := range modes {
-			cfg := base
-			cfg.NumQPs = n
-			cfg.Mode = m
-			cfg.Seed = base.Seed + int64(n)*31 + int64(m)
-			r := RunMicrobench(cfg)
-			res.Time[m].Add(float64(n), r.ExecTime.Seconds())
-			res.Packets[m].Add(float64(n), float64(r.PacketsOnWire)/1000)
+	for ni, n := range qps {
+		for mi, m := range modes {
+			p := pts[ni*len(modes)+mi]
+			res.Time[m].Add(float64(n), p.exec)
+			res.Packets[m].Add(float64(n), p.packets)
 		}
 	}
 	return res

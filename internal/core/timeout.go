@@ -11,8 +11,14 @@ import (
 // is lost, C_retry is set to 7, and the measured time t between the first
 // request and the IBV_WC_RETRY_EXC_ERR abort yields T_o = t / (C_retry+1).
 func MeasureTimeout(sys cluster.System, cack int, seed int64) sim.Time {
+	return MeasureTimeoutOn(nil, sys, cack, seed)
+}
+
+// MeasureTimeoutOn is MeasureTimeout on a Reset-reused engine (nil for a
+// fresh one); see BenchConfig.Eng for the reuse contract.
+func MeasureTimeoutOn(eng *sim.Engine, sys cluster.System, cack int, seed int64) sim.Time {
 	const cretry = 7
-	cl := sys.Build(seed, 2)
+	cl := sys.BuildOn(eng, seed, 2)
 	client := cl.Nodes[0]
 	lbuf := client.AS.Alloc(4096)
 	client.RegisterMR(lbuf, 4096)

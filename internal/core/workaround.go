@@ -22,7 +22,7 @@ type DummyPinger struct {
 	local    hostmem.Addr
 	remote   hostmem.Addr
 	interval sim.Time
-	timer    *sim.Timer
+	timer    sim.Timer
 	stopped  bool
 	next     uint64
 

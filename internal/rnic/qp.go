@@ -141,8 +141,8 @@ type QP struct {
 	paused      bool
 	inResume    bool
 	pauseFrom   uint32
-	resumeTimer *sim.Timer
-	toTimer     *sim.Timer
+	resumeTimer sim.Timer
+	toTimer     sim.Timer
 
 	// Responder state.
 	ePSN uint32

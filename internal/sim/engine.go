@@ -8,13 +8,15 @@ import (
 
 // event is a scheduled callback. Events at the same instant fire in the
 // order they were scheduled (seq breaks ties), which keeps runs
-// deterministic.
+// deterministic. Events are recycled through the engine's free list when
+// they fire or are cancelled; gen increments on every recycle so stale
+// Timer handles become inert instead of acting on the event's next life.
 type event struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	cancelled bool
-	index     int // position in the heap, -1 when popped
+	at    Time
+	seq   uint64
+	fn    func()
+	gen   uint64
+	index int // position in the heap, -1 when popped
 }
 
 type eventHeap []*event
@@ -50,34 +52,47 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
-// Timer is a handle to a scheduled event; it allows cancellation.
+// Timer is a handle to a scheduled event; it allows cancellation. The
+// handle captures the event's generation: once the event fires (and its
+// storage is recycled for a later schedule), the handle is inert. Timer
+// is a small value — the zero Timer is valid and permanently inert, and
+// copies of a handle all refer to the same scheduled callback.
 type Timer struct {
-	ev *event
+	eng *Engine
+	ev  *event
+	gen uint64
 }
 
-// Cancel prevents the timer's callback from firing. Cancelling an
-// already-fired or already-cancelled timer is a no-op. Cancel reports
-// whether the callback was still pending.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled {
+// Cancel prevents the timer's callback from firing. The event is removed
+// from the heap immediately and its storage recycled — cancelled timers
+// leave no dead entries behind (the RC requester cancels a retransmit
+// timer on nearly every ACK, so lazy deletion would carry a tail of dead
+// heap entries through timeout-heavy runs). Cancelling an already-fired
+// or already-cancelled timer is a no-op. Cancel reports whether the
+// callback was still pending.
+func (t Timer) Cancel() bool {
+	if t.ev == nil || t.ev.gen != t.gen {
 		return false
 	}
-	t.ev.cancelled = true
-	return t.ev.index >= 0 && t.ev.fn != nil
+	heap.Remove(&t.eng.events, t.ev.index)
+	t.eng.recycle(t.ev)
+	return true
 }
 
 // Pending reports whether the timer's callback has neither fired nor been
 // cancelled.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.cancelled && t.ev.index >= 0
+func (t Timer) Pending() bool {
+	return t.ev != nil && t.ev.gen == t.gen
 }
 
 // Engine is the simulation core. It is not safe for concurrent use; the
 // process layer (see proc.go) serializes all goroutines onto the engine's
-// event loop.
+// event loop. Distinct engines are fully independent, so separate trials
+// may run on separate engines concurrently (see internal/parallel).
 type Engine struct {
 	now     Time
 	events  eventHeap
+	free    []*event // recycled event storage
 	seq     uint64
 	rng     *rand.Rand
 	fired   uint64
@@ -92,6 +107,28 @@ func New(seed int64) *Engine {
 	return &Engine{rng: rand.New(rand.NewSource(seed))}
 }
 
+// Reset returns the engine to its just-constructed state with a new seed,
+// keeping allocated storage (the heap's backing array and the event free
+// list) so repeated trials reuse one engine instead of allocating a fresh
+// one per run. A reset engine behaves byte-identically to New(seed).
+// Reset panics if live processes remain from an unfinished run.
+func (e *Engine) Reset(seed int64) {
+	if e.procs > 0 {
+		panic(fmt.Sprintf("sim: Reset with %d live process(es)", e.procs))
+	}
+	for _, ev := range e.events {
+		ev.index = -1
+		e.recycle(ev)
+	}
+	e.events = e.events[:0]
+	e.now = 0
+	e.seq = 0
+	e.fired = 0
+	e.stopped = false
+	e.blocked = 0
+	e.rng.Seed(seed)
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
@@ -101,25 +138,59 @@ func (e *Engine) EventsFired() uint64 { return e.fired }
 // Rand exposes the engine's deterministic random stream.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the
-// past panics: it would silently reorder causality.
-func (e *Engine) At(t Time, fn func()) *Timer {
+// schedule allocates (or recycles) an event for fn at absolute time t and
+// pushes it on the heap. Scheduling in the past panics: it would silently
+// reorder causality.
+func (e *Engine) schedule(t Time, fn func()) *event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
 	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	return ev
+}
+
+// recycle returns a popped event's storage to the free list, bumping its
+// generation so outstanding Timer handles to its previous life go inert.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
+// At schedules fn to run at absolute virtual time t.
+func (e *Engine) At(t Time, fn func()) Timer {
+	ev := e.schedule(t, fn)
+	return Timer{eng: e, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time. Negative delays are
 // clamped to zero.
-func (e *Engine) After(d Time, fn func()) *Timer {
+func (e *Engine) After(d Time, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return e.At(e.now+d, fn)
+}
+
+// after is After for internal callers that never cancel: it skips the
+// Timer handle allocation on the hot path (every sleep and wakeup).
+func (e *Engine) after(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now+d, fn)
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -128,19 +199,16 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step executes the single next event, advancing the clock. It reports
 // whether an event was executed.
 func (e *Engine) Step() bool {
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.cancelled {
-			continue
-		}
-		e.now = ev.at
-		e.fired++
-		fn := ev.fn
-		ev.fn = nil
-		fn()
-		return true
+	if e.events.Len() == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.fired++
+	fn := ev.fn
+	e.recycle(ev)
+	fn()
+	return true
 }
 
 // Run executes events until the queue is empty or Stop is called.
@@ -167,5 +235,6 @@ func (e *Engine) RunUntil(t Time) {
 	}
 }
 
-// QueueLen returns the number of scheduled (possibly cancelled) events.
+// QueueLen returns the number of scheduled events. Cancelled events are
+// removed eagerly, so the count reflects only live work.
 func (e *Engine) QueueLen() int { return e.events.Len() }

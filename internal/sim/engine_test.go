@@ -291,3 +291,171 @@ func TestBernoulli(t *testing.T) {
 		t.Errorf("Bernoulli(0.3) hit %d/10000 times", n)
 	}
 }
+
+// TestCancelRemovesFromHeap pins the eager-removal regression: cancelling
+// a timer must drop QueueLen immediately instead of leaving a dead entry
+// in the heap until popped (the RC requester cancels a retransmit timer
+// on nearly every ACK, so lazy deletion accumulates a tail of dead
+// entries through timeout-heavy runs).
+func TestCancelRemovesFromHeap(t *testing.T) {
+	e := New(1)
+	timers := make([]Timer, 100)
+	for i := range timers {
+		timers[i] = e.After(Time(i+1), func() {})
+	}
+	if e.QueueLen() != 100 {
+		t.Fatalf("QueueLen = %d, want 100", e.QueueLen())
+	}
+	for i, tm := range timers {
+		if i%2 == 0 {
+			tm.Cancel()
+		}
+	}
+	if e.QueueLen() != 50 {
+		t.Errorf("QueueLen after cancelling half = %d, want 50", e.QueueLen())
+	}
+	fired := 0
+	for e.Step() {
+		fired++
+	}
+	if fired != 50 {
+		t.Errorf("fired = %d, want 50", fired)
+	}
+}
+
+// TestCancelMidHeap cancels from the middle of a larger randomized heap
+// and checks the survivors still fire in order.
+func TestCancelMidHeap(t *testing.T) {
+	e := New(9)
+	var fired []Time
+	var timers []Timer
+	for i := 0; i < 500; i++ {
+		d := e.Uniform(1, 1000)
+		timers = append(timers, e.After(d, func() { fired = append(fired, e.Now()) }))
+	}
+	for i := 0; i < 500; i += 3 {
+		if !timers[i].Cancel() {
+			t.Fatalf("Cancel %d reported not pending", i)
+		}
+		if timers[i].Pending() {
+			t.Fatalf("timer %d still pending after cancel", i)
+		}
+	}
+	e.Run()
+	if len(fired) != 500-167 {
+		t.Errorf("fired %d events, want %d", len(fired), 500-167)
+	}
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Error("survivors fired out of order")
+	}
+}
+
+// TestRecycledEventTimerIsInert schedules through the free list and
+// checks a stale Timer (whose event storage was recycled into a new
+// schedule) neither reports Pending nor cancels the new event.
+func TestRecycledEventTimerIsInert(t *testing.T) {
+	e := New(1)
+	stale := e.After(1, func() {})
+	e.Run() // fires; event storage recycled
+
+	fired := false
+	fresh := e.After(5, func() { fired = true }) // reuses the recycled event
+	if stale.Pending() {
+		t.Error("stale timer reports pending after its event was recycled")
+	}
+	if stale.Cancel() {
+		t.Error("stale Cancel reported true")
+	}
+	e.Run()
+	if !fired {
+		t.Error("stale Cancel killed the recycled event's new schedule")
+	}
+	if fresh.Pending() {
+		t.Error("fired fresh timer still pending")
+	}
+}
+
+// TestReset checks a Reset engine reproduces a fresh engine exactly —
+// clock, sequence, random stream and event storage behaviour.
+func TestReset(t *testing.T) {
+	run := func(e *Engine) []int64 {
+		var samples []int64
+		n := 0
+		var loop func()
+		loop = func() {
+			samples = append(samples, int64(e.Uniform(0, 1000)), int64(e.Now()), int64(e.EventsFired()))
+			if n++; n < 40 {
+				e.After(e.Uniform(1, 50), loop)
+			}
+		}
+		e.After(0, loop)
+		// Schedule-and-cancel noise so the free list sees traffic.
+		tm := e.After(10000, func() {})
+		tm.Cancel()
+		e.Run()
+		return samples
+	}
+	fresh := run(New(77))
+	reused := New(5)
+	run(reused) // dirty the engine with a different seed
+	reused.Reset(77)
+	if reused.Now() != 0 || reused.EventsFired() != 0 || reused.QueueLen() != 0 {
+		t.Fatalf("Reset left state: now=%v fired=%d queue=%d",
+			reused.Now(), reused.EventsFired(), reused.QueueLen())
+	}
+	got := run(reused)
+	if len(got) != len(fresh) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(fresh))
+	}
+	for i := range got {
+		if got[i] != fresh[i] {
+			t.Fatalf("sample %d differs after Reset: %d vs %d", i, got[i], fresh[i])
+		}
+	}
+}
+
+// TestResetDropsPendingEvents checks events left in the heap (after a
+// Stop) do not leak into the next run.
+func TestResetDropsPendingEvents(t *testing.T) {
+	e := New(1)
+	leaked := false
+	e.After(1, func() { e.Stop() })
+	e.After(2, func() { leaked = true })
+	e.Run()
+	if e.QueueLen() != 1 {
+		t.Fatalf("QueueLen = %d, want 1 pending", e.QueueLen())
+	}
+	e.Reset(1)
+	if e.QueueLen() != 0 {
+		t.Errorf("QueueLen after Reset = %d", e.QueueLen())
+	}
+	e.After(5, func() {})
+	e.Run()
+	if leaked {
+		t.Error("pre-Reset event fired after Reset")
+	}
+}
+
+// TestEngineAllocsFlat checks the free list keeps steady-state scheduling
+// allocation-free: after warmup, a schedule/cancel/fire loop on a Reset
+// engine must not allocate per event.
+func TestEngineAllocsFlat(t *testing.T) {
+	e := New(1)
+	loop := func() {
+		e.Reset(1)
+		var pending Timer
+		for j := 0; j < 256; j++ {
+			pending.Cancel() // no-op on the zero Timer
+			pending = e.After(Time(j+1), func() {})
+			e.schedule(Time(j+1), func() {})
+		}
+		e.Run()
+	}
+	loop() // warm the free list
+	avg := testing.AllocsPerRun(20, loop)
+	// Timer is a value handle and events come from the free list, so a
+	// warmed schedule/cancel/fire loop allocates nothing per event.
+	if avg > 8 {
+		t.Errorf("allocs per loop = %v, want ≤ 8 (free list not recycling)", avg)
+	}
+}

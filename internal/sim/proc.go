@@ -58,7 +58,7 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		e.procs--
 		p.parked <- struct{}{}
 	}()
-	e.After(0, func() { p.run() })
+	e.after(0, func() { p.run() })
 	return p
 }
 
@@ -88,7 +88,7 @@ func (p *Proc) Sleep(d Time) {
 		d = 0
 	}
 	p.eng.blocked++
-	p.eng.After(d, func() {
+	p.eng.after(d, func() {
 		p.eng.blocked--
 		p.run()
 	})
@@ -118,7 +118,7 @@ func (c *Cond) Broadcast() {
 	for _, p := range ws {
 		p := p
 		c.eng.blocked--
-		c.eng.After(0, func() { p.run() })
+		c.eng.after(0, func() { p.run() })
 	}
 }
 
@@ -144,8 +144,7 @@ func (p *Proc) WaitTimeout(c *Cond, d Time, pred func() bool) bool {
 		woke := false
 		c.waiters = append(c.waiters, p)
 		p.eng.blocked++
-		var t *Timer
-		t = p.eng.At(deadline, func() {
+		t := p.eng.At(deadline, func() {
 			// Remove ourselves from the waiter list and wake up.
 			for i, w := range c.waiters {
 				if w == p {

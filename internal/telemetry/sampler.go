@@ -41,7 +41,7 @@ type Sampler struct {
 	hub      *Hub
 	interval sim.Time
 	series   TimeSeries
-	timer    *sim.Timer
+	timer    sim.Timer
 	running  bool
 }
 
