@@ -1,4 +1,5 @@
-// Command odpapps runs the paper's application experiments:
+// Command odpapps runs the paper's application experiments — a thin
+// wrapper over the fig12 and tab13 scenarios of the registry:
 //
 //	odpapps -app argodsm   # Figure 12: ArgoDSM init+finalize distribution
 //	odpapps -app sparkucx  # Table 13: SparkUCX examples, ODP on/off
@@ -6,14 +7,12 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
+	"os"
 
-	"odpsim/internal/apps/argodsm"
-	"odpsim/internal/apps/sparkucx"
-	"odpsim/internal/cluster"
 	"odpsim/internal/parallel"
-	"odpsim/internal/stats"
+	"odpsim/internal/scenario"
+	_ "odpsim/internal/scenario/paper"
 )
 
 func main() {
@@ -25,60 +24,25 @@ func main() {
 	flag.Parse()
 	parallel.SetJobs(*jobs)
 
+	var name string
 	switch *app {
 	case "argodsm":
-		n := *trials
-		if n == 0 {
-			n = 100
-		}
-		runArgo(n, *seed)
+		name = "fig12"
 	case "sparkucx":
-		n := *trials
-		if n == 0 {
-			n = 10
-		}
-		runSpark(n, *seed, *waves)
+		name = "tab13"
 	default:
 		log.Fatalf("unknown app %q", *app)
 	}
-}
-
-func runArgo(trials int, seed int64) {
-	fmt.Printf("Figure 12: ArgoDSM init+finalize, 10 MB, %d trials\n", trials)
-	for _, sys := range []cluster.System{cluster.KNL(), cluster.ReedbushH()} {
-		fmt.Printf("\n=== %s ===\n", sys.Name)
-		for _, odp := range []bool{false, true} {
-			cfg := argodsm.DefaultConfig()
-			cfg.System = sys
-			cfg.ODP = odp
-			cfg.Seed = seed
-			hi := 6.0
-			if sys.Name == cluster.ReedbushH().Name {
-				hi = 4.0
-			}
-			times, h := argodsm.Distribution(cfg, trials, hi)
-			s := stats.Summarize(times)
-			label := "w/o ODP"
-			if odp {
-				label = "w ODP"
-			}
-			fmt.Printf("\n%s (avg: %.2f s):\n%s", label, s.Mean, h.Bars("s"))
-		}
+	sc, err := scenario.Lookup(name)
+	if err != nil {
+		log.Fatal(err)
 	}
-}
-
-func runSpark(trials int, seed int64, waves int) {
-	fmt.Printf("Table 13: SparkUCX examples, %d trials, ODP enabled vs disabled\n", trials)
-	for _, ex := range []sparkucx.Example{sparkucx.SparkTC, sparkucx.RecommendationExample, sparkucx.RankingMetricsExample} {
-		fmt.Printf("\n=== %v ===\n", ex)
-		fmt.Printf("%-16s %6s %16s %16s %8s %8s\n", "", "QPs", "Disable [s]", "Enable [s]", "ratio", "omitted")
-		for _, sc := range sparkucx.Table13Configs() {
-			row := sparkucx.MeasureRow(ex, sc, trials, seed, waves)
-			fmt.Printf("%-16s %6d %9.1f ±%4.1f %9.1f ±%4.1f %8.2f %8d\n",
-				row.Label, row.QPs,
-				row.Disable.Mean, row.Disable.Std,
-				row.Enable.Mean, row.Enable.Std,
-				row.Ratio, row.Omitted)
-		}
+	if *trials > 0 {
+		sc.Trials = *trials
+	}
+	sc.Seed = *seed
+	sc.Waves = *waves
+	if err := scenario.Run(sc, os.Stdout, scenario.Options{}); err != nil {
+		log.Fatal(err)
 	}
 }

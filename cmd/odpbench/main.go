@@ -1,20 +1,20 @@
 // Command odpbench is the paper's Figure-3 micro-benchmark as a CLI: it
 // issues num-ops READ operations of a given size over num-qps queue
 // pairs with a configurable interval, in one of the four ODP modes, and
-// reports execution time and pitfall indicators over the requested trials.
+// reports execution time and pitfall indicators over the requested
+// trials. It is a thin wrapper over the scenario layer's "bench"
+// workload; the same run is declarable as a JSON spec for `odpsim run`.
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
+	"os"
 	"time"
 
-	"odpsim/internal/cluster"
-	"odpsim/internal/core"
 	"odpsim/internal/parallel"
-	"odpsim/internal/sim"
-	"odpsim/internal/stats"
+	"odpsim/internal/scenario"
+	_ "odpsim/internal/scenario/paper"
 )
 
 func main() {
@@ -23,7 +23,7 @@ func main() {
 	numQPs := flag.Int("qps", 1, "number of queue pairs (round-robin)")
 	interval := flag.Duration("interval", 0, "sleep between posts")
 	mode := flag.String("mode", "both", "ODP mode: none, server, client, both")
-	cack := flag.Int("cack", 1, "Local ACK Timeout exponent C_ACK (0 disables)")
+	cack := flag.Int("cack", 1, "Local ACK Timeout exponent C_ACK (0 keeps the default, 1)")
 	retry := flag.Int("retry", 7, "Retry Count C_retry")
 	rnr := flag.Duration("rnr", 1280*time.Microsecond, "minimal RNR NAK delay")
 	system := flag.String("system", "KNL (Private servers B)", "system profile (see Table I)")
@@ -34,63 +34,23 @@ func main() {
 	flag.Parse()
 	parallel.SetJobs(*jobs)
 
-	sys, err := cluster.ByName(*system)
-	if err != nil {
+	sc := scenario.Scenario{
+		Name:       "bench",
+		Workload:   "bench",
+		System:     *system,
+		Seed:       *seed,
+		Trials:     *trials,
+		Mode:       *mode,
+		Ops:        *numOps,
+		QPs:        *numQPs,
+		Size:       *size,
+		CACK:       *cack,
+		Retry:      *retry,
+		RNRDelayMs: float64(*rnr) / float64(time.Millisecond),
+		IntervalMs: float64(*interval) / float64(time.Millisecond),
+		DummyPing:  *ping,
+	}
+	if err := scenario.Run(sc, os.Stdout, scenario.Options{}); err != nil {
 		log.Fatal(err)
 	}
-	cfg := core.BenchConfig{
-		System:      sys,
-		Size:        *size,
-		NumOps:      *numOps,
-		NumQPs:      *numQPs,
-		Interval:    sim.Time(interval.Nanoseconds()),
-		CACK:        *cack,
-		RetryCount:  *retry,
-		MinRNRDelay: sim.Time(rnr.Nanoseconds()),
-		DummyPing:   *ping,
-	}
-	switch *mode {
-	case "none":
-		cfg.Mode = core.NoODP
-	case "server":
-		cfg.Mode = core.ServerODP
-	case "client":
-		cfg.Mode = core.ClientODP
-	case "both":
-		cfg.Mode = core.BothODP
-	default:
-		log.Fatalf("unknown mode %q", *mode)
-	}
-
-	fmt.Printf("%s: %d ops × %d B over %d QP(s), interval %v, %s, C_ACK=%d\n\n",
-		sys.Name, *numOps, *size, *numQPs, *interval, cfg.Mode, *cack)
-
-	// Trials fan across the worker pool (each derives its seed from its
-	// index); the per-trial lines print in index order afterwards.
-	engs := core.NewEngines()
-	results := make([]*core.BenchResult, *trials)
-	parallel.Run(*trials, func(w, i int) {
-		c := cfg
-		c.Eng = engs.Get(w)
-		c.Seed = *seed + int64(i)*7919
-		results[i] = core.RunMicrobench(c)
-	})
-	var times []float64
-	timeouts := 0
-	for i, r := range results {
-		status := ""
-		if r.TimedOut() {
-			timeouts++
-			status = "  [timeout]"
-		}
-		if r.Failed {
-			status += "  [IBV_WC_RETRY_EXC_ERR]"
-		}
-		fmt.Printf("trial %2d: exec=%-12v packets=%-8d retransmissions=%-7d%s\n",
-			i+1, r.ExecTime, r.PacketsOnWire, r.Retransmits, status)
-		times = append(times, r.ExecTime.Seconds())
-	}
-	s := stats.Summarize(times)
-	fmt.Printf("\nexec time [s]: %s\n", s)
-	fmt.Printf("P(timeout) = %d/%d = %.0f%%\n", timeouts, *trials, 100*float64(timeouts)/float64(*trials))
 }

@@ -1,59 +1,31 @@
 // Command odpexperiments regenerates every table and figure of the
 // paper's evaluation in one run — the data recorded in EXPERIMENTS.md.
-// With -quick it uses smaller grids and trial counts (minutes instead of
-// tens of minutes).
+// It iterates the scenario registry in paper order (the same list
+// `odpsim run --all` uses). With -quick it applies each scenario's
+// reduced-fidelity profile (minutes instead of tens of minutes).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"os/exec"
 	"time"
-)
 
-// experiments lists the regeneration commands in paper order.
-func experiments(quick bool) [][]string {
-	q := func(args ...string) []string {
-		if quick {
-			args = append(args, "-quick")
-		}
-		return args
-	}
-	trials := "10"
-	argoTrials := "100"
-	if quick {
-		trials = "5"
-		argoTrials = "40"
-	}
-	return [][]string{
-		{"run", "./cmd/odptrace", "-ops", "1", "-mode", "server"},
-		{"run", "./cmd/odptrace", "-ops", "1", "-mode", "client"},
-		{"run", "./cmd/odpsweep", "-fig", "2"},
-		q("run", "./cmd/odpsweep", "-fig", "4", "-trials", trials),
-		{"run", "./cmd/odptrace", "-ops", "2", "-interval", "1ms", "-mode", "server"},
-		q("run", "./cmd/odpsweep", "-fig", "6a", "-trials", trials),
-		q("run", "./cmd/odpsweep", "-fig", "6b", "-trials", trials),
-		q("run", "./cmd/odpsweep", "-fig", "7", "-trials", trials),
-		{"run", "./cmd/odptrace", "-ops", "3", "-interval", "2.5ms", "-mode", "server"},
-		q("run", "./cmd/odpsweep", "-fig", "9"),
-		{"run", "./cmd/odpsweep", "-fig", "11"},
-		{"run", "./cmd/odpapps", "-app", "argodsm", "-trials", argoTrials},
-		{"run", "./cmd/odpapps", "-app", "sparkucx", "-trials", trials},
-	}
-}
+	"odpsim/internal/parallel"
+	"odpsim/internal/scenario"
+	_ "odpsim/internal/scenario/paper"
+)
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller grids and trial counts")
+	jobs := flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS); output is identical for any value")
 	flag.Parse()
+	parallel.SetJobs(*jobs)
 
 	start := time.Now()
-	for i, args := range experiments(*quick) {
-		fmt.Printf("\n================ experiment %d: go %v ================\n\n", i+1, args)
-		cmd := exec.Command("go", args...)
-		cmd.Stdout = os.Stdout
-		cmd.Stderr = os.Stderr
-		if err := cmd.Run(); err != nil {
+	for i, name := range scenario.Names() {
+		fmt.Printf("\n================ experiment %d: odpsim run %s ================\n\n", i+1, name)
+		if err := scenario.RunNamed(name, os.Stdout, scenario.Options{Quick: *quick}); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment failed: %v\n", err)
 			os.Exit(1)
 		}

@@ -18,10 +18,10 @@ import (
 	"testing"
 	"time"
 
-	"odpsim/internal/cluster"
 	"odpsim/internal/core"
 	"odpsim/internal/parallel"
-	"odpsim/internal/perftest"
+	"odpsim/internal/scenario"
+	_ "odpsim/internal/scenario/paper"
 	"odpsim/internal/sim"
 )
 
@@ -46,41 +46,29 @@ func main() {
 		return
 	}
 
-	sys, err := cluster.ByName(*system)
-	if err != nil {
+	// The measurement paths are a thin wrapper over the scenario layer's
+	// "perftest" workload (renderer = -test); the same run is declarable
+	// as a JSON spec for `odpsim run`.
+	m := *mode
+	if m == "none" {
+		m = "" // the workload's default
+	}
+	sc := scenario.Scenario{
+		Name:     "perf",
+		Workload: "perftest",
+		Renderer: *test,
+		System:   *system,
+		Seed:     *seed,
+		Size:     *size,
+		Ops:      *iters,
+		Mode:     m,
+		Implicit: *implicit,
+		Prefetch: *prefetch,
+		Window:   *window,
+		Pages:    *pages,
+	}
+	if err := scenario.Run(sc, os.Stdout, scenario.Options{}); err != nil {
 		log.Fatal(err)
-	}
-	cfg := perftest.Config{
-		System: sys, Seed: *seed, Size: *size, Iters: *iters,
-		Implicit: *implicit, Prefetch: *prefetch, Window: *window, TouchPages: *pages,
-	}
-	switch *mode {
-	case "none":
-		cfg.Mode = core.NoODP
-	case "server":
-		cfg.Mode = core.ServerODP
-	case "client":
-		cfg.Mode = core.ClientODP
-	case "both":
-		cfg.Mode = core.BothODP
-	default:
-		log.Fatalf("unknown mode %q", *mode)
-	}
-
-	switch *test {
-	case "lat":
-		fmt.Printf("RDMA READ latency, %s, %s\n\n", sys.Name, cfg.Mode)
-		fmt.Println(perftest.LatencyHeader)
-		fmt.Println(perftest.ReadLat(cfg))
-	case "bw":
-		fmt.Printf("RDMA READ bandwidth, %s, %s, window %d\n\n", sys.Name, cfg.Mode, cfg.Window)
-		fmt.Println(perftest.BandwidthHeader)
-		fmt.Println(perftest.ReadBW(cfg))
-	case "compare":
-		fmt.Printf("RDMA READ latency by registration mode, %s\n\n", sys.Name)
-		fmt.Print(perftest.CompareModes(cfg))
-	default:
-		log.Fatalf("unknown test %q", *test)
 	}
 }
 

@@ -1,0 +1,234 @@
+// Command odpsim is the single entry point to the declarative scenario
+// layer: every figure and table of the evaluation is a registered
+// scenario, and user-defined experiments run from JSON specs without
+// writing Go.
+//
+//	odpsim list                    # registered scenarios (the source of truth)
+//	odpsim run fig4                # regenerate Figure 4 to stdout
+//	odpsim run fig4 fig7 -o results/   # write results/fig4.txt, results/fig7.txt
+//	odpsim run --all -o results/   # regenerate everything (-short skips slow ones)
+//	odpsim run sweep.json          # run a user spec end to end
+//	odpsim show fig4 > my.json     # export a registry entry as an editable spec
+//
+// Run flags: -j N parallel workers (output is identical for any value),
+// -quick reduced-fidelity profiles, -seed, -trials and -waves overrides,
+// plus the side outputs -counters (progress scenarios), -analyze, -csv
+// and -trace (trace scenarios).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"odpsim/internal/parallel"
+	"odpsim/internal/scenario"
+	_ "odpsim/internal/scenario/paper"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("odpsim: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		list()
+	case "run":
+		run(os.Args[2:])
+	case "show":
+		show(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		log.Printf("unknown command %q", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  odpsim list                           registered scenarios
+  odpsim run <name|spec.json>... [flags]  run scenarios or JSON specs
+  odpsim run --all [flags]              run every registered scenario
+  odpsim show <name>                    print a scenario as a JSON spec
+
+run flags:
+  -o DIR      write each result to DIR/<name>.txt instead of stdout
+  -j N        parallel workers (0 = GOMAXPROCS); output identical for any N
+  -quick      reduced-fidelity profiles (smaller grids, fewer trials)
+  -short      with --all: skip scenarios marked slow
+  -seed N     override the base seed
+  -trials N   override the trial count
+  -waves N    override the sampled shuffle waves (sparkucx)
+  -counters F write sampled device counters as CSV (progress scenarios)
+  -analyze    append per-operation analysis (trace scenarios)
+  -csv F      write the packet capture as CSV (trace scenarios)
+  -trace F    write the packet capture as binary trace (trace scenarios)
+`)
+}
+
+func list() {
+	fmt.Printf("%-14s %-20s %s\n", "NAME", "WORKLOAD", "TITLE")
+	for _, name := range scenario.Names() {
+		sc, err := scenario.Lookup(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		slow := ""
+		if sc.Slow {
+			slow = "  [slow]"
+		}
+		fmt.Printf("%-14s %-20s %s%s\n", sc.Name, sc.Workload, sc.ExpandedTitle(), slow)
+	}
+	fmt.Printf("\nworkload kinds for JSON specs: %v\n", scenario.Workloads())
+}
+
+func run(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	all := fs.Bool("all", false, "run every registered scenario in paper order")
+	outDir := fs.String("o", "", "write each result to DIR/<name>.txt instead of stdout")
+	jobs := fs.Int("j", 0, "parallel workers (0 = GOMAXPROCS); output is identical for any value")
+	quick := fs.Bool("quick", false, "apply the reduced-fidelity quick profiles")
+	short := fs.Bool("short", false, "with --all: skip scenarios marked slow")
+	seed := fs.Int64("seed", 0, "override the base seed (0 keeps the scenario's)")
+	trials := fs.Int("trials", 0, "override the trial count (0 keeps the scenario's)")
+	waves := fs.Int("waves", 0, "override the sampled shuffle waves (0 keeps the scenario's)")
+	counters := fs.String("counters", "", "write sampled device counters as CSV to FILE (progress scenarios)")
+	analyze := fs.Bool("analyze", false, "append per-operation analysis (trace scenarios)")
+	csvOut := fs.String("csv", "", "write the packet capture as CSV to FILE (trace scenarios)")
+	traceOut := fs.String("trace", "", "write the packet capture as binary trace to FILE (trace scenarios)")
+	if err := fs.Parse(reorder(fs, args)); err != nil {
+		os.Exit(2)
+	}
+	parallel.SetJobs(*jobs)
+
+	var scs []scenario.Scenario
+	switch {
+	case *all:
+		if fs.NArg() > 0 {
+			log.Fatal("--all takes no scenario arguments")
+		}
+		for _, name := range scenario.Names() {
+			sc, err := scenario.Lookup(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if *short && sc.Slow {
+				continue
+			}
+			scs = append(scs, sc)
+		}
+	case fs.NArg() == 0:
+		log.Fatal("run needs scenario names or spec files (see `odpsim list`)")
+	default:
+		for _, arg := range fs.Args() {
+			sc, err := load(arg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			scs = append(scs, sc)
+		}
+	}
+
+	opts := scenario.Options{
+		Quick:        *quick,
+		CounterCSV:   *counters,
+		CaptureCSV:   *csvOut,
+		CaptureTrace: *traceOut,
+		Analyze:      *analyze,
+	}
+	for i, sc := range scs {
+		if *seed != 0 {
+			sc.Seed = *seed
+		}
+		if *trials > 0 {
+			sc.Trials = *trials
+		}
+		if *waves > 0 {
+			sc.Waves = *waves
+		}
+		if err := execute(sc, *outDir, len(scs) > 1 && i > 0, opts); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// reorder moves flags in front of positional arguments so
+// `odpsim run fig4 -o results/` works — the standard flag package stops
+// parsing at the first non-flag argument otherwise.
+func reorder(fs *flag.FlagSet, args []string) []string {
+	var flags, pos []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if len(a) < 2 || a[0] != '-' {
+			pos = append(pos, a)
+			continue
+		}
+		flags = append(flags, a)
+		name := strings.TrimLeft(a, "-")
+		if strings.Contains(name, "=") {
+			continue
+		}
+		f := fs.Lookup(name)
+		if f == nil {
+			continue
+		}
+		// Non-boolean flags consume the next argument as their value.
+		if bv, ok := f.Value.(interface{ IsBoolFlag() bool }); (!ok || !bv.IsBoolFlag()) && i+1 < len(args) {
+			i++
+			flags = append(flags, args[i])
+		}
+	}
+	return append(flags, pos...)
+}
+
+// load resolves a run argument: a registry name, or a JSON spec path.
+func load(arg string) (scenario.Scenario, error) {
+	if scenario.IsSpecPath(arg) {
+		return scenario.LoadSpecFile(arg)
+	}
+	return scenario.Lookup(arg)
+}
+
+func execute(sc scenario.Scenario, outDir string, separator bool, opts scenario.Options) error {
+	var w io.Writer = os.Stdout
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, sc.Name+".txt")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+		fmt.Fprintf(os.Stderr, "running %s -> %s\n", sc.Name, path)
+	} else if separator {
+		fmt.Println()
+	}
+	return scenario.Run(sc, w, opts)
+}
+
+func show(args []string) {
+	if len(args) != 1 {
+		log.Fatal("show needs exactly one scenario name")
+	}
+	sc, err := scenario.Lookup(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := scenario.SaveSpec(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}

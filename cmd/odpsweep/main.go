@@ -1,30 +1,36 @@
-// Command odpsweep regenerates the paper's evaluation figures as text
-// tables:
+// Command odpsweep regenerates the paper's sweep figures as text tables.
+// It is a thin wrapper over the scenario registry (`odpsim list` is the
+// source of truth); each -fig value maps to a registered scenario:
 //
-//	odpsweep -fig 2    # T_o vs C_ACK per system (Figure 2)
-//	odpsweep -fig 4    # exec time vs interval, 2 READs both-side (Figure 4)
-//	odpsweep -fig 6a   # P(timeout) vs interval, server ODP, 3 RNR delays (Figure 6a)
-//	odpsweep -fig 6b   # P(timeout) vs interval, client ODP (Figure 6b)
-//	odpsweep -fig 7    # P(timeout) vs interval for 2/3/4 ops (Figure 7)
-//	odpsweep -fig 9    # exec time & packets vs #QPs, 4 modes (Figures 9a/9b)
-//	odpsweep -fig 11   # completions per page over time (Figures 11a/11b)
+//	odpsweep -fig 2    # fig2:  T_o vs C_ACK per system (Figure 2)
+//	odpsweep -fig 4    # fig4:  exec time vs interval, 2 READs both-side (Figure 4)
+//	odpsweep -fig 6a   # fig6a: P(timeout) vs interval, server ODP, 3 RNR delays (Figure 6a)
+//	odpsweep -fig 6b   # fig6b: P(timeout) vs interval, client ODP (Figure 6b)
+//	odpsweep -fig 7    # fig7:  P(timeout) vs interval for 2/3/4 ops (Figure 7)
+//	odpsweep -fig 9    # fig9:  exec time & packets vs #QPs, 4 modes (Figures 9a/9b)
+//	odpsweep -fig 11   # fig11: completions per page over time (Figures 11a/11b)
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"os"
-	"path/filepath"
-	"strconv"
-	"strings"
 
-	"odpsim/internal/cluster"
-	"odpsim/internal/core"
 	"odpsim/internal/parallel"
-	"odpsim/internal/sim"
-	"odpsim/internal/stats"
+	"odpsim/internal/scenario"
+	_ "odpsim/internal/scenario/paper"
 )
+
+// figures maps the historical -fig values onto registry names.
+var figures = map[string]string{
+	"2":  "fig2",
+	"4":  "fig4",
+	"6a": "fig6a",
+	"6b": "fig6b",
+	"7":  "fig7",
+	"9":  "fig9",
+	"11": "fig11",
+}
 
 func main() {
 	fig := flag.String("fig", "4", "figure to regenerate: 2, 4, 6a, 6b, 7, 9, 11")
@@ -36,168 +42,22 @@ func main() {
 	flag.Parse()
 	parallel.SetJobs(*jobs)
 
-	switch *fig {
-	case "2":
-		fig2(*seed)
-	case "4":
-		fig4(*trials, *quick, *seed)
-	case "6a":
-		fig6a(*trials, *quick, *seed)
-	case "6b":
-		fig6b(*trials, *quick, *seed)
-	case "7":
-		fig7(*trials, *quick, *seed)
-	case "9":
-		fig9(*quick, *seed)
-	case "11":
-		fig11(*seed, *counters)
-	default:
-		log.Fatalf("unknown figure %q", *fig)
+	name, ok := figures[*fig]
+	if !ok {
+		log.Fatalf("unknown figure %q (want 2, 4, 6a, 6b, 7, 9 or 11; see `odpsim list`)", *fig)
 	}
-}
-
-func intervals(quick bool) []sim.Time {
-	if quick {
-		return core.IntervalRange(0, 6, 1.0)
-	}
-	return core.IntervalRange(0, 6, 0.25)
-}
-
-func fig2(seed int64) {
-	fmt.Println("Figure 2: measured timeout T_o [s] by C_ACK (wrong-LID probe, C_retry=7)")
-	cacks := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21}
-	series := core.SweepTimeouts(cluster.All(), cacks, seed)
-	theory := &stats.Series{Label: "T_tr (theory)"}
-	theory4 := &stats.Series{Label: "4·T_tr (theory)"}
-	for _, c := range cacks {
-		theory.Add(float64(c), core.TheoreticalTTr(c).Seconds())
-		theory4.Add(float64(c), core.TheoreticalTo(c).Seconds())
-	}
-	all := append([]*stats.Series{theory, theory4}, series...)
-	fmt.Print(stats.Table("C_ACK", all...))
-}
-
-func fig4(trials int, quick bool, seed int64) {
-	fmt.Printf("Figure 4: mean exec time [s] of 2 READs vs interval (both-side ODP, %d trials)\n", trials)
-	base := core.DefaultBench()
-	base.Seed = seed
-	s := core.SweepExecTime(base, intervals(quick), trials)
-	fmt.Print(stats.Table("interval[ms]", s))
-}
-
-func fig6a(trials int, quick bool, seed int64) {
-	fmt.Printf("Figure 6a: P(timeout) [%%] vs interval, server-side ODP (%d trials)\n", trials)
-	base := core.DefaultBench()
-	base.Mode = core.ServerODP
-	base.Seed = seed
-	var series []*stats.Series
-	for _, d := range []float64{0.01, 1.28, 10.24} {
-		b := base
-		b.MinRNRDelay = sim.FromMillis(d)
-		iv := intervals(quick)
-		if d == 10.24 {
-			if quick {
-				iv = core.IntervalRange(0, 40, 8)
-			} else {
-				iv = core.IntervalRange(0, 40, 2)
-			}
-		}
-		series = append(series, core.SweepTimeoutProbability(b, iv, trials, fmt.Sprintf("%.2f ms", d)))
-	}
-	for _, s := range series {
-		fmt.Print(stats.Table("interval[ms]", s))
-		fmt.Println()
-	}
-}
-
-func fig6b(trials int, quick bool, seed int64) {
-	fmt.Printf("Figure 6b: P(timeout) [%%] vs interval, client-side ODP (%d trials)\n", trials)
-	base := core.DefaultBench()
-	base.Mode = core.ClientODP
-	base.Seed = seed
-	iv := core.IntervalRange(0, 6, 0.1)
-	if quick {
-		iv = core.IntervalRange(0, 6, 0.5)
-	}
-	s := core.SweepTimeoutProbability(base, iv, trials, "1.28 ms")
-	fmt.Print(stats.Table("interval[ms]", s))
-}
-
-func fig7(trials int, quick bool, seed int64) {
-	fmt.Printf("Figure 7: P(timeout) [%%] vs interval for 2/3/4 READs (both-side ODP, %d trials)\n", trials)
-	base := core.DefaultBench()
-	base.Seed = seed
-	var series []*stats.Series
-	for _, n := range []int{2, 3, 4} {
-		b := base
-		b.NumOps = n
-		series = append(series, core.SweepTimeoutProbability(b, intervals(quick), trials,
-			fmt.Sprintf("%d operations", n)))
-	}
-	fmt.Print(stats.Table("interval[ms]", series...))
-}
-
-func fig9(quick bool, seed int64) {
-	numOps := 8192
-	qps := []int{1, 2, 5, 10, 25, 50, 100, 150, 200}
-	if quick {
-		numOps = 2048
-		qps = []int{1, 10, 50, 200}
-	}
-	fmt.Printf("Figure 9: %d READs × 100 B (200 pages), C_ACK=18, vs #QPs\n", numOps)
-	base := core.DefaultBench()
-	base.NumOps = numOps
-	base.CACK = 18
-	base.Seed = seed
-	res := core.SweepQPs(base, qps, []core.ODPMode{core.NoODP, core.ServerODP, core.ClientODP, core.BothODP})
-	fmt.Println("\n(9a) execution time [s]:")
-	fmt.Print(stats.Table("#QPs", res.Time[core.NoODP], res.Time[core.ServerODP], res.Time[core.ClientODP], res.Time[core.BothODP]))
-	fmt.Println("\n(9b) packets on the wire [thousands]:")
-	fmt.Print(stats.Table("#QPs", res.Packets[core.NoODP], res.Packets[core.ServerODP], res.Packets[core.ClientODP], res.Packets[core.BothODP]))
-}
-
-func fig11(seed int64, counters string) {
-	for _, ops := range []int{128, 512} {
-		fmt.Printf("Figure 11 (%d operations): cumulative completions per page [ms grid]\n", ops)
-		cfg := core.DefaultBench()
-		cfg.Mode = core.ClientODP
-		cfg.Size = 32
-		cfg.NumQPs = 128
-		cfg.NumOps = ops
-		cfg.CACK = 18
-		cfg.Seed = seed
-		if counters != "" {
-			cfg.SampleEvery = 10 * sim.Millisecond
-		}
-		r := core.RunMicrobench(cfg)
-		if counters != "" {
-			writeCounterCSV(counters, ops, r)
-		}
-		step := sim.Millisecond
-		if ops > 128 {
-			step = 100 * sim.Millisecond
-		}
-		series := core.ProgressByPage(r, cfg.Size, step)
-		fmt.Print(stats.Table("t[ms]", series...))
-		fmt.Println()
-	}
-}
-
-// writeCounterCSV writes one fig-11 run's sampled counter series to
-// base-<ops>.ext (the two runs of the figure would otherwise clobber one
-// file).
-func writeCounterCSV(base string, ops int, r *core.BenchResult) {
-	ext := filepath.Ext(base)
-	path := strings.TrimSuffix(base, ext) + "-" + strconv.Itoa(ops) + ext
-	f, err := os.Create(path)
+	sc, err := scenario.Lookup(name)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := r.Telemetry.WriteCSV(f); err != nil {
+	if *quick {
+		// The historical -quick shrank grids and operation counts but left
+		// the trial count to the -trials flag, restored below.
+		sc = sc.ApplyQuick()
+	}
+	sc.Trials = *trials
+	sc.Seed = *seed
+	if err := scenario.Run(sc, os.Stdout, scenario.Options{CounterCSV: *counters}); err != nil {
 		log.Fatal(err)
 	}
-	if err := f.Close(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("(wrote counters to %s)\n", path)
 }

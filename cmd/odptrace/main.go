@@ -1,5 +1,8 @@
 // Command odptrace regenerates the paper's packet-workflow figures by
-// capturing the micro-benchmark's traffic ibdump-style and rendering it:
+// capturing the micro-benchmark's traffic ibdump-style and rendering it.
+// It is a thin wrapper over the scenario layer's "trace" workload; the
+// named variants are registered as fig1-server, fig1-client, fig5 and
+// fig8 (see `odpsim list`):
 //
 //	odptrace -ops 1 -mode server   # Figure 1 (left): single READ, server-side ODP
 //	odptrace -ops 1 -mode client   # Figure 1 (right): single READ, client-side ODP
@@ -9,14 +12,12 @@ package main
 
 import (
 	"flag"
-	"fmt"
-	"io"
 	"log"
 	"os"
 	"time"
 
-	"odpsim/internal/core"
-	"odpsim/internal/sim"
+	"odpsim/internal/scenario"
+	_ "odpsim/internal/scenario/paper"
 )
 
 func main() {
@@ -31,60 +32,22 @@ func main() {
 	traceOut := flag.String("trace", "", "also write the capture in the binary trace format to this file")
 	flag.Parse()
 
-	cfg := core.DefaultBench()
-	cfg.NumOps = *ops
-	cfg.Size = *size
-	cfg.Seed = *seed
-	cfg.Interval = sim.Time(interval.Nanoseconds())
-	cfg.MinRNRDelay = sim.Time(rnr.Nanoseconds())
-	cfg.WithCapture = true
-	switch *mode {
-	case "none":
-		cfg.Mode = core.NoODP
-	case "server":
-		cfg.Mode = core.ServerODP
-	case "client":
-		cfg.Mode = core.ClientODP
-	case "both":
-		cfg.Mode = core.BothODP
-	default:
-		log.Fatalf("unknown mode %q", *mode)
+	sc := scenario.Scenario{
+		Name:       "trace",
+		Workload:   "trace",
+		Seed:       *seed,
+		Mode:       *mode,
+		Ops:        *ops,
+		Size:       *size,
+		RNRDelayMs: float64(*rnr) / float64(time.Millisecond),
+		IntervalMs: float64(*interval) / float64(time.Millisecond),
 	}
-
-	r := core.RunMicrobench(cfg)
-	fmt.Printf("%d READ(s), %s, interval %v, min RNR NAK delay %v on %s\n\n",
-		*ops, cfg.Mode, *interval, *rnr, cfg.System.Name)
-	r.Cap.RenderFlow(os.Stdout, "node0")
-	fmt.Println()
-	fmt.Print(r.Cap.Summary())
-	fmt.Printf("\nexecution time %v, timeouts %d, RNR NAKs %d, PSN-sequence NAKs %d\n",
-		r.ExecTime, r.Timeouts, r.RNRNaksSent, r.NakSeqSent)
-	if incs := core.DetectDamming(r.Cap, 100*sim.Millisecond); len(incs) > 0 {
-		fmt.Println("\npacket damming detected:")
-		for _, inc := range incs {
-			fmt.Printf("  %s\n", inc)
-		}
+	opts := scenario.Options{
+		Analyze:      *analyze,
+		CaptureCSV:   *csvOut,
+		CaptureTrace: *traceOut,
 	}
-	if *analyze {
-		fmt.Println()
-		fmt.Print(r.Cap.AnalysisReport())
-	}
-	if *csvOut != "" {
-		writeFile(*csvOut, r.Cap.WriteCSV)
-	}
-	if *traceOut != "" {
-		writeFile(*traceOut, r.Cap.WriteTrace)
-	}
-}
-
-func writeFile(path string, write func(w io.Writer) error) {
-	f, err := os.Create(path)
-	if err != nil {
+	if err := scenario.Run(sc, os.Stdout, opts); err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
-	if err := write(f); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("wrote %s\n", path)
 }

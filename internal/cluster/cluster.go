@@ -5,6 +5,7 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 
 	"odpsim/internal/fabric"
 	"odpsim/internal/hostmem"
@@ -31,6 +32,16 @@ type System struct {
 	// ModelCongestion enables the fabric's egress-queuing model (off by
 	// default; see fabric.Config.ModelCongestion).
 	ModelCongestion bool
+	// LossRate, when positive, makes the fabric drop each packet
+	// independently with this probability — the scenario layer's loss
+	// fault knob. Zero (the Table-I systems' default) means a lossless
+	// fabric.
+	LossRate float64
+	// FaultScale multiplies the kernel's page-fault resolution latency
+	// (hostmem.Config.FaultResolveMin/Max); zero means 1.0. The scenario
+	// layer uses it to model slower or faster fault paths than the
+	// calibrated ConnectX-4 numbers.
+	FaultScale float64
 }
 
 // Memory returns the host memory configuration. Network page fault
@@ -40,6 +51,10 @@ type System struct {
 func (s System) Memory() hostmem.Config {
 	cfg := hostmem.DefaultConfig()
 	cfg.PinPerPage = sim.Time(float64(cfg.PinPerPage) * s.CPUFactor)
+	if s.FaultScale > 0 {
+		cfg.FaultResolveMin = sim.Time(float64(cfg.FaultResolveMin) * s.FaultScale)
+		cfg.FaultResolveMax = sim.Time(float64(cfg.FaultResolveMax) * s.FaultScale)
+	}
 	return cfg
 }
 
@@ -106,14 +121,33 @@ func All() []System {
 	}
 }
 
-// ByName looks a system up by (case-sensitive) name prefix.
+// ByName looks a system up by (case-sensitive) name prefix. An exact
+// match always wins; otherwise the prefix must select exactly one system
+// ("Reed" is ambiguous between Reedbush-H and Reedbush-L, "Reedbush-H"
+// and "KNL" are not).
 func ByName(name string) (System, error) {
+	var matches []System
 	for _, s := range All() {
 		if s.Name == name {
 			return s, nil
 		}
+		if name != "" && strings.HasPrefix(s.Name, name) {
+			matches = append(matches, s)
+		}
 	}
-	return System{}, fmt.Errorf("cluster: unknown system %q", name)
+	switch len(matches) {
+	case 1:
+		return matches[0], nil
+	case 0:
+		return System{}, fmt.Errorf("cluster: unknown system %q", name)
+	default:
+		names := make([]string, len(matches))
+		for i, s := range matches {
+			names[i] = s.Name
+		}
+		return System{}, fmt.Errorf("cluster: ambiguous system name %q (matches %s)",
+			name, strings.Join(names, ", "))
+	}
 }
 
 // Cluster is a built simulation: an engine, a fabric and n nodes.
@@ -156,6 +190,9 @@ func (s System) BuildOn(eng *sim.Engine, seed int64, nodes int) *Cluster {
 		eng.Reset(seed)
 	}
 	fab := fabric.New(eng, s.FabricConfig())
+	if s.LossRate > 0 {
+		fab.SetLossRate(s.LossRate)
+	}
 	c := &Cluster{Eng: eng, Fab: fab, Sys: s}
 	for i := 0; i < nodes; i++ {
 		name := fmt.Sprintf("node%d", i)

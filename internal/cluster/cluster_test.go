@@ -63,6 +63,76 @@ func TestByName(t *testing.T) {
 	}
 }
 
+func TestByNamePrefix(t *testing.T) {
+	for name, want := range map[string]string{
+		"KNL":         "KNL (Private servers B)",
+		"Reedbush-H":  "Reedbush-H",
+		"Reedbush-L":  "Reedbush-L",
+		"Azure VM HC": "Azure VM HC Series",
+		"Private":     "Private servers A",
+		"IT":          "ITO",
+	} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if s.Name != want {
+			t.Errorf("ByName(%q) = %q, want %q", name, s.Name, want)
+		}
+	}
+}
+
+func TestByNameAmbiguous(t *testing.T) {
+	for _, name := range []string{"Reed", "Azure", "A", "Reedbush-"} {
+		if _, err := ByName(name); err == nil {
+			t.Errorf("ByName(%q) should report ambiguity", name)
+		}
+	}
+	// The empty prefix matches everything and must not resolve.
+	if _, err := ByName(""); err == nil {
+		t.Error("ByName(\"\") should error")
+	}
+}
+
+func TestFaultKnobs(t *testing.T) {
+	s := ReedbushH()
+	base := s.Memory()
+	s.FaultScale = 2.0
+	scaled := s.Memory()
+	if scaled.FaultResolveMin != 2*base.FaultResolveMin || scaled.FaultResolveMax != 2*base.FaultResolveMax {
+		t.Errorf("FaultScale not applied: %v/%v vs %v/%v",
+			scaled.FaultResolveMin, scaled.FaultResolveMax, base.FaultResolveMin, base.FaultResolveMax)
+	}
+	if scaled.PinPerPage != base.PinPerPage {
+		t.Error("FaultScale must not touch pinning cost")
+	}
+
+	// LossRate routes into the built fabric: with 100% loss nothing is
+	// ever delivered.
+	s = ReedbushH()
+	s.LossRate = 1.0
+	cl := s.Build(7, 2)
+	cqA, cqB := rnic.NewCQ(cl.Eng), rnic.NewCQ(cl.Eng)
+	qa := cl.Nodes[0].CreateQP(cqA, cqA)
+	qb := cl.Nodes[1].CreateQP(cqB, cqB)
+	p := rnic.ConnParams{CACK: 14, RetryCount: 1, MinRNRDelay: sim.FromMillis(0.96)}
+	rnic.ConnectPair(qa, qb, p, p)
+	lb := cl.Nodes[0].AS.Alloc(hostmem.PageSize)
+	rb2 := cl.Nodes[1].AS.Alloc(hostmem.PageSize)
+	cl.Nodes[0].RegisterMR(lb, hostmem.PageSize)
+	cl.Nodes[1].RegisterMR(rb2, hostmem.PageSize)
+	qa.PostSend(rnic.SendWR{ID: 1, Op: rnic.OpRead, LocalAddr: lb, RemoteAddr: rb2, Len: 64})
+	cl.Eng.Run()
+	got := cqA.Poll(0)
+	if len(got) != 1 || got[0].Status == rnic.WCSuccess {
+		t.Fatalf("READ over a 100%%-loss fabric should abort: %+v", got)
+	}
+	if cl.Fab.Dropped == 0 {
+		t.Error("fabric should have counted drops")
+	}
+}
+
 func TestMemoryScaling(t *testing.T) {
 	knl, rb := KNL(), ReedbushH()
 	if knl.Memory().PinPerPage <= rb.Memory().PinPerPage {

@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"fmt"
+
+	"odpsim/internal/sim"
+)
+
+// Grid is one sweep axis: either an interval range in milliseconds
+// (from, from+step, …, to inclusive within floating tolerance) or an
+// explicit integer list (C_ACK exponents, QP counts). Exactly one form
+// must be populated.
+type Grid struct {
+	FromMs float64 `json:"from_ms,omitempty"`
+	ToMs   float64 `json:"to_ms,omitempty"`
+	StepMs float64 `json:"step_ms,omitempty"`
+	List   []int   `json:"list,omitempty"`
+}
+
+// validate reports malformed grids. A nil grid is fine (grid-less
+// workloads).
+func (g *Grid) validate(scenario, field string) error {
+	if g == nil {
+		return nil
+	}
+	hasRange := g.FromMs != 0 || g.ToMs != 0 || g.StepMs != 0
+	switch {
+	case len(g.List) > 0 && hasRange:
+		return fmt.Errorf("scenario %q: %s mixes a list with a range", scenario, field)
+	case len(g.List) > 0:
+		return nil
+	case !hasRange:
+		return fmt.Errorf("scenario %q: %s is empty (set from/to/step or a list)", scenario, field)
+	case g.StepMs <= 0:
+		return fmt.Errorf("scenario %q: %s needs a positive step", scenario, field)
+	case g.ToMs < g.FromMs:
+		return fmt.Errorf("scenario %q: %s runs backwards (to < from)", scenario, field)
+	case g.FromMs < 0:
+		return fmt.Errorf("scenario %q: %s starts below zero", scenario, field)
+	}
+	return nil
+}
+
+// Times expands a range grid into interval values. Each point is
+// computed as from + i·step: accumulating x += step instead drifts by an
+// ulp per step, enough to truncate grid points one nanosecond low over
+// long grids (core.IntervalRange's contract, which delegates here).
+func (g *Grid) Times() []sim.Time {
+	if g == nil {
+		return nil
+	}
+	return MsRange(g.FromMs, g.ToMs, g.StepMs)
+}
+
+// MsRange builds an interval grid in milliseconds: from, from+step, …,
+// to (inclusive within floating tolerance).
+func MsRange(fromMs, toMs, stepMs float64) []sim.Time {
+	if stepMs <= 0 {
+		panic("scenario: MsRange needs a positive step")
+	}
+	var out []sim.Time
+	for i := 0; ; i++ {
+		x := fromMs + float64(i)*stepMs
+		if x > toMs+1e-9 {
+			return out
+		}
+		out = append(out, sim.FromMillis(x))
+	}
+}

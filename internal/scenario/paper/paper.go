@@ -1,0 +1,153 @@
+// Package paper registers the named scenarios behind every figure and
+// table of the evaluation — `odpsim run fig4` is Figure 4, `odpsim run
+// tab13` is Table 13. Importing it (usually blank) pulls in every
+// workload implementation, so the registry is complete and eagerly
+// validated as soon as the package initializes.
+//
+// Each scenario's full-fidelity run regenerates its results/ golden
+// byte-for-byte; the Quick profiles reproduce the historical -quick
+// grids and the trial counts odpexperiments used.
+package paper
+
+import (
+	"odpsim/internal/scenario"
+
+	// Workload implementations self-register on import.
+	_ "odpsim/internal/apps/argodsm"
+	_ "odpsim/internal/apps/kvstore"
+	_ "odpsim/internal/apps/sparkucx"
+	_ "odpsim/internal/core"
+	_ "odpsim/internal/perftest"
+)
+
+func init() {
+	// Registration order is the paper's artifact order; `odpsim list`
+	// and `odpsim run --all` follow it.
+	scenario.Register(scenario.Scenario{
+		Name:     "fig1-server",
+		Title:    "Figure 1 (left): single READ, server-side ODP, packet workflow",
+		Workload: "trace",
+		Ops:      1,
+		Mode:     "server",
+	})
+	scenario.Register(scenario.Scenario{
+		Name:     "fig1-client",
+		Title:    "Figure 1 (right): single READ, client-side ODP, packet workflow",
+		Workload: "trace",
+		Ops:      1,
+		Mode:     "client",
+	})
+	scenario.Register(scenario.Scenario{
+		Name:     "fig2",
+		Title:    "Figure 2: measured timeout T_o [s] by C_ACK (wrong-LID probe, C_retry=7)",
+		Workload: "timeout-sweep",
+		Grid: &scenario.Grid{List: []int{
+			1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21}},
+	})
+	scenario.Register(scenario.Scenario{
+		Name:     "fig4",
+		Title:    "Figure 4: mean exec time [s] of 2 READs vs interval (both-side ODP, {trials} trials)",
+		Workload: "exec-sweep",
+		Trials:   10,
+		Grid:     &scenario.Grid{ToMs: 6, StepMs: 0.25},
+		Quick:    &scenario.Quick{Trials: 5, GridScale: 4},
+	})
+	scenario.Register(scenario.Scenario{
+		Name:       "fig5",
+		Title:      "Figure 5: packet damming and the timeout (2 READs, 1 ms apart)",
+		Workload:   "trace",
+		Ops:        2,
+		Mode:       "server",
+		IntervalMs: 1,
+	})
+	scenario.Register(scenario.Scenario{
+		Name:     "fig6a",
+		Title:    "Figure 6a: P(timeout) [%] vs interval, server-side ODP ({trials} trials)",
+		Workload: "timeout-prob-sweep",
+		Mode:     "server",
+		Trials:   10,
+		Renderer: "per-series",
+		Grid:     &scenario.Grid{ToMs: 6, StepMs: 0.25},
+		Series: []scenario.Variant{
+			{Label: "0.01 ms", RNRDelayMs: 0.01},
+			{Label: "1.28 ms", RNRDelayMs: 1.28},
+			{Label: "10.24 ms", RNRDelayMs: 10.24, Grid: &scenario.Grid{ToMs: 40, StepMs: 2}},
+		},
+		Quick: &scenario.Quick{Trials: 5, GridScale: 4},
+	})
+	scenario.Register(scenario.Scenario{
+		Name:     "fig6b",
+		Title:    "Figure 6b: P(timeout) [%] vs interval, client-side ODP ({trials} trials)",
+		Workload: "timeout-prob-sweep",
+		Mode:     "client",
+		Trials:   10,
+		Grid:     &scenario.Grid{ToMs: 6, StepMs: 0.1},
+		Series:   []scenario.Variant{{Label: "1.28 ms"}},
+		Quick:    &scenario.Quick{Trials: 5, GridScale: 5},
+	})
+	scenario.Register(scenario.Scenario{
+		Name:     "fig7",
+		Title:    "Figure 7: P(timeout) [%] vs interval for 2/3/4 READs (both-side ODP, {trials} trials)",
+		Workload: "timeout-prob-sweep",
+		Trials:   10,
+		Grid:     &scenario.Grid{ToMs: 6, StepMs: 0.25},
+		Series: []scenario.Variant{
+			{Label: "2 operations", Ops: 2},
+			{Label: "3 operations", Ops: 3},
+			{Label: "4 operations", Ops: 4},
+		},
+		Quick: &scenario.Quick{Trials: 5, GridScale: 4},
+	})
+	scenario.Register(scenario.Scenario{
+		Name:       "fig8",
+		Title:      "Figure 8: the PSN-sequence-error rescue (3 READs, 2.5 ms apart)",
+		Workload:   "trace",
+		Ops:        3,
+		Mode:       "server",
+		IntervalMs: 2.5,
+	})
+	scenario.Register(scenario.Scenario{
+		Name:     "fig9",
+		Title:    "Figure 9: {ops} READs × 100 B (200 pages), C_ACK=18, vs #QPs",
+		Workload: "qp-sweep",
+		Ops:      8192,
+		CACK:     18,
+		Grid:     &scenario.Grid{List: []int{1, 2, 5, 10, 25, 50, 100, 150, 200}},
+		Slow:     true,
+		Quick:    &scenario.Quick{Ops: 2048, List: []int{1, 10, 50, 200}},
+	})
+	scenario.Register(scenario.Scenario{
+		Name:     "fig11",
+		Title:    "Figure 11 ({ops} operations): cumulative completions per page [ms grid]",
+		Workload: "progress",
+		Mode:     "client",
+		Size:     32,
+		QPs:      128,
+		CACK:     18,
+		Series: []scenario.Variant{
+			{Ops: 128, StepMs: 1},
+			{Ops: 512, StepMs: 100},
+		},
+	})
+	scenario.Register(scenario.Scenario{
+		Name:     "fig12",
+		Title:    "Figure 12: ArgoDSM init+finalize, 10 MB, {trials} trials",
+		Workload: "argodsm",
+		Trials:   100,
+		Quick:    &scenario.Quick{Trials: 40},
+	})
+	scenario.Register(scenario.Scenario{
+		Name:     "tab13",
+		Title:    "Table 13: SparkUCX examples, {trials} trials, ODP enabled vs disabled",
+		Workload: "sparkucx",
+		Trials:   10,
+		Slow:     true,
+		Quick:    &scenario.Quick{Trials: 5},
+	})
+	scenario.Register(scenario.Scenario{
+		Name:     "perf-compare",
+		Title:    "perftest: READ latency by registration mode (refs [19], [20])",
+		Workload: "perftest",
+		Renderer: "compare",
+	})
+}

@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Workload is one experiment family behind the scenario layer. The
+// micro-benchmark sweeps in internal/core, the applications in
+// internal/apps/{argodsm,sparkucx,kvstore} and internal/perftest each
+// implement it and register themselves at init time, the way image
+// codecs register decoders.
+//
+// Run must be deterministic for a fixed resolved scenario: derive every
+// trial/point seed from its grid position (internal/parallel's
+// contract), never from execution order or wall-clock state, so the
+// rendered bytes are reproducible for any -j and diffable against
+// results/.
+type Workload interface {
+	// Kind is the registry key, e.g. "exec-sweep".
+	Kind() string
+	// Validate rejects scenario fields the workload cannot honour (e.g.
+	// zero trials on an averaging sweep).
+	Validate(sc *Scenario) error
+	// Run executes the resolved scenario and renders to out.
+	Run(sc *Scenario, out *Output) error
+}
+
+var workloads = map[string]Workload{}
+
+// RegisterWorkload adds a workload kind. It panics on duplicates —
+// registration happens in package init functions, where a clash is a
+// programming error.
+func RegisterWorkload(w Workload) {
+	if _, dup := workloads[w.Kind()]; dup {
+		panic(fmt.Sprintf("scenario: duplicate workload kind %q", w.Kind()))
+	}
+	workloads[w.Kind()] = w
+}
+
+// LookupWorkload returns the registered workload of the given kind.
+func LookupWorkload(kind string) (Workload, error) {
+	w, ok := workloads[kind]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown workload %q (have %s)",
+			kind, strings.Join(Workloads(), ", "))
+	}
+	return w, nil
+}
+
+// Workloads returns the registered workload kinds, sorted.
+func Workloads() []string {
+	out := make([]string, 0, len(workloads))
+	for k := range workloads {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// scenarios maps name → definition; order preserves registration order
+// (the paper's artifact order) for list/--all.
+var (
+	scenarios = map[string]Scenario{}
+	order     []string
+)
+
+// Register adds a named scenario to the registry. It validates eagerly
+// when the workload kind is already registered, and panics on duplicate
+// names.
+func Register(sc Scenario) {
+	if sc.Name == "" {
+		panic("scenario: Register needs a name")
+	}
+	if _, dup := scenarios[sc.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate scenario %q", sc.Name))
+	}
+	if _, ok := workloads[sc.Workload]; ok {
+		if err := sc.Validate(); err != nil {
+			panic(fmt.Sprintf("scenario: invalid registration: %v", err))
+		}
+	}
+	scenarios[sc.Name] = sc
+	order = append(order, sc.Name)
+}
+
+// Names returns every registered scenario name in registration (paper)
+// order.
+func Names() []string { return append([]string(nil), order...) }
+
+// Lookup returns a copy of the named scenario, so callers can override
+// fields (trials, seed) without mutating the registry.
+func Lookup(name string) (Scenario, error) {
+	sc, ok := scenarios[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (run `odpsim list`; have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return sc, nil
+}

@@ -1,0 +1,355 @@
+// Package scenario is the declarative experiment layer: a Scenario value
+// describes one experiment — system, nodes, workload, per-side ODP mode,
+// fault knobs (RNR delay, page-fault latency, loss rate, congestion),
+// sweep grid, trials and renderer — and the package resolves, validates
+// and executes it through a registered Workload implementation. Every
+// paper artifact (Figures 1–12, Table 13) is one registered Scenario;
+// users add new experiments as JSON specs without writing Go (see
+// LoadSpec and DESIGN.md §7).
+//
+// Execution inherits internal/parallel's determinism contract unchanged:
+// workloads derive every point's seed from the point's grid position, so
+// a scenario's rendered output is byte-identical for any worker count —
+// which is what lets CI diff regenerated outputs against results/.
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"odpsim/internal/cluster"
+	"odpsim/internal/sim"
+)
+
+// Scenario declares one experiment. The zero value of every field means
+// "workload default"; workloads reject combinations they cannot honour
+// in their Validate hook. Field names double as the JSON spec schema.
+type Scenario struct {
+	// Name identifies the scenario in the registry and names its output
+	// file (<name>.txt) under -o.
+	Name string `json:"name"`
+	// Title is the header line printed before the result. The
+	// placeholders {trials} and {ops} expand to the resolved values, so
+	// quick-mode runs print their actual counts.
+	Title string `json:"title,omitempty"`
+	// Workload selects the registered workload kind (see Workloads()).
+	Workload string `json:"workload"`
+
+	// System picks the Table-I system by unambiguous name prefix
+	// (cluster.ByName). Empty selects the workload's default (KNL).
+	System string `json:"system,omitempty"`
+	// Systems, for multi-system workloads (timeout-sweep, argodsm),
+	// overrides the default system list.
+	Systems []string `json:"systems,omitempty"`
+	// Nodes is the cluster size (default 2).
+	Nodes int `json:"nodes,omitempty"`
+	// Seed is the base simulation seed (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Trials is the number of repetitions for probability/average
+	// figures. Workloads that average over trials reject 0.
+	Trials int `json:"trials,omitempty"`
+
+	// Mode selects the ODP sides: "none", "server", "client" or "both".
+	Mode string `json:"mode,omitempty"`
+	// Ops is the number of operations (READ count, perftest iterations).
+	Ops int `json:"ops,omitempty"`
+	// QPs is the queue-pair count (round-robin).
+	QPs int `json:"qps,omitempty"`
+	// Size is the per-operation message size in bytes.
+	Size int `json:"size,omitempty"`
+	// CACK is the Local ACK Timeout exponent (0 keeps the workload
+	// default).
+	CACK int `json:"cack,omitempty"`
+	// Retry is the Retry Count C_retry.
+	Retry int `json:"retry,omitempty"`
+	// RNRDelayMs is the minimal RNR NAK delay in milliseconds.
+	RNRDelayMs float64 `json:"rnr_delay_ms,omitempty"`
+	// IntervalMs is the fixed posting interval in milliseconds (grid-less
+	// workloads: bench, trace).
+	IntervalMs float64 `json:"interval_ms,omitempty"`
+
+	// Window is the outstanding-operation bound for bandwidth runs.
+	Window int `json:"window,omitempty"`
+	// Pages rotates perftest targets over this many pages.
+	Pages int `json:"pages,omitempty"`
+	// Implicit selects Implicit ODP on the ODP sides (perftest).
+	Implicit bool `json:"implicit,omitempty"`
+	// Prefetch advises ODP pages before measuring (ibv_advise_mr).
+	Prefetch bool `json:"prefetch,omitempty"`
+	// DummyPing enables the §IX-A dummy-communication workaround.
+	DummyPing bool `json:"dummy_ping,omitempty"`
+	// Waves bounds the packet-level-sampled shuffle waves per sparkucx
+	// run (0 = workload default, 2).
+	Waves int `json:"waves,omitempty"`
+	// MemoryBytes is the DSM size for argodsm (0 = 10 MB).
+	MemoryBytes int `json:"memory_bytes,omitempty"`
+	// HistHi sets the argodsm histogram upper bounds, aligned with the
+	// resolved system list.
+	HistHi []float64 `json:"hist_hi,omitempty"`
+
+	// Faults bundles the fault-injection knobs routed into the built
+	// clusters (loss, congestion, page-fault latency scale).
+	Faults Faults `json:"faults,omitempty"`
+
+	// Grid is the sweep axis: an interval range in milliseconds or an
+	// explicit integer list (C_ACK values, QP counts).
+	Grid *Grid `json:"grid,omitempty"`
+	// Series declares per-series variants (Figure 6a's three RNR delays,
+	// Figure 7's 2/3/4 operations, Figure 11's two operation counts).
+	Series []Variant `json:"series,omitempty"`
+	// StepMs is the output sampling step for progress renderings
+	// (Figure 11); usually set per variant.
+	StepMs float64 `json:"step_ms,omitempty"`
+
+	// Renderer picks a workload-specific output style where one workload
+	// has several (timeout-prob-sweep: "joined" or "per-series";
+	// perftest: "lat", "bw" or "compare").
+	Renderer string `json:"renderer,omitempty"`
+
+	// Slow marks scenarios whose full-fidelity run takes tens of seconds
+	// (fig9, tab13); `odpsim run --all -short` skips them.
+	Slow bool `json:"slow,omitempty"`
+	// Quick holds the reduced-fidelity overrides -quick applies.
+	Quick *Quick `json:"quick,omitempty"`
+}
+
+// Variant is a per-series override inside one scenario.
+type Variant struct {
+	// Label names the series in the rendered table.
+	Label string `json:"label,omitempty"`
+	// Ops overrides Scenario.Ops for this series.
+	Ops int `json:"ops,omitempty"`
+	// RNRDelayMs overrides the RNR delay for this series.
+	RNRDelayMs float64 `json:"rnr_delay_ms,omitempty"`
+	// StepMs overrides the output sampling step for this series.
+	StepMs float64 `json:"step_ms,omitempty"`
+	// Grid overrides the sweep grid for this series.
+	Grid *Grid `json:"grid,omitempty"`
+}
+
+// Faults are the fault-injection knobs. They flow into cluster.System
+// before any cluster is built, so every workload inherits them.
+type Faults struct {
+	// LossRate drops each fabric packet independently with this
+	// probability (0 ≤ p < 1).
+	LossRate float64 `json:"loss_rate,omitempty"`
+	// Congestion enables the fabric's per-port egress-queuing model.
+	Congestion bool `json:"congestion,omitempty"`
+	// PageFaultScale multiplies the kernel page-fault resolution latency
+	// (0 = 1.0).
+	PageFaultScale float64 `json:"page_fault_scale,omitempty"`
+}
+
+// Quick is the reduced-fidelity profile applied by quick mode.
+type Quick struct {
+	// Trials replaces Scenario.Trials when positive.
+	Trials int `json:"trials,omitempty"`
+	// GridScale multiplies every grid step (main and per-series) when
+	// positive — ×4 turns Figure 4's 0.25 ms grid into the 1 ms quick
+	// grid.
+	GridScale float64 `json:"grid_scale,omitempty"`
+	// Ops replaces Scenario.Ops when positive.
+	Ops int `json:"ops,omitempty"`
+	// List replaces the main grid's integer list when non-empty.
+	List []int `json:"list,omitempty"`
+	// Waves replaces Scenario.Waves when positive.
+	Waves int `json:"waves,omitempty"`
+}
+
+// expandTitle substitutes the {trials} and {ops} placeholders.
+func expandTitle(title string, trials, ops int) string {
+	title = strings.ReplaceAll(title, "{trials}", strconv.Itoa(trials))
+	return strings.ReplaceAll(title, "{ops}", strconv.Itoa(ops))
+}
+
+// Title of the scenario with placeholders expanded. When the operation
+// count varies per series (Figure 11), {ops} falls back to the first
+// variant's count; per-variant headers use VariantTitle instead.
+func (sc *Scenario) ExpandedTitle() string {
+	ops := sc.Ops
+	if ops == 0 {
+		for _, v := range sc.Series {
+			if v.Ops > 0 {
+				ops = v.Ops
+				break
+			}
+		}
+	}
+	return expandTitle(sc.Title, sc.Trials, ops)
+}
+
+// VariantTitle expands the title against one variant's operation count.
+func (sc *Scenario) VariantTitle(v Variant) string {
+	ops := v.Ops
+	if ops == 0 {
+		ops = sc.Ops
+	}
+	return expandTitle(sc.Title, sc.Trials, ops)
+}
+
+// ApplyQuick returns a copy with the quick profile folded in. A scenario
+// without a Quick profile is returned unchanged (its full run is already
+// fast).
+func (sc Scenario) ApplyQuick() Scenario {
+	q := sc.Quick
+	if q == nil {
+		return sc
+	}
+	if q.Trials > 0 {
+		sc.Trials = q.Trials
+	}
+	if q.Ops > 0 {
+		sc.Ops = q.Ops
+	}
+	if q.Waves > 0 {
+		sc.Waves = q.Waves
+	}
+	if q.GridScale > 0 {
+		if sc.Grid != nil {
+			g := *sc.Grid
+			g.StepMs *= q.GridScale
+			sc.Grid = &g
+		}
+		if len(sc.Series) > 0 {
+			series := append([]Variant(nil), sc.Series...)
+			for i := range series {
+				if series[i].Grid != nil {
+					g := *series[i].Grid
+					g.StepMs *= q.GridScale
+					series[i].Grid = &g
+				}
+			}
+			sc.Series = series
+		}
+	}
+	if len(q.List) > 0 && sc.Grid != nil {
+		g := *sc.Grid
+		g.List = append([]int(nil), q.List...)
+		sc.Grid = &g
+	}
+	return sc
+}
+
+// ODPModeOf parses the Mode field ("" means both — the §V default).
+func (sc *Scenario) parseMode() error {
+	switch sc.Mode {
+	case "", "none", "server", "client", "both":
+		return nil
+	}
+	return fmt.Errorf("scenario %q: unknown ODP mode %q (want none, server, client or both)", sc.Name, sc.Mode)
+}
+
+// Validate checks the scenario's declarative fields: a registered
+// workload, a resolvable system, a well-formed grid, sane fault knobs and
+// non-negative counts. Workload-specific requirements (e.g. "this
+// workload averages over trials, so Trials must be ≥ 1") are checked by
+// the workload's own Validate hook at run time.
+func (sc *Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if sc.Workload == "" {
+		return fmt.Errorf("scenario %q: missing workload", sc.Name)
+	}
+	if _, ok := workloads[sc.Workload]; !ok {
+		return fmt.Errorf("scenario %q: unknown workload %q (have %s)",
+			sc.Name, sc.Workload, strings.Join(Workloads(), ", "))
+	}
+	if err := sc.parseMode(); err != nil {
+		return err
+	}
+	for _, name := range append([]string{sc.System}, sc.Systems...) {
+		if name == "" {
+			continue
+		}
+		if _, err := cluster.ByName(name); err != nil {
+			return fmt.Errorf("scenario %q: %v", sc.Name, err)
+		}
+	}
+	for field, n := range map[string]int{
+		"nodes": sc.Nodes, "trials": sc.Trials, "ops": sc.Ops, "qps": sc.QPs,
+		"size": sc.Size, "cack": sc.CACK, "retry": sc.Retry, "window": sc.Window,
+		"pages": sc.Pages, "waves": sc.Waves, "memory_bytes": sc.MemoryBytes,
+	} {
+		if n < 0 {
+			return fmt.Errorf("scenario %q: %s must not be negative", sc.Name, field)
+		}
+	}
+	for field, x := range map[string]float64{
+		"rnr_delay_ms": sc.RNRDelayMs, "interval_ms": sc.IntervalMs, "step_ms": sc.StepMs,
+	} {
+		if x < 0 {
+			return fmt.Errorf("scenario %q: %s must not be negative", sc.Name, field)
+		}
+	}
+	if sc.Faults.LossRate < 0 || sc.Faults.LossRate >= 1 {
+		return fmt.Errorf("scenario %q: loss_rate must be in [0, 1)", sc.Name)
+	}
+	if sc.Faults.PageFaultScale < 0 {
+		return fmt.Errorf("scenario %q: page_fault_scale must not be negative", sc.Name)
+	}
+	if err := sc.Grid.validate(sc.Name, "grid"); err != nil {
+		return err
+	}
+	for i, v := range sc.Series {
+		if err := v.Grid.validate(sc.Name, fmt.Sprintf("series[%d].grid", i)); err != nil {
+			return err
+		}
+		if v.Ops < 0 || v.RNRDelayMs < 0 || v.StepMs < 0 {
+			return fmt.Errorf("scenario %q: series[%d] has a negative field", sc.Name, i)
+		}
+	}
+	return nil
+}
+
+// resolveSystem looks a system name up and applies the fault knobs; an
+// empty name selects the fallback.
+func (sc *Scenario) resolveSystem(name string, fallback cluster.System) (cluster.System, error) {
+	s := fallback
+	if name != "" {
+		var err error
+		s, err = cluster.ByName(name)
+		if err != nil {
+			return cluster.System{}, fmt.Errorf("scenario %q: %v", sc.Name, err)
+		}
+	}
+	return sc.ApplyFaults(s), nil
+}
+
+// ApplyFaults folds the scenario's fault knobs into a system value.
+// Workloads with built-in system tables (sparkucx's Table-13 rows) route
+// each system through this so declared faults reach every built cluster.
+func (sc *Scenario) ApplyFaults(s cluster.System) cluster.System {
+	if sc.Faults.Congestion {
+		s.ModelCongestion = true
+	}
+	if sc.Faults.LossRate > 0 {
+		s.LossRate = sc.Faults.LossRate
+	}
+	if sc.Faults.PageFaultScale > 0 {
+		s.FaultScale = sc.Faults.PageFaultScale
+	}
+	return s
+}
+
+// SeedOrDefault returns the base seed (1 when unset, matching every
+// CLI's historical -seed default).
+func (sc *Scenario) SeedOrDefault() int64 {
+	if sc.Seed != 0 {
+		return sc.Seed
+	}
+	return 1
+}
+
+// RNRDelay returns the minimal RNR NAK delay (the paper's 1.28 ms when
+// unset).
+func (sc *Scenario) RNRDelay() sim.Time {
+	if sc.RNRDelayMs > 0 {
+		return sim.FromMillis(sc.RNRDelayMs)
+	}
+	return sim.FromMillis(1.28)
+}
+
+// Interval returns the posting interval.
+func (sc *Scenario) Interval() sim.Time { return sim.FromMillis(sc.IntervalMs) }

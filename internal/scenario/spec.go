@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// LoadSpec decodes one Scenario from a JSON spec. The schema is the
+// Scenario struct's JSON tags; unknown fields are rejected so typos
+// ("trails": 30) fail loudly instead of silently running defaults. The
+// decoded scenario is validated, so a spec with an unknown system, a
+// malformed grid or an out-of-range fault knob never reaches a workload.
+func LoadSpec(data []byte) (Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("scenario spec: %v", err)
+	}
+	// A second document in the stream means the file is not one spec.
+	if dec.More() {
+		return Scenario{}, fmt.Errorf("scenario spec: trailing data after the scenario object")
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// LoadSpecFile reads and decodes a JSON spec from disk.
+func LoadSpecFile(path string) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, err
+	}
+	sc, err := LoadSpec(data)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("%s: %v", path, err)
+	}
+	return sc, nil
+}
+
+// SaveSpec renders a scenario as an indented JSON spec that LoadSpec
+// round-trips exactly — `odpsim show <name>` uses it to export registry
+// entries as editable starting points.
+func SaveSpec(sc Scenario) ([]byte, error) {
+	data, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// IsSpecPath reports whether a run argument names a spec file rather
+// than a registered scenario (`odpsim run sweep.json` vs
+// `odpsim run fig4`).
+func IsSpecPath(arg string) bool {
+	return strings.HasSuffix(arg, ".json") || strings.ContainsAny(arg, "/\\")
+}

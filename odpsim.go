@@ -35,6 +35,7 @@ import (
 	"odpsim/internal/perftest"
 	"odpsim/internal/regcache"
 	"odpsim/internal/rnic"
+	"odpsim/internal/scenario"
 	"odpsim/internal/sim"
 	"odpsim/internal/softrel"
 	"odpsim/internal/stats"
@@ -468,6 +469,37 @@ func NewKVServer(nic *RNIC, cfg RPCConfig, handleCost Time) *KVServer {
 func NewKVClient(nic *RNIC, cfg RPCConfig, srv *KVServer) *KVClient {
 	return kvstore.NewClient(nic, cfg, srv)
 }
+
+// --- Scenario layer (one registry behind every figure and table) ---
+
+// Scenario is a declarative experiment: workload, system, ODP mode,
+// fault knobs, sweep grid and trials. Every paper artifact is one.
+type Scenario = scenario.Scenario
+
+// ScenarioOptions carries side outputs (counter CSV, capture files) and
+// the quick-fidelity switch for RunScenario.
+type ScenarioOptions = scenario.Options
+
+// ScenarioWorkload is the interface experiment families implement and
+// register (internal/core, the apps, perftest all do).
+type ScenarioWorkload = scenario.Workload
+
+// RunScenario validates and executes a scenario, rendering to w.
+func RunScenario(sc Scenario, w io.Writer, opts ScenarioOptions) error {
+	return scenario.Run(sc, w, opts)
+}
+
+// ScenarioNames lists the registered paper scenarios in paper order.
+func ScenarioNames() []string { return scenario.Names() }
+
+// LookupScenario returns a copy of a registered scenario by name.
+func LookupScenario(name string) (Scenario, error) { return scenario.Lookup(name) }
+
+// LoadScenarioSpec parses a JSON scenario spec (unknown fields rejected).
+func LoadScenarioSpec(data []byte) (Scenario, error) { return scenario.LoadSpec(data) }
+
+// SaveScenarioSpec renders a scenario as a JSON spec.
+func SaveScenarioSpec(sc Scenario) ([]byte, error) { return scenario.SaveSpec(sc) }
 
 // --- Statistics ---
 
