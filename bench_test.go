@@ -14,7 +14,9 @@ import (
 	"odpsim/internal/apps/sparkucx"
 	"odpsim/internal/cluster"
 	"odpsim/internal/core"
+	"odpsim/internal/fabric"
 	"odpsim/internal/hostmem"
+	"odpsim/internal/packet"
 	"odpsim/internal/odp"
 	"odpsim/internal/parallel"
 	"odpsim/internal/perftest"
@@ -716,6 +718,31 @@ func BenchmarkSweepEngineEventLoop(b *testing.B) {
 			pending.Cancel() // no-op on the zero Timer
 			pending = eng.After(sim.Time(j+1)*sim.Microsecond, func() {})
 			eng.After(sim.Time(j)*sim.Microsecond, func() {})
+		}
+		eng.Run()
+	}
+}
+
+// BenchmarkSweepDatapathSendDeliver measures the pooled packet datapath:
+// a rebuilt fabric and a 4096-packet send→deliver stream per iteration,
+// everything drawn from the engine-generation arenas. Warm, the whole
+// loop stays within a couple of allocations (DESIGN.md §8;
+// TestAllocBudgetSendDeliver pins the steady-state budget).
+func BenchmarkSweepDatapathSendDeliver(b *testing.B) {
+	eng := sim.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.Reset(int64(i))
+		f := fabric.New(eng, fabric.DefaultConfig())
+		src := f.AttachPort(1, "src", func(*packet.Packet) {})
+		f.AttachPort(2, "dst", func(*packet.Packet) {})
+		pool := f.Pool()
+		for j := 0; j < 4096; j++ {
+			p := pool.Get()
+			p.Opcode = packet.OpReadRequest
+			p.DLID = 2
+			p.PSN = uint32(j)
+			src.Send(p)
 		}
 		eng.Run()
 	}

@@ -19,6 +19,8 @@ import (
 	"time"
 
 	"odpsim/internal/core"
+	"odpsim/internal/fabric"
+	"odpsim/internal/packet"
 	"odpsim/internal/parallel"
 	"odpsim/internal/scenario"
 	_ "odpsim/internal/scenario/paper"
@@ -97,6 +99,11 @@ type benchReport struct {
 		NsPerOp int64  `json:"ns_per_op"`
 		Allocs  int64  `json:"allocs_per_op"`
 	} `json:"microbench"`
+	Datapath struct {
+		Name          string  `json:"name"`
+		NsPerSend     float64 `json:"ns_per_send"`
+		AllocsPerLoop int64   `json:"allocs_per_loop"`
+	} `json:"datapath"`
 }
 
 // writeBenchFile measures the multi-trial Figure-4 sweep sequentially and
@@ -166,6 +173,34 @@ func writeBenchFile(path string) error {
 	rep.Microbench.NsPerOp = mbRes.NsPerOp()
 	rep.Microbench.Allocs = mbRes.AllocsPerOp()
 
+	// Pooled packet datapath: per-trial fabric rebuild plus a pooled
+	// send→deliver stream, all drawn from the engine-generation arenas.
+	// Warm, the whole loop stays within a couple of allocations
+	// (TestAllocBudgetSendDeliver pins the budget; DESIGN.md §8).
+	const sendsPerLoop = 4096
+	dpRes := testing.Benchmark(func(b *testing.B) {
+		eng := sim.New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.Reset(int64(i))
+			f := fabric.New(eng, fabric.DefaultConfig())
+			src := f.AttachPort(1, "src", func(*packet.Packet) {})
+			f.AttachPort(2, "dst", func(*packet.Packet) {})
+			pool := f.Pool()
+			for j := 0; j < sendsPerLoop; j++ {
+				p := pool.Get()
+				p.Opcode = packet.OpReadRequest
+				p.DLID = 2
+				p.PSN = uint32(j)
+				src.Send(p)
+			}
+			eng.Run()
+		}
+	})
+	rep.Datapath.Name = "pooled Port.Send→deliver loop, 4096 packets, rebuilt fabric, Reset-reused engine"
+	rep.Datapath.NsPerSend = float64(dpRes.NsPerOp()) / sendsPerLoop
+	rep.Datapath.AllocsPerLoop = dpRes.AllocsPerOp()
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -174,8 +209,9 @@ func writeBenchFile(path string) error {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: sweep %.2fx speedup (%d workers), engine %.0f ns/event, %d allocs/loop\n",
-		path, rep.Sweep.Speedup, rep.Jobs, rep.Engine.NsPerEvent, rep.Engine.AllocsPerLoop)
+	fmt.Printf("wrote %s: sweep %.2fx speedup (%d workers), engine %.0f ns/event, %d allocs/loop, datapath %.0f ns/send, %d allocs/loop\n",
+		path, rep.Sweep.Speedup, rep.Jobs, rep.Engine.NsPerEvent, rep.Engine.AllocsPerLoop,
+		rep.Datapath.NsPerSend, rep.Datapath.AllocsPerLoop)
 	return nil
 }
 

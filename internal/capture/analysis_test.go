@@ -12,15 +12,15 @@ import (
 func mkCapture(recs ...Record) *Capture { return FromRecords(recs) }
 
 func req(at sim.Time, qp, psn uint32) Record {
-	return Record{At: at, Pkt: &packet.Packet{Opcode: packet.OpReadRequest, SrcQP: qp, DestQP: qp, PSN: psn}}
+	return Record{At: at, Pkt: packet.Packet{Opcode: packet.OpReadRequest, SrcQP: qp, DestQP: qp, PSN: psn}}
 }
 
 func resp(at sim.Time, qp, psn uint32) Record {
-	return Record{At: at, Pkt: &packet.Packet{Opcode: packet.OpReadRespOnly, DestQP: qp, PSN: psn, Syndrome: packet.SynACK}}
+	return Record{At: at, Pkt: packet.Packet{Opcode: packet.OpReadRespOnly, DestQP: qp, PSN: psn, Syndrome: packet.SynACK}}
 }
 
 func ack(at sim.Time, qp, psn uint32) Record {
-	return Record{At: at, Pkt: &packet.Packet{Opcode: packet.OpAcknowledge, DestQP: qp, PSN: psn, AckPSN: psn, Syndrome: packet.SynACK}}
+	return Record{At: at, Pkt: packet.Packet{Opcode: packet.OpAcknowledge, DestQP: qp, PSN: psn, AckPSN: psn, Syndrome: packet.SynACK}}
 }
 
 func TestOpLatenciesBasic(t *testing.T) {
@@ -64,8 +64,8 @@ func TestOpLatenciesRetransmissionsCounted(t *testing.T) {
 func TestOpLatenciesCoalescedAck(t *testing.T) {
 	// Two WRITEs acked by one coalesced ACK.
 	c := mkCapture(
-		Record{At: 0, Pkt: &packet.Packet{Opcode: packet.OpWriteOnly, SrcQP: 2, DestQP: 2, PSN: 5}},
-		Record{At: 3, Pkt: &packet.Packet{Opcode: packet.OpWriteOnly, SrcQP: 2, DestQP: 2, PSN: 6}},
+		Record{At: 0, Pkt: packet.Packet{Opcode: packet.OpWriteOnly, SrcQP: 2, DestQP: 2, PSN: 5}},
+		Record{At: 3, Pkt: packet.Packet{Opcode: packet.OpWriteOnly, SrcQP: 2, DestQP: 2, PSN: 6}},
 		ack(9, 2, 6),
 	)
 	ops := c.OpLatencies()
@@ -90,7 +90,7 @@ func TestOpLatenciesOnRealDammingRun(t *testing.T) {
 	// the first op must be the RNR scale (the Figure-5 shape).
 	c := mkCapture(
 		req(0, 1, 0),
-		Record{At: 2000, Pkt: &packet.Packet{Opcode: packet.OpAcknowledge, DestQP: 1, PSN: 0, AckPSN: 0, Syndrome: packet.SynRNRNAK}},
+		Record{At: 2000, Pkt: packet.Packet{Opcode: packet.OpAcknowledge, DestQP: 1, PSN: 0, AckPSN: 0, Syndrome: packet.SynRNRNAK}},
 		req(4_480_000, 1, 0),
 		req(4_480_100, 1, 1),
 		resp(4_490_000, 1, 0),
@@ -118,7 +118,7 @@ func TestPerQPStats(t *testing.T) {
 		req(10, 2, 0),
 		req(500, 1, 0), // retransmit on QP 1
 		resp(520, 1, 0),
-		Record{At: 530, Pkt: &packet.Packet{Opcode: packet.OpAcknowledge, DestQP: 2, AckPSN: 0, Syndrome: packet.SynRNRNAK}},
+		Record{At: 530, Pkt: packet.Packet{Opcode: packet.OpAcknowledge, DestQP: 2, AckPSN: 0, Syndrome: packet.SynRNRNAK}},
 	)
 	flows := c.PerQPStats()
 	if len(flows) != 2 {

@@ -16,10 +16,13 @@ import (
 	"odpsim/internal/sim"
 )
 
-// Record is one captured packet.
+// Record is one captured packet. Pkt is stored by value: the fabric only
+// lends the live packet to taps for the duration of the tap call
+// (DESIGN.md §8), so the capture keeps its own copy, the way ibdump
+// copies frames out of the mirrored stream.
 type Record struct {
 	At      sim.Time
-	Pkt     *packet.Packet
+	Pkt     packet.Packet
 	Src     string
 	Dst     string
 	Dropped bool
@@ -44,7 +47,7 @@ func Attach(f *fabric.Fabric) *Capture {
 			return
 		}
 		c.records = append(c.records, Record{
-			At: ev.At, Pkt: ev.Pkt, Src: ev.SrcName, Dst: ev.DstName,
+			At: ev.At, Pkt: *ev.Pkt, Src: ev.SrcName, Dst: ev.DstName,
 			Dropped: ev.Dropped, Reason: ev.Reason,
 		})
 	})

@@ -102,7 +102,7 @@ func ReadTrace(r io.Reader) ([]Record, error) {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return nil, fmt.Errorf("capture: record %d: %w", i, err)
 		}
-		p := &packet.Packet{
+		p := packet.Packet{
 			SLID:       binary.LittleEndian.Uint16(buf[8:]),
 			DLID:       binary.LittleEndian.Uint16(buf[10:]),
 			Opcode:     packet.Opcode(binary.LittleEndian.Uint32(buf[12:])),

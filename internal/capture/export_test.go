@@ -15,7 +15,7 @@ import (
 func randomCapture(rng *rand.Rand, n int) *Capture {
 	c := &Capture{enabled: true}
 	for i := 0; i < n; i++ {
-		p := &packet.Packet{
+		p := packet.Packet{
 			SLID:          uint16(rng.Intn(16)),
 			DLID:          uint16(rng.Intn(16)),
 			Opcode:        packet.Opcode(rng.Intn(9)),
@@ -62,7 +62,7 @@ func TestTraceRoundTripProperty(t *testing.T) {
 			if r.At != want.At || r.Dropped != want.Dropped {
 				return false
 			}
-			if !packetsEqual(*r.Pkt, withoutUnstored(*want.Pkt)) {
+			if !packetsEqual(r.Pkt, withoutUnstored(want.Pkt)) {
 				return false
 			}
 		}

@@ -165,7 +165,8 @@ type Cluster struct {
 // whole /sys/class/infiniband tree in one scrape.
 func (c *Cluster) Telemetry() *telemetry.Hub {
 	if c.tel == nil {
-		c.tel = telemetry.NewHub(c.Fab.Telemetry())
+		c.tel = telemetry.NewHubOn(c.Eng)
+		c.tel.Add(c.Fab.Telemetry())
 		for _, n := range c.Nodes {
 			c.tel.Add(n.Telemetry())
 		}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"odpsim/internal/sim"
+)
+
+// TestAllocBudgetMicrobench pins the per-trial allocation budget of the
+// whole stack on a Reset-reused engine — the loop every sweep runs. The
+// seed's datapath cost was 937 allocs per trial; the pooled datapath and
+// the engine-generation arenas (DESIGN.md §8) bring a warm trial to ~60,
+// and this test fails the build if it creeps past 100.
+func TestAllocBudgetMicrobench(t *testing.T) {
+	eng := sim.New(1)
+	seed := int64(0)
+	trial := func() {
+		seed++
+		cfg := DefaultBench()
+		cfg.Eng = eng
+		cfg.Seed = seed
+		RunMicrobench(cfg)
+	}
+	trial() // first trial warms the arenas
+
+	if avg := testing.AllocsPerRun(20, trial); avg > 100 {
+		t.Errorf("warm RunMicrobench trial allocates %.0f/op, budget 100", avg)
+	}
+}

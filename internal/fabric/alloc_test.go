@@ -1,0 +1,64 @@
+package fabric
+
+import (
+	"testing"
+
+	"odpsim/internal/packet"
+	"odpsim/internal/sim"
+)
+
+// TestAllocBudgetSendDeliver pins the warm datapath's allocation budget:
+// a burst of pooled sends, delivered and recycled, must stay within 2
+// allocations per burst (the occasional event-heap or free-list growth).
+// This is the tentpole invariant of DESIGN.md §8 — steady-state traffic
+// allocates nothing.
+func TestAllocBudgetSendDeliver(t *testing.T) {
+	eng := sim.New(1)
+	f := New(eng, DefaultConfig())
+	src := f.AttachPort(1, "src", func(*packet.Packet) {})
+	f.AttachPort(2, "dst", func(*packet.Packet) {})
+	pool := f.Pool()
+
+	burst := func() {
+		for i := 0; i < 64; i++ {
+			p := pool.Get()
+			p.Opcode = packet.OpReadRequest
+			p.DLID = 2
+			p.PSN = uint32(i)
+			src.Send(p)
+		}
+		eng.Run()
+	}
+	burst() // warm the pool, delivery free list and event heap
+
+	if avg := testing.AllocsPerRun(100, burst); avg > 2 {
+		t.Errorf("warm send→deliver burst allocates %.1f/op, budget 2", avg)
+	}
+}
+
+// TestAllocBudgetRebuildOnResetEngine pins the per-trial budget of the
+// fabric layer itself: rebuilding a fabric with two ports on a
+// Reset-reused engine draws everything — ports, LID tables, registries —
+// from the engine-generation arenas.
+func TestAllocBudgetRebuildOnResetEngine(t *testing.T) {
+	eng := sim.New(1)
+	trial := func() {
+		f := New(eng, DefaultConfig())
+		src := f.AttachPort(1, "src", func(*packet.Packet) {})
+		f.AttachPort(2, "dst", func(*packet.Packet) {})
+		pool := f.Pool()
+		for i := 0; i < 16; i++ {
+			p := pool.Get()
+			p.Opcode = packet.OpReadRequest
+			p.DLID = 2
+			src.Send(p)
+		}
+		eng.Run()
+		eng.Reset(1)
+	}
+	trial() // first trial constructs the arenas
+
+	if avg := testing.AllocsPerRun(50, trial); avg > 2 {
+		t.Errorf("rebuilt trial allocates %.1f/op, budget 2", avg)
+	}
+}

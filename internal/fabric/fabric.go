@@ -4,6 +4,11 @@
 // assumes, drop-on-unknown-LID (the paper's wrong-destination-LID
 // experiment), and taps that let a capture layer observe every packet the
 // way ibdump does.
+//
+// The datapath is allocation-free once warm: packets are recycled through
+// a packet.Pool attached to the engine, and scheduled arrivals reuse
+// preallocated delivery events. See DESIGN.md §8 for the ownership
+// contract this imposes on handlers and taps.
 package fabric
 
 import (
@@ -15,7 +20,9 @@ import (
 	"odpsim/internal/telemetry"
 )
 
-// Handler receives a delivered packet on a port.
+// Handler receives a delivered packet on a port. The packet is a borrow:
+// it is valid only until the handler returns, after which the fabric
+// recycles it (DESIGN.md §8). Handlers must copy any state they keep.
 type Handler func(*packet.Packet)
 
 // Config tunes the fabric's latency model.
@@ -45,7 +52,9 @@ func DefaultConfig() Config {
 	}
 }
 
-// TapEvent is one observation of a packet on the fabric.
+// TapEvent is one observation of a packet on the fabric. Pkt is a borrow
+// valid only for the duration of the tap call — observers that keep
+// packet state must copy it (capture stores Records by value).
 type TapEvent struct {
 	At      sim.Time
 	Pkt     *packet.Packet
@@ -87,19 +96,90 @@ func (p *Port) RegisterMetrics(reg *telemetry.Registry) {
 	reg.Counter(telemetry.PortXmitDiscards, "transmitted packets dropped by the fabric", l, &p.TxDiscards)
 }
 
-type pairKey struct{ src, dst uint16 }
+// delivery is one scheduled packet arrival. Deliveries are recycled
+// through the fabric's free list, and fn caches the run method value, so
+// scheduling an arrival allocates nothing once the list is warm — the
+// closure the old datapath captured per send is gone.
+type delivery struct {
+	f   *Fabric
+	dst *Port
+	pkt *packet.Packet
+	ws  uint64
+	fn  func()
+}
+
+// run fires one arrival: delivery counters, the handler's synchronous
+// borrow, and then the packet returns to the pool.
+func (d *delivery) run() {
+	f, dst, pkt, ws := d.f, d.dst, d.pkt, d.ws
+	// Recycle the delivery before the handler runs: handlers send
+	// packets of their own (ACKs, READ responses), and those sends can
+	// reuse this event immediately.
+	d.dst, d.pkt = nil, nil
+	f.scratch.freeDel = append(f.scratch.freeDel, d)
+	f.Delivered++
+	dst.RxPackets++
+	dst.RxBytes += ws
+	dst.handler(pkt)
+	f.pool.Put(pkt)
+}
+
+// scratchKey is the engine Aux key the fabric's recycled storage lives
+// under. Keyed on the engine (not the fabric) so trial loops that rebuild
+// the cluster per run on a Reset-reused engine keep one warm set of
+// packet storage, delivery events, LID tables and ports.
+const scratchKey = "fabric.scratch"
+
+// scratch is the per-engine storage a fabric draws from. The packet pool
+// and delivery free list are shared unconditionally (their objects are
+// self-contained). The LID tables and port arena are claimed by the
+// first fabric built in each engine generation: a second fabric on the
+// same un-Reset engine allocates its own, so tests that run two fabrics
+// side by side stay correct.
+type scratch struct {
+	pool    *packet.Pool
+	freeDel []*delivery
+
+	tableGen    uint64 // engine Generation()+1 that claimed the tables; 0 = unclaimed
+	ports       []*Port
+	egressFree  []sim.Time
+	lastArrival [][]sim.Time
+
+	portGen  uint64
+	portAll  []*Port
+	portNext int
+}
+
+// scratchFor fetches or creates the engine's fabric scratch.
+func scratchFor(eng *sim.Engine) *scratch {
+	s, _ := eng.Aux(scratchKey).(*scratch)
+	if s == nil {
+		s = &scratch{pool: packet.NewPool()}
+		eng.SetAux(scratchKey, s)
+	}
+	return s
+}
 
 // Fabric connects ports. All methods run on the simulation loop.
 type Fabric struct {
-	eng   *sim.Engine
-	cfg   Config
-	ports map[uint16]*Port
-	taps  []Tap
-	// lastArrival enforces FIFO per (src,dst) despite delay jitter.
-	lastArrival map[pairKey]sim.Time
-	// egressFree is when each source port's wire becomes free
-	// (ModelCongestion only).
-	egressFree map[uint16]sim.Time
+	eng  *sim.Engine
+	cfg  Config
+	taps []Tap
+	// ports, egressFree and lastArrival are dense tables indexed by LID
+	// (LIDs are small integers the cluster layer assigns): ports is the
+	// attachment table, egressFree is when each source port's wire
+	// becomes free (ModelCongestion only), and lastArrival[src][dst]
+	// enforces FIFO per pair despite delay jitter.
+	ports       []*Port
+	egressFree  []sim.Time
+	lastArrival [][]sim.Time
+	// pool recycles packet storage through the datapath; the delivery
+	// free list lives in the shared scratch. ownsTables records that this
+	// fabric claimed the scratch's LID tables for its generation and must
+	// write resized ones back.
+	pool       *packet.Pool
+	scratch    *scratch
+	ownsTables bool
 	// lossRate drops each packet independently with this probability.
 	lossRate float64
 	// dropFilter, when non-nil, drops packets it returns true for.
@@ -120,12 +200,30 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 		cfg.BandwidthGbps = 56
 	}
 	f := &Fabric{
-		eng:         eng,
-		cfg:         cfg,
-		ports:       make(map[uint16]*Port),
-		lastArrival: make(map[pairKey]sim.Time),
-		egressFree:  make(map[uint16]sim.Time),
-		tel:         telemetry.NewRegistry(telemetry.Labels{"device": "fabric"}),
+		eng: eng,
+		cfg: cfg,
+		tel: telemetry.NewRegistryOn(eng, "fabric", telemetry.Labels{"device": "fabric"}),
+	}
+	s := scratchFor(eng)
+	f.scratch = s
+	f.pool = s.pool
+	if gen := eng.Generation() + 1; s.tableGen != gen {
+		// First fabric of this generation: take over last run's tables,
+		// cleared of their stale contents but keeping every backing array
+		// (including the per-source FIFO rows).
+		s.tableGen = gen
+		f.ownsTables = true
+		f.ports = s.ports
+		f.egressFree = s.egressFree
+		f.lastArrival = s.lastArrival
+		for i := range f.ports {
+			f.ports[i] = nil
+			f.egressFree[i] = 0
+			row := f.lastArrival[i]
+			for j := range row {
+				row[j] = 0
+			}
+		}
 	}
 	f.tel.Counter(telemetry.SimFabricPacketsSent, "packets handed to the fabric", nil, &f.Sent)
 	f.tel.Counter(telemetry.SimFabricPacketsDelivered, "packets delivered to a port", nil, &f.Delivered)
@@ -137,17 +235,88 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 // Engine returns the simulation engine.
 func (f *Fabric) Engine() *sim.Engine { return f.eng }
 
+// Pool returns the fabric's packet pool. Senders draw transmit packets
+// from it; the fabric returns every packet after final delivery or drop.
+func (f *Fabric) Pool() *packet.Pool { return f.pool }
+
 // Telemetry returns the fabric-wide counter registry (per-port counters
 // live on the owning device's registry; see Port.RegisterMetrics).
 func (f *Fabric) Telemetry() *telemetry.Registry { return f.tel }
 
+// grow extends the LID-indexed tables to hold n entries.
+func (f *Fabric) grow(n int) {
+	if n <= len(f.ports) {
+		return
+	}
+	// Round the capacity up so a cluster attaching LIDs one by one grows
+	// each table once, not once per port.
+	capHint := n
+	if capHint < 16 {
+		capHint = 16
+	}
+	if cap(f.ports) < n {
+		ports := make([]*Port, len(f.ports), capHint)
+		copy(ports, f.ports)
+		f.ports = ports
+		free := make([]sim.Time, len(f.egressFree), capHint)
+		copy(free, f.egressFree)
+		f.egressFree = free
+		rows := make([][]sim.Time, len(f.lastArrival), capHint)
+		copy(rows, f.lastArrival)
+		f.lastArrival = rows
+	}
+	f.ports = f.ports[:n]
+	f.egressFree = f.egressFree[:n]
+	for i := range f.lastArrival {
+		row := f.lastArrival[i]
+		if cap(row) < n {
+			grown := make([]sim.Time, n, capHint)
+			copy(grown, row)
+			f.lastArrival[i] = grown
+		} else {
+			f.lastArrival[i] = row[:n]
+		}
+	}
+	for len(f.lastArrival) < n {
+		f.lastArrival = append(f.lastArrival, make([]sim.Time, n, capHint))
+	}
+	if f.ownsTables {
+		f.scratch.ports = f.ports
+		f.scratch.egressFree = f.egressFree
+		f.scratch.lastArrival = f.lastArrival
+	}
+}
+
 // AttachPort registers a port with the given LID. LIDs must be unique.
 func (f *Fabric) AttachPort(lid uint16, name string, h Handler) *Port {
-	if _, dup := f.ports[lid]; dup {
+	f.grow(int(lid) + 1)
+	if f.ports[lid] != nil {
 		panic(fmt.Sprintf("fabric: duplicate LID %d", lid))
 	}
-	p := &Port{LID: lid, Name: name, fab: f, handler: h}
+	p := f.getPort()
+	*p = Port{LID: lid, Name: name, fab: f, handler: h}
 	f.ports[lid] = p
+	return p
+}
+
+// getPort grabs a port from the engine-generation arena: ports handed out
+// in earlier generations are free again after an engine Reset, so trial
+// loops reuse the same structs. The arena index only advances within a
+// generation, so two fabrics on one engine never share a port.
+func (f *Fabric) getPort() *Port {
+	s := f.scratch
+	if gen := f.eng.Generation() + 1; s.portGen != gen {
+		s.portGen = gen
+		s.portNext = 0
+	}
+	if s.portNext < len(s.portAll) {
+		p := s.portAll[s.portNext]
+		s.portNext++
+		return p
+	}
+	p := &Port{}
+	s.portAll = append(s.portAll, p)
+	s.portNext = len(s.portAll)
 	return p
 }
 
@@ -162,9 +331,9 @@ func (f *Fabric) SetLossRate(p float64) { f.lossRate = p }
 // clears it. Used by experiments that surgically lose one packet.
 func (f *Fabric) SetDropFilter(fn func(*packet.Packet) bool) { f.dropFilter = fn }
 
-// serialization returns the time to clock the packet onto the wire.
-func (f *Fabric) serialization(p *packet.Packet) sim.Time {
-	bits := float64(p.WireSize() * 8)
+// serialization returns the time to clock wireBytes onto the wire.
+func (f *Fabric) serialization(wireBytes int) sim.Time {
+	bits := float64(wireBytes * 8)
 	ns := bits / f.cfg.BandwidthGbps // Gb/s == bits/ns
 	return sim.Time(ns)
 }
@@ -175,21 +344,46 @@ func (f *Fabric) emitTap(ev TapEvent) {
 	}
 }
 
+// getDelivery pops a recycled delivery event, or allocates one with its
+// run method value cached.
+func (f *Fabric) getDelivery() *delivery {
+	s := f.scratch
+	n := len(s.freeDel)
+	if n == 0 {
+		d := &delivery{f: f}
+		d.fn = d.run
+		return d
+	}
+	d := s.freeDel[n-1]
+	s.freeDel[n-1] = nil
+	s.freeDel = s.freeDel[:n-1]
+	d.f = f // the free list outlives per-trial fabrics
+	return d
+}
+
 // Send transmits pkt from the port. The SLID is stamped from the port.
 // Delivery is scheduled after serialization + propagation (+jitter), with
 // FIFO ordering preserved per (src,dst) LID pair. Packets to unknown LIDs
 // — e.g. the wrong-LID timeout experiment — are silently dropped, as a
 // real subnet discards them.
+//
+// Ownership of pkt transfers to the fabric: after final delivery (the
+// receiving handler's return) or drop, the packet goes back to the pool.
+// Packets built outside the pool are absorbed into it.
 func (p *Port) Send(pkt *packet.Packet) {
 	f := p.fab
 	pkt.SLID = p.LID
+	ws := uint64(pkt.WireSize())
 	f.Sent++
-	f.BytesSent += uint64(pkt.WireSize())
+	f.BytesSent += ws
 	p.TxPackets++
-	p.TxBytes += uint64(pkt.WireSize())
+	p.TxBytes += ws
 
-	dst, ok := f.ports[pkt.DLID]
-	drop := !ok
+	var dst *Port
+	if int(pkt.DLID) < len(f.ports) {
+		dst = f.ports[pkt.DLID]
+	}
+	drop := dst == nil
 	reason := ""
 	if drop {
 		reason = "unknown DLID"
@@ -202,17 +396,18 @@ func (p *Port) Send(pkt *packet.Packet) {
 	}
 
 	dstName := ""
-	if ok {
+	if dst != nil {
 		dstName = dst.Name
 	}
 	f.emitTap(TapEvent{At: f.eng.Now(), Pkt: pkt, SrcName: p.Name, DstName: dstName, Dropped: drop, Reason: reason})
 	if drop {
 		f.Dropped++
 		p.TxDiscards++
+		f.pool.Put(pkt)
 		return
 	}
 
-	ser := f.serialization(pkt)
+	ser := f.serialization(int(ws))
 	start := f.eng.Now()
 	if f.cfg.ModelCongestion {
 		// The wire clocks one packet at a time: queue behind the
@@ -223,15 +418,11 @@ func (p *Port) Send(pkt *packet.Packet) {
 		f.egressFree[p.LID] = start + ser
 	}
 	at := start + ser + f.eng.Jitter(f.cfg.PropDelay, f.cfg.DelayJitter)
-	key := pairKey{p.LID, pkt.DLID}
-	if last := f.lastArrival[key]; at < last {
+	if last := f.lastArrival[p.LID][pkt.DLID]; at < last {
 		at = last // keep the wire FIFO
 	}
-	f.lastArrival[key] = at
-	f.eng.At(at, func() {
-		f.Delivered++
-		dst.RxPackets++
-		dst.RxBytes += uint64(pkt.WireSize())
-		dst.handler(pkt)
-	})
+	f.lastArrival[p.LID][pkt.DLID] = at
+	d := f.getDelivery()
+	d.dst, d.pkt, d.ws = dst, pkt, ws
+	f.eng.At(at, d.fn)
 }

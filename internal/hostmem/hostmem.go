@@ -112,15 +112,30 @@ type page struct {
 	state PageState
 	pins  int
 	// resolveWaiters run when the in-flight resolution completes.
+	// waiterSpare is the previous completion's backing array, recycled so
+	// repeated fault/invalidate cycles on one page stop allocating; the
+	// two swap at completion time so waiters queued *during* completion
+	// land in a different array than the one being iterated.
 	resolveWaiters []func()
+	waiterSpare    []func()
+	// completeFn is the cached resolution-completion callback, built on
+	// the page's first fault so retries reuse one closure.
+	completeFn func()
 }
 
 // AddressSpace is one node's virtual memory. All methods must be called
 // from the simulation loop (events or processes).
 type AddressSpace struct {
-	eng       *sim.Engine
-	cfg       Config
-	pages     map[PageNo]*page
+	eng *sim.Engine
+	cfg Config
+	// pages is a dense page table indexed by page number: Alloc hands
+	// out addresses from a brk that starts at one page and grows
+	// contiguously, so page numbers are small consecutive integers and
+	// indexing replaces the map hashing the per-packet ODP checks used
+	// to pay. Entries stay nil until first use; pointers (not values)
+	// because in-flight fault resolutions hold their page across table
+	// growth.
+	pages     []*page
 	brk       Addr
 	notifiers []Notifier
 
@@ -132,14 +147,69 @@ type AddressSpace struct {
 	PagesPinned    uint64
 }
 
-// NewAddressSpace creates an address space on engine eng.
+// asPoolKey is the engine Aux key recycled address spaces live under.
+const asPoolKey = "hostmem.addressSpaces"
+
+// asPool hands address spaces back out after an engine Reset: the page
+// table keeps its entries (reset to Unmapped) and their cached
+// fault-completion closures, and the word store keeps its buckets, so
+// trial loops stop paying construction allocations. Within one
+// generation every NewAddressSpace call gets a distinct instance.
+type asPool struct {
+	gen  uint64
+	all  []*AddressSpace
+	next int
+}
+
+// NewAddressSpace creates an address space on engine eng. Address spaces
+// are recycled across engine Resets (generation-based, via the engine's
+// aux storage); a freshly returned space is indistinguishable from a
+// brand-new one.
 func NewAddressSpace(eng *sim.Engine, cfg Config) *AddressSpace {
-	return &AddressSpace{
+	p, _ := eng.Aux(asPoolKey).(*asPool)
+	if p == nil {
+		p = &asPool{}
+		eng.SetAux(asPoolKey, p)
+	}
+	if gen := eng.Generation() + 1; p.gen != gen {
+		p.gen = gen
+		p.next = 0
+	}
+	if p.next < len(p.all) {
+		as := p.all[p.next]
+		p.next++
+		as.reset(cfg)
+		return as
+	}
+	as := &AddressSpace{
 		eng:   eng,
 		cfg:   cfg,
-		pages: make(map[PageNo]*page),
 		words: make(map[Addr]uint64),
 		brk:   PageSize, // keep 0 as an obviously invalid address
+	}
+	p.all = append(p.all, as)
+	p.next = len(p.all)
+	return as
+}
+
+// reset returns a recycled address space to its just-constructed state,
+// keeping allocated storage: page entries (and their cached completion
+// closures, which capture only this AddressSpace and the page), the word
+// store's buckets, and the notifier list's backing array.
+func (as *AddressSpace) reset(cfg Config) {
+	as.cfg = cfg
+	as.brk = PageSize
+	as.notifiers = as.notifiers[:0]
+	as.FaultsResolved = 0
+	as.PagesPinned = 0
+	clear(as.words)
+	for _, pg := range as.pages {
+		if pg == nil {
+			continue
+		}
+		pg.state = Unmapped
+		pg.pins = 0
+		pg.resolveWaiters = pg.resolveWaiters[:0]
 	}
 }
 
@@ -160,17 +230,28 @@ func (as *AddressSpace) Alloc(length int) Addr {
 }
 
 func (as *AddressSpace) pageAt(p PageNo) *page {
-	pg, ok := as.pages[p]
-	if !ok {
+	for PageNo(len(as.pages)) <= p {
+		as.pages = append(as.pages, nil)
+	}
+	pg := as.pages[p]
+	if pg == nil {
 		pg = &page{state: Unmapped}
 		as.pages[p] = pg
 	}
 	return pg
 }
 
+// lookup returns page p's entry without creating one, or nil.
+func (as *AddressSpace) lookup(p PageNo) *page {
+	if p < PageNo(len(as.pages)) {
+		return as.pages[p]
+	}
+	return nil
+}
+
 // State returns the state of page p.
 func (as *AddressSpace) State(p PageNo) PageState {
-	if pg, ok := as.pages[p]; ok {
+	if pg := as.lookup(p); pg != nil {
 		return pg.state
 	}
 	return Unmapped
@@ -210,8 +291,8 @@ func (as *AddressSpace) Pin(addr Addr, length int) sim.Time {
 // return to Mapped (still resident).
 func (as *AddressSpace) Unpin(addr Addr, length int) {
 	for _, p := range PagesSpanned(addr, length) {
-		pg, ok := as.pages[p]
-		if !ok || pg.pins == 0 {
+		pg := as.lookup(p)
+		if pg == nil || pg.pins == 0 {
 			panic(fmt.Sprintf("hostmem: Unpin of unpinned page %d", p))
 		}
 		pg.pins--
@@ -232,8 +313,8 @@ func (as *AddressSpace) RegisterNotifier(n Notifier) {
 func (as *AddressSpace) Release(addr Addr, length int) {
 	var reclaimed []PageNo
 	for _, p := range PagesSpanned(addr, length) {
-		pg, ok := as.pages[p]
-		if !ok || pg.state != Mapped {
+		pg := as.lookup(p)
+		if pg == nil || pg.state != Mapped {
 			continue // unmapped, resolving or pinned pages stay
 		}
 		reclaimed = append(reclaimed, p)
@@ -267,16 +348,20 @@ func (as *AddressSpace) ResolveFault(p PageNo, done func()) {
 	}
 	pg.state = Resolving
 	pg.resolveWaiters = append(pg.resolveWaiters, done)
-	lat := as.eng.Uniform(as.cfg.FaultResolveMin, as.cfg.FaultResolveMax)
-	as.eng.After(lat, func() {
-		pg.state = Mapped
-		as.FaultsResolved++
-		ws := pg.resolveWaiters
-		pg.resolveWaiters = nil
-		for _, w := range ws {
-			w()
+	if pg.completeFn == nil {
+		pg.completeFn = func() {
+			pg.state = Mapped
+			as.FaultsResolved++
+			ws := pg.resolveWaiters
+			pg.resolveWaiters = pg.waiterSpare[:0]
+			pg.waiterSpare = ws[:0]
+			for _, w := range ws {
+				w()
+			}
 		}
-	})
+	}
+	lat := as.eng.Uniform(as.cfg.FaultResolveMin, as.cfg.FaultResolveMax)
+	as.eng.After(lat, pg.completeFn)
 }
 
 // ReadWord returns the 8-byte value at addr (zero if never written).

@@ -21,6 +21,11 @@
 // With many QPs the spurious traffic lands in the queue ahead of later
 // pages' resolves and updates, delaying them, which provokes further
 // retransmission rounds — the feedback loop of packet flood.
+//
+// Status tables are dense slices indexed by (QP number, page number) —
+// both small consecutive integers — so the per-packet Access check costs
+// array indexing instead of map hashing. Maps remain only on cold sparse
+// paths (pages with a resolution in flight).
 package odp
 
 import (
@@ -85,6 +90,69 @@ type workItem struct {
 	key  Key            // update
 }
 
+// pairTable is a dense (QP, page) → bool table: rows indexed by QP
+// number, columns by page number. QP numbers and page numbers are both
+// small consecutive integers (the RNIC assigns QPNs from 1, the address
+// space assigns pages from 1), so the table stays compact. get on an
+// entry that was never set is false without allocating; set grows rows
+// and columns on demand.
+type pairTable struct {
+	rows [][]bool
+}
+
+func (t *pairTable) get(qp uint32, p hostmem.PageNo) bool {
+	if int(qp) < len(t.rows) {
+		if row := t.rows[qp]; int(p) < len(row) {
+			return row[p]
+		}
+	}
+	return false
+}
+
+func (t *pairTable) set(qp uint32, p hostmem.PageNo) {
+	if int(qp) >= len(t.rows) {
+		if int(qp) >= cap(t.rows) {
+			rows := make([][]bool, int(qp)+1, 2*(int(qp)+1))
+			copy(rows, t.rows)
+			t.rows = rows
+		} else {
+			t.rows = t.rows[:int(qp)+1]
+		}
+	}
+	row := t.rows[qp]
+	if int(p) >= len(row) {
+		if int(p) >= cap(row) {
+			// make zeroes the whole backing array, so extending len
+			// within cap later yields false entries as required.
+			grown := make([]bool, int(p)+1, 2*(int(p)+1))
+			copy(grown, row)
+			row = grown
+		} else {
+			row = row[:int(p)+1]
+		}
+	}
+	row[p] = true
+	t.rows[qp] = row
+}
+
+// clear resets an entry without growing the table.
+func (t *pairTable) clear(qp uint32, p hostmem.PageNo) {
+	if int(qp) < len(t.rows) {
+		if row := t.rows[qp]; int(p) < len(row) {
+			row[p] = false
+		}
+	}
+}
+
+// zero resets every entry, keeping the table's storage.
+func (t *pairTable) zero() {
+	for _, row := range t.rows {
+		for j := range row {
+			row[j] = false
+		}
+	}
+}
+
 // Engine is one RNIC's ODP machinery.
 type Engine struct {
 	eng *sim.Engine
@@ -93,11 +161,14 @@ type Engine struct {
 
 	// visible tracks which (QP, page) translations the QP's hardware
 	// context can currently use.
-	visible map[Key]bool
-	// interested lists pairs awaiting a page's host resolution.
+	visible pairTable
+	// pending marks pairs that are faulted but not yet visible; stale is
+	// their count (the packet-flood load signal).
+	pending pairTable
+	stale   int
+	// interested lists pairs awaiting a page's host resolution — sparse
+	// (only pages with a resolve in flight), so it stays a map.
 	interested map[hostmem.PageNo][]Key
-	// pending marks pairs that are faulted but not yet visible.
-	pending map[Key]bool
 
 	busy  bool
 	queue []workItem
@@ -105,7 +176,21 @@ type Engine struct {
 	// whose discard is already queued contributes no further pipeline
 	// work until it is serviced (the microcode batches re-discards),
 	// which bounds the queue at one item per stale pair.
-	queuedSpurious map[Key]bool
+	queuedSpurious pairTable
+
+	// The pipeline is strictly serial — one item in flight — so its
+	// completion callbacks are allocated once here and parameterized via
+	// curKey/curPage, instead of capturing a fresh closure per item.
+	finishFn  func()
+	updateFn  func()
+	resolveFn func()
+	curKey    Key
+	curPage   hostmem.PageNo
+	// notifierFn and the gauge closures are likewise allocated once per
+	// Engine (which outlives trials via the engine-generation pool).
+	notifierFn hostmem.Notifier
+	staleFn    func() float64
+	depthFn    func() float64
 
 	// Counters. The fields are the live storage behind the telemetry
 	// registry (see RegisterMetrics); reading them directly and reading
@@ -118,20 +203,108 @@ type Engine struct {
 	Prefetches    uint64 // (QP,page) pairs prefetched via AdviseMR
 }
 
+// enginePoolKey is the engine Aux key recycled ODP engines live under.
+const enginePoolKey = "odp.engines"
+
+// enginePool recycles ODP engines across sim-engine generations, the same
+// trick the fabric and hostmem layers use: each trial's New calls get
+// back last trial's engines (in construction order) with their status
+// tables zeroed but their storage and one-time closures intact.
+type enginePool struct {
+	gen  uint64
+	all  []*Engine
+	next int
+}
+
 // New creates an ODP engine bound to an address space. It registers an
 // MMU notifier so kernel page reclaim invalidates device translations.
 func New(as *hostmem.AddressSpace, cfg Config) *Engine {
-	e := &Engine{
-		eng:            as.Engine(),
-		as:             as,
-		cfg:            cfg,
-		visible:        make(map[Key]bool),
-		interested:     make(map[hostmem.PageNo][]Key),
-		pending:        make(map[Key]bool),
-		queuedSpurious: make(map[Key]bool),
+	eng := as.Engine()
+	pl, _ := eng.Aux(enginePoolKey).(*enginePool)
+	if pl == nil {
+		pl = &enginePool{}
+		eng.SetAux(enginePoolKey, pl)
 	}
-	as.RegisterNotifier(e.invalidate)
+	if gen := eng.Generation() + 1; pl.gen != gen {
+		pl.gen = gen
+		pl.next = 0
+	}
+	if pl.next < len(pl.all) {
+		e := pl.all[pl.next]
+		pl.next++
+		e.reset(as, cfg)
+		return e
+	}
+	e := &Engine{
+		eng:        eng,
+		as:         as,
+		cfg:        cfg,
+		interested: make(map[hostmem.PageNo][]Key),
+	}
+	pl.all = append(pl.all, e)
+	pl.next = len(pl.all)
+	e.finishFn = func() {
+		e.busy = false
+		e.kick()
+	}
+	e.updateFn = func() {
+		k := e.curKey
+		e.visible.set(k.QP, k.Page)
+		e.pending.clear(k.QP, k.Page)
+		e.stale--
+		e.Updates++
+		e.busy = false
+		e.kick()
+	}
+	e.resolveFn = func() {
+		// Host resolution finished; queue this page's per-QP status
+		// updates as one batch, newest registrant first (the order
+		// Figure 11a exposes).
+		p := e.curPage
+		pairs := e.interested[p]
+		// Empty the entry but keep its backing array for the page's next
+		// resolve; an empty list means no resolve in flight.
+		e.interested[p] = pairs[:0]
+		if !e.cfg.UpdatesFIFO {
+			for i, j := 0, len(pairs)-1; i < j; i, j = i+1, j-1 {
+				pairs[i], pairs[j] = pairs[j], pairs[i]
+			}
+		}
+		for _, k := range pairs {
+			e.queue = append(e.queue, workItem{kind: kindUpdate, key: k})
+		}
+		e.busy = false
+		e.kick()
+	}
+	e.notifierFn = e.invalidate
+	e.staleFn = func() float64 { return float64(e.stale) }
+	e.depthFn = func() float64 { return float64(len(e.queue)) }
+	as.RegisterNotifier(e.notifierFn)
 	return e
+}
+
+// reset returns a recycled engine to its just-constructed state bound to
+// as (which may differ from the previous trial's), keeping the status
+// tables' storage and the pre-built pipeline callbacks.
+func (e *Engine) reset(as *hostmem.AddressSpace, cfg Config) {
+	e.as = as
+	e.cfg = cfg
+	e.visible.zero()
+	e.pending.zero()
+	e.queuedSpurious.zero()
+	e.stale = 0
+	// Keep each page's registrant list backing: entries go empty, and
+	// Fault treats an empty list as no resolve in flight.
+	for k, v := range e.interested {
+		e.interested[k] = v[:0]
+	}
+	e.busy = false
+	e.queue = e.queue[:0]
+	e.curKey = Key{}
+	e.curPage = 0
+	e.Faults, e.PairFaults, e.Updates = 0, 0, 0
+	e.SpuriousTotal, e.Invalidations, e.Prefetches = 0, 0, 0
+	as.RegisterNotifier(e.notifierFn)
 }
 
 // Config returns the engine's configuration.
@@ -147,15 +320,13 @@ func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
 	reg.Counter(telemetry.OdpSpuriousAccesses, "discarded retransmitted accesses on still-stale pairs", nil, &e.SpuriousTotal)
 	reg.Counter(telemetry.OdpInvalidations, "(QP,page) translations flushed by MMU notifier invalidations", nil, &e.Invalidations)
 	reg.Counter(telemetry.OdpPrefetches, "(QP,page) pairs prefetched via ibv_advise_mr", nil, &e.Prefetches)
-	reg.Gauge(telemetry.OdpStalePairs, "(QP,page) pairs faulted but not yet visible", nil,
-		func() float64 { return float64(len(e.pending)) })
-	reg.Gauge(telemetry.OdpPipelineDepth, "items queued in the serial ODP pipeline", nil,
-		func() float64 { return float64(len(e.queue)) })
+	reg.Gauge(telemetry.OdpStalePairs, "(QP,page) pairs faulted but not yet visible", nil, e.staleFn)
+	reg.Gauge(telemetry.OdpPipelineDepth, "items queued in the serial ODP pipeline", nil, e.depthFn)
 }
 
 // StaleCount returns the number of (QP, page) pairs that have faulted but
 // whose status update has not yet completed.
-func (e *Engine) StaleCount() int { return len(e.pending) }
+func (e *Engine) StaleCount() int { return e.stale }
 
 // QueueLen returns the number of queued pipeline items (for tests and
 // load inspection).
@@ -164,19 +335,25 @@ func (e *Engine) QueueLen() int { return len(e.queue) }
 // RetransInterval returns the requester retransmission period under the
 // current load (see Config.RetransPerStale).
 func (e *Engine) RetransInterval() sim.Time {
-	return e.cfg.RetransBase + sim.Time(len(e.pending))*e.cfg.RetransPerStale
+	return e.cfg.RetransBase + sim.Time(e.stale)*e.cfg.RetransPerStale
 }
 
 // Visible reports whether qp's context can translate page.
 func (e *Engine) Visible(qp uint32, page hostmem.PageNo) bool {
-	return e.visible[Key{qp, page}]
+	return e.visible.get(qp, page)
 }
 
 // Access reports whether qp can translate the whole byte range — i.e.
-// whether an RDMA access proceeds without a network page fault.
+// whether an RDMA access proceeds without a network page fault. This is
+// the per-packet check, so it iterates the page range directly instead
+// of materializing it.
 func (e *Engine) Access(qp uint32, addr hostmem.Addr, length int) bool {
-	for _, p := range hostmem.PagesSpanned(addr, length) {
-		if !e.visible[Key{qp, p}] {
+	if length <= 0 {
+		return true
+	}
+	last := hostmem.PageOf(addr + hostmem.Addr(length) - 1)
+	for p := hostmem.PageOf(addr); p <= last; p++ {
+		if !e.visible.get(qp, p) {
 			return false
 		}
 	}
@@ -186,8 +363,12 @@ func (e *Engine) Access(qp uint32, addr hostmem.Addr, length int) bool {
 // Pending reports whether any page of the range already has a fault in
 // flight for qp.
 func (e *Engine) Pending(qp uint32, addr hostmem.Addr, length int) bool {
-	for _, p := range hostmem.PagesSpanned(addr, length) {
-		if e.pending[Key{qp, p}] {
+	if length <= 0 {
+		return false
+	}
+	last := hostmem.PageOf(addr + hostmem.Addr(length) - 1)
+	for p := hostmem.PageOf(addr); p <= last; p++ {
+		if e.pending.get(qp, p) {
 			return true
 		}
 	}
@@ -198,23 +379,26 @@ func (e *Engine) Pending(qp uint32, addr hostmem.Addr, length int) bool {
 // the range and starts the pipeline. Safe to call repeatedly; pairs
 // already pending are not re-registered.
 func (e *Engine) Fault(qp uint32, addr hostmem.Addr, length int) {
-	for _, p := range hostmem.PagesSpanned(addr, length) {
-		k := Key{qp, p}
-		if e.visible[k] || e.pending[k] {
-			continue
-		}
-		e.pending[k] = true
-		e.PairFaults++
-		switch e.as.State(p) {
-		case hostmem.Mapped, hostmem.Pinned:
-			// Host side is fine; only this QP's status needs updating.
-			e.queue = append(e.queue, workItem{kind: kindUpdate, key: k})
-		default:
-			if _, inflight := e.interested[p]; !inflight {
-				e.queue = append(e.queue, workItem{kind: kindResolve, page: p})
-				e.Faults++
+	if length > 0 {
+		last := hostmem.PageOf(addr + hostmem.Addr(length) - 1)
+		for p := hostmem.PageOf(addr); p <= last; p++ {
+			if e.visible.get(qp, p) || e.pending.get(qp, p) {
+				continue
 			}
-			e.interested[p] = append(e.interested[p], k)
+			e.pending.set(qp, p)
+			e.stale++
+			e.PairFaults++
+			switch e.as.State(p) {
+			case hostmem.Mapped, hostmem.Pinned:
+				// Host side is fine; only this QP's status needs updating.
+				e.queue = append(e.queue, workItem{kind: kindUpdate, key: Key{qp, p}})
+			default:
+				if len(e.interested[p]) == 0 {
+					e.queue = append(e.queue, workItem{kind: kindResolve, page: p})
+					e.Faults++
+				}
+				e.interested[p] = append(e.interested[p], Key{qp, p})
+			}
 		}
 	}
 	e.kick()
@@ -225,10 +409,12 @@ func (e *Engine) Fault(qp uint32, addr hostmem.Addr, length int) {
 // fault path — the serial pipeline still pays for it — but counts
 // separately, the way the driver's num_prefetch does.
 func (e *Engine) Prefetch(qp uint32, addr hostmem.Addr, length int) {
-	for _, p := range hostmem.PagesSpanned(addr, length) {
-		k := Key{qp, p}
-		if !e.visible[k] && !e.pending[k] {
-			e.Prefetches++
+	if length > 0 {
+		last := hostmem.PageOf(addr + hostmem.Addr(length) - 1)
+		for p := hostmem.PageOf(addr); p <= last; p++ {
+			if !e.visible.get(qp, p) && !e.pending.get(qp, p) {
+				e.Prefetches++
+			}
 		}
 	}
 	e.Fault(qp, addr, length)
@@ -242,25 +428,23 @@ func (e *Engine) Spurious(qp uint32, addr hostmem.Addr, length int) {
 	if e.cfg.SpuriousFree {
 		return
 	}
-	k := Key{qp, hostmem.PageOf(addr)}
-	if e.queuedSpurious[k] {
+	p := hostmem.PageOf(addr)
+	if e.queuedSpurious.get(qp, p) {
 		return
 	}
-	e.queuedSpurious[k] = true
-	e.queue = append(e.queue, workItem{kind: kindSpurious, key: k})
+	e.queuedSpurious.set(qp, p)
+	e.queue = append(e.queue, workItem{kind: kindSpurious, key: Key{qp, p}})
 	e.kick()
 }
 
 // invalidate flushes device translations for reclaimed pages (all QPs).
 func (e *Engine) invalidate(inv hostmem.Invalidation) {
-	reclaimed := make(map[hostmem.PageNo]bool, len(inv.Pages))
 	for _, p := range inv.Pages {
-		reclaimed[p] = true
-	}
-	for k := range e.visible {
-		if reclaimed[k.Page] {
-			delete(e.visible, k)
-			e.Invalidations++
+		for qp := range e.visible.rows {
+			if row := e.visible.rows[qp]; int(p) < len(row) && row[p] {
+				row[p] = false
+				e.Invalidations++
+			}
 		}
 	}
 }
@@ -273,39 +457,15 @@ func (e *Engine) kick() {
 	it := e.queue[0]
 	e.queue = e.queue[1:]
 	e.busy = true
-	finish := func() {
-		e.busy = false
-		e.kick()
-	}
 	switch it.kind {
 	case kindSpurious:
-		delete(e.queuedSpurious, it.key)
-		e.eng.After(e.eng.Jitter(e.cfg.SpuriousCost, 0.1), finish)
+		e.queuedSpurious.clear(it.key.QP, it.key.Page)
+		e.eng.After(e.eng.Jitter(e.cfg.SpuriousCost, 0.1), e.finishFn)
 	case kindResolve:
-		p := it.page
-		e.as.ResolveFault(p, func() {
-			// Host resolution finished; queue this page's per-QP
-			// status updates as one batch, newest registrant first
-			// (the order Figure 11a exposes).
-			pairs := e.interested[p]
-			delete(e.interested, p)
-			if !e.cfg.UpdatesFIFO {
-				for i, j := 0, len(pairs)-1; i < j; i, j = i+1, j-1 {
-					pairs[i], pairs[j] = pairs[j], pairs[i]
-				}
-			}
-			for _, k := range pairs {
-				e.queue = append(e.queue, workItem{kind: kindUpdate, key: k})
-			}
-			finish()
-		})
+		e.curPage = it.page
+		e.as.ResolveFault(it.page, e.resolveFn)
 	case kindUpdate:
-		k := it.key
-		e.eng.After(e.eng.Jitter(e.cfg.QPUpdateCost, 0.1), func() {
-			e.visible[k] = true
-			delete(e.pending, k)
-			e.Updates++
-			finish()
-		})
+		e.curKey = it.key
+		e.eng.After(e.eng.Jitter(e.cfg.QPUpdateCost, 0.1), e.updateFn)
 	}
 }

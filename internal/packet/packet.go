@@ -167,6 +167,12 @@ type Packet struct {
 	// processing or NAKing it. Set once per work request by the
 	// requester model; see internal/rnic.
 	DammingDoomed bool
+
+	// Pool bookkeeping (not wire state): gen counts recycles through a
+	// Pool, pooled marks packets currently sitting in a free list so a
+	// double Put panics instead of corrupting later traffic.
+	gen    uint64
+	pooled bool
 }
 
 // Header sizes in bytes, per the InfiniBand architecture specification.
@@ -227,9 +233,12 @@ func (p *Packet) String() string {
 }
 
 // Clone returns a copy of the packet (retransmissions are distinct wire
-// packets).
+// packets). The copy is fresh storage, so pool bookkeeping does not carry
+// over.
 func (p *Packet) Clone() *Packet {
 	q := *p
+	q.gen = 0
+	q.pooled = false
 	return &q
 }
 

@@ -89,16 +89,16 @@ func (qp *QP) rememberAtomic(psn uint32, orig uint64) {
 }
 
 func (qp *QP) sendAtomicResp(psn uint32, orig uint64) {
-	qp.rnic.Port.Send(&packet.Packet{
-		DLID:       qp.dlid,
-		DestQP:     qp.dqpn,
-		SrcQP:      qp.Num,
-		Opcode:     packet.OpAtomicResp,
-		PSN:        psn,
-		AckPSN:     psn,
-		Syndrome:   packet.SynACK,
-		AtomicOrig: orig,
-	})
+	pkt := qp.rnic.pool.Get()
+	pkt.DLID = qp.dlid
+	pkt.DestQP = qp.dqpn
+	pkt.SrcQP = qp.Num
+	pkt.Opcode = packet.OpAtomicResp
+	pkt.PSN = psn
+	pkt.AckPSN = psn
+	pkt.Syndrome = packet.SynACK
+	pkt.AtomicOrig = orig
+	qp.rnic.Port.Send(pkt)
 }
 
 // handleAtomicResp completes the matching atomic request, delivering the

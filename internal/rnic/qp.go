@@ -143,6 +143,10 @@ type QP struct {
 	pauseFrom   uint32
 	resumeTimer sim.Timer
 	toTimer     sim.Timer
+	// Cached method values so arming a timer doesn't allocate a closure
+	// on every timeout/pending-window entry.
+	onTimeoutFn func()
+	resumeFn    func()
 
 	// Responder state.
 	ePSN uint32
@@ -297,13 +301,12 @@ func (qp *QP) pump() {
 // follow-up traffic rescues dammed requests via the PSN sequence error NAK
 // (§V-B) while an idle QP has to ride out the full timeout.
 func (qp *QP) sendRequest(o *outReq) {
-	pkt := &packet.Packet{
-		DLID:   qp.dlid,
-		DestQP: qp.dqpn,
-		SrcQP:  qp.Num,
-		PSN:    o.firstPSN,
-		AckReq: true,
-	}
+	pkt := qp.rnic.pool.Get()
+	pkt.DLID = qp.dlid
+	pkt.DestQP = qp.dqpn
+	pkt.SrcQP = qp.Num
+	pkt.PSN = o.firstPSN
+	pkt.AckReq = true
 	switch o.w.Op {
 	case OpRead:
 		pkt.Opcode = packet.OpReadRequest
@@ -346,7 +349,7 @@ func (qp *QP) armTimeout() {
 		return
 	}
 	to := qp.rnic.prof.DrawTimeout(qp.rnic.eng, qp.params.CACK, qp.rnic.busyQPs)
-	qp.toTimer = qp.rnic.eng.After(to, qp.onTimeout)
+	qp.toTimer = qp.rnic.eng.After(to, qp.onTimeoutFn)
 }
 
 func (qp *QP) onTimeout() {
@@ -384,7 +387,7 @@ func (qp *QP) enterPending(delay sim.Time, fromPSN uint32) {
 	qp.pauseFrom = fromPSN
 	qp.toTimer.Cancel()
 	qp.resumeTimer.Cancel()
-	qp.resumeTimer = qp.rnic.eng.After(delay, qp.resumePending)
+	qp.resumeTimer = qp.rnic.eng.After(delay, qp.resumeFn)
 }
 
 func (qp *QP) resumePending() {

@@ -144,29 +144,29 @@ func (qp *QP) respondSend(pkt *packet.Packet, dup bool) {
 
 // sendAck emits an Acknowledge with the given syndrome for psn.
 func (qp *QP) sendAck(syn packet.Syndrome, psn uint32) {
-	qp.rnic.Port.Send(&packet.Packet{
-		DLID:     qp.dlid,
-		DestQP:   qp.dqpn,
-		SrcQP:    qp.Num,
-		Opcode:   packet.OpAcknowledge,
-		Syndrome: syn,
-		PSN:      psn,
-		AckPSN:   psn,
-	})
+	pkt := qp.rnic.pool.Get()
+	pkt.DLID = qp.dlid
+	pkt.DestQP = qp.dqpn
+	pkt.SrcQP = qp.Num
+	pkt.Opcode = packet.OpAcknowledge
+	pkt.Syndrome = syn
+	pkt.PSN = psn
+	pkt.AckPSN = psn
+	qp.rnic.Port.Send(pkt)
 }
 
 // sendRNRNak emits an RNR NAK advertising this QP's minimal RNR NAK delay.
 func (qp *QP) sendRNRNak(psn uint32) {
-	qp.rnic.Port.Send(&packet.Packet{
-		DLID:       qp.dlid,
-		DestQP:     qp.dqpn,
-		SrcQP:      qp.Num,
-		Opcode:     packet.OpAcknowledge,
-		Syndrome:   packet.SynRNRNAK,
-		PSN:        psn,
-		AckPSN:     psn,
-		RNRTimerNs: int64(qp.params.MinRNRDelay),
-	})
+	pkt := qp.rnic.pool.Get()
+	pkt.DLID = qp.dlid
+	pkt.DestQP = qp.dqpn
+	pkt.SrcQP = qp.Num
+	pkt.Opcode = packet.OpAcknowledge
+	pkt.Syndrome = packet.SynRNRNAK
+	pkt.PSN = psn
+	pkt.AckPSN = psn
+	pkt.RNRTimerNs = int64(qp.params.MinRNRDelay)
+	qp.rnic.Port.Send(pkt)
 }
 
 // sendReadResponse streams the READ payload back as one or more response
@@ -192,15 +192,15 @@ func (qp *QP) sendReadResponse(firstPSN uint32, length, npsn int) {
 		default:
 			op = packet.OpReadRespMiddle
 		}
-		qp.rnic.Port.Send(&packet.Packet{
-			DLID:       qp.dlid,
-			DestQP:     qp.dqpn,
-			SrcQP:      qp.Num,
-			Opcode:     op,
-			PSN:        packet.PSNAdd(firstPSN, i),
-			AckPSN:     packet.PSNAdd(firstPSN, i),
-			Syndrome:   packet.SynACK,
-			PayloadLen: chunk,
-		})
+		pkt := qp.rnic.pool.Get()
+		pkt.DLID = qp.dlid
+		pkt.DestQP = qp.dqpn
+		pkt.SrcQP = qp.Num
+		pkt.Opcode = op
+		pkt.PSN = packet.PSNAdd(firstPSN, i)
+		pkt.AckPSN = packet.PSNAdd(firstPSN, i)
+		pkt.Syndrome = packet.SynACK
+		pkt.PayloadLen = chunk
+		qp.rnic.Port.Send(pkt)
 	}
 }

@@ -35,6 +35,9 @@ type RNIC struct {
 	ODP  *odp.Engine
 	Port *fabric.Port
 	prof Profile
+	// pool is the fabric's packet pool: every transmit packet is drawn
+	// from it and returns to it after final delivery or drop.
+	pool *packet.Pool
 
 	qps         map[uint32]*QP
 	udqps       map[uint32]*UDQP
@@ -75,9 +78,9 @@ func New(fab *fabric.Fabric, lid uint16, name string, prof Profile, memCfg hostm
 		AS:      as,
 		ODP:     odp.New(as, prof.ODP),
 		prof:    prof,
-		tel:     telemetry.NewRegistry(telemetry.Labels{"device": name}),
+		pool:    fab.Pool(),
+		tel:     telemetry.NewRegistryOn(eng, name, telemetry.Labels{"device": name}),
 		qps:     make(map[uint32]*QP),
-		udqps:   make(map[uint32]*UDQP),
 		nextQPN: 1,
 		nextKey: 1,
 	}
@@ -103,9 +106,11 @@ func (r *RNIC) registerMetrics() {
 	r.tel.Counter(telemetry.RxAtomicRequests, "atomic requests executed by the responder", nil, &r.AtomicsExecuted)
 	r.tel.Counter(telemetry.SimRNRNakSent, "RNR NAKs sent for any cause (ODP miss or empty RQ)", nil, &r.RNRNakSent)
 	r.tel.Counter(telemetry.SimDammedDrops, "requests silently discarded by the damming quirk (sim ground truth)", nil, &r.DammedDrops)
+	statusLabel := telemetry.Labels{"status": ""} // rendered at add time, safe to reuse
 	for s := 0; s < numWCStatuses; s++ {
+		statusLabel["status"] = WCStatus(s).String()
 		r.tel.Counter(telemetry.Completions, "work completions by status",
-			telemetry.Labels{"status": WCStatus(s).String()}, &r.wcByStatus[s])
+			statusLabel, &r.wcByStatus[s])
 	}
 }
 
@@ -195,6 +200,8 @@ func (r *RNIC) CreateQP(sendCQ, recvCQ *CQ) *QP {
 		sendCQ: sendCQ,
 		recvCQ: recvCQ,
 	}
+	qp.onTimeoutFn = qp.onTimeout
+	qp.resumeFn = qp.resumePending
 	r.nextQPN++
 	r.qps[qp.Num] = qp
 	qp.registerMetrics(r.tel)

@@ -45,6 +45,9 @@ type UDQP struct {
 func (r *RNIC) CreateUDQP(sendCQ, recvCQ *CQ) *UDQP {
 	qp := &UDQP{rnic: r, Num: r.nextQPN, sendCQ: sendCQ, recvCQ: recvCQ}
 	r.nextQPN++
+	if r.udqps == nil {
+		r.udqps = make(map[uint32]*UDQP)
+	}
 	r.udqps[qp.Num] = qp
 	l := telemetry.Labels{"qpn": strconv.FormatUint(uint64(qp.Num), 10)}
 	r.tel.Counter(telemetry.SimUDSent, "datagrams transmitted", l, &qp.Sent)
@@ -64,15 +67,15 @@ func (qp *UDQP) RecvDepth() int { return len(qp.rq) }
 // packet leaves the port; there is no acknowledgement.
 func (qp *UDQP) PostSend(wr UDSendWR) {
 	qp.Sent++
-	qp.rnic.Port.Send(&packet.Packet{
-		DLID:       wr.DestLID,
-		DestQP:     wr.DestQPN,
-		SrcQP:      qp.Num,
-		Opcode:     packet.OpUDSend,
-		PayloadLen: wr.Len,
-		AppSeq:     wr.AppSeq,
-		AppWords:   wr.AppWords,
-	})
+	pkt := qp.rnic.pool.Get()
+	pkt.DLID = wr.DestLID
+	pkt.DestQP = wr.DestQPN
+	pkt.SrcQP = qp.Num
+	pkt.Opcode = packet.OpUDSend
+	pkt.PayloadLen = wr.Len
+	pkt.AppSeq = wr.AppSeq
+	pkt.AppWords = wr.AppWords
+	qp.rnic.Port.Send(pkt)
 	qp.rnic.countWC(WCSuccess)
 	qp.sendCQ.push(CQE{WRID: wr.ID, QPN: qp.Num, Status: WCSuccess, Op: OpSend, ByteLen: wr.Len})
 }

@@ -96,9 +96,14 @@ type Engine struct {
 	seq     uint64
 	rng     *rand.Rand
 	fired   uint64
+	resets  uint64
 	stopped bool
 	procs   int // live (not finished, not aborted) processes
 	blocked int // processes currently parked on a Cond or sleep
+	// aux holds storage attached to the engine that, like the event free
+	// list, survives Reset — e.g. the fabric's packet pool, so trial
+	// loops that rebuild the fabric per run keep recycling one pool.
+	aux map[string]any
 }
 
 // New creates an engine whose random stream is seeded with seed. The same
@@ -126,7 +131,28 @@ func (e *Engine) Reset(seed int64) {
 	e.fired = 0
 	e.stopped = false
 	e.blocked = 0
+	e.resets++
 	e.rng.Seed(seed)
+}
+
+// Generation counts how many times the engine has been Reset. Aux-held
+// arenas use it to reclaim per-run objects wholesale: storage grabbed
+// under an older generation is free again, because Reset asserts no live
+// processes (and therefore no live run) remain.
+func (e *Engine) Generation() uint64 { return e.resets }
+
+// Aux returns the value attached under key by SetAux, or nil.
+func (e *Engine) Aux(key string) any { return e.aux[key] }
+
+// SetAux attaches a value to the engine under key. Aux values survive
+// Reset — they are for free-list-style storage meant to be reused across
+// runs on one engine. Holders must tolerate carry-over: anything read
+// from Aux after a Reset still has its previous run's contents.
+func (e *Engine) SetAux(key string, v any) {
+	if e.aux == nil {
+		e.aux = make(map[string]any)
+	}
+	e.aux[key] = v
 }
 
 // Now returns the current virtual time.

@@ -11,12 +11,18 @@ type procAbort struct{}
 // process) runs at a time. This gives blocking-style code — sleeps, waits
 // — with fully deterministic scheduling.
 type Proc struct {
-	eng    *Engine
-	name   string
-	resume chan struct{} // event loop -> proc: you may run
-	parked chan struct{} // proc -> event loop: I am parked or done
-	done   bool
-	abort  bool
+	eng  *Engine
+	name string
+	// tok is the control-transfer token. Because exactly one side (the
+	// event loop or the process) runs at any time, a single unbuffered
+	// channel serves both directions: the loop sends to resume the
+	// process, the process sends to signal it parked or finished.
+	tok   chan struct{}
+	done  bool
+	abort bool
+	// wakeFn is the cached unblock-and-resume callback, so sleeps and
+	// broadcasts schedule it without allocating a closure per wake.
+	wakeFn func()
 }
 
 // Name returns the name given to Go.
@@ -34,32 +40,41 @@ func (p *Proc) Now() Time { return p.eng.Now() }
 // so no synchronization with other simulation state is needed.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
-		eng:    e,
-		name:   name,
-		resume: make(chan struct{}),
-		parked: make(chan struct{}),
+		eng:  e,
+		name: name,
+		tok:  make(chan struct{}),
+	}
+	p.wakeFn = func() {
+		p.eng.blocked--
+		p.run()
 	}
 	e.procs++
-	go func() {
-		<-p.resume // wait for the start event
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(procAbort); ok {
-					// Simulation shut down; exit quietly.
-					p.done = true
-					p.parked <- struct{}{}
-					return
-				}
-				panic(r)
-			}
-		}()
-		fn(p)
-		p.done = true
-		e.procs--
-		p.parked <- struct{}{}
-	}()
-	e.after(0, func() { p.run() })
+	go p.main(fn)
+	// The start event pairs with the increment so blocked is unchanged
+	// once the process actually begins running.
+	e.blocked++
+	e.after(0, p.wakeFn)
 	return p
+}
+
+// main is the process goroutine's body.
+func (p *Proc) main(fn func(p *Proc)) {
+	<-p.tok // wait for the start event
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(procAbort); ok {
+				// Simulation shut down; exit quietly.
+				p.done = true
+				p.tok <- struct{}{}
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn(p)
+	p.done = true
+	p.eng.procs--
+	p.tok <- struct{}{}
 }
 
 // run hands control to the process goroutine and blocks the event loop
@@ -68,15 +83,15 @@ func (p *Proc) run() {
 	if p.done || p.abort {
 		return
 	}
-	p.resume <- struct{}{}
-	<-p.parked
+	p.tok <- struct{}{}
+	<-p.tok
 }
 
 // park returns control to the event loop and blocks until the loop
 // resumes this process.
 func (p *Proc) park() {
-	p.parked <- struct{}{}
-	<-p.resume
+	p.tok <- struct{}{}
+	<-p.tok
 	if p.abort {
 		panic(procAbort{})
 	}
@@ -88,10 +103,7 @@ func (p *Proc) Sleep(d Time) {
 		d = 0
 	}
 	p.eng.blocked++
-	p.eng.after(d, func() {
-		p.eng.blocked--
-		p.run()
-	})
+	p.eng.after(d, p.wakeFn)
 	p.park()
 }
 
@@ -114,11 +126,9 @@ func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
 // current instant, in the order they began waiting.
 func (c *Cond) Broadcast() {
 	ws := c.waiters
-	c.waiters = nil
+	c.waiters = c.waiters[:0]
 	for _, p := range ws {
-		p := p
-		c.eng.blocked--
-		c.eng.after(0, func() { p.run() })
+		c.eng.after(0, p.wakeFn)
 	}
 }
 

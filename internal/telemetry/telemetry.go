@@ -25,7 +25,8 @@ package telemetry
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
+	"sync"
 
 	"odpsim/internal/sim"
 )
@@ -50,37 +51,46 @@ func (k Kind) String() string {
 
 // Labels attach dimensions to a metric, e.g. {"device": "node0",
 // "qpn": "3"}. They render sorted by key, so map order never leaks into
-// output.
+// output. The registry renders labels at registration time, so callers
+// may reuse (and mutate) one Labels map across registrations — rnic's
+// per-status counters register through a single map this way.
 type Labels map[string]string
 
-// renderLabels merges common and specific labels (specific wins) into the
-// canonical `{k="v",…}` form, or "" when there are none.
-func renderLabels(common, specific Labels) string {
-	merged := make(map[string]string, len(common)+len(specific))
-	for k, v := range common {
-		merged[k] = v
-	}
-	for k, v := range specific {
-		merged[k] = v
-	}
-	if len(merged) == 0 {
-		return ""
-	}
-	keys := make([]string, 0, len(merged))
-	for k := range merged {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var b strings.Builder
-	b.WriteByte('{')
-	for i, k := range keys {
-		if i > 0 {
-			b.WriteByte(',')
+// labelPair is one rendered label dimension.
+type labelPair struct{ k, v string }
+
+// sortPairs orders pairs by key with an insertion sort: label sets are a
+// handful of entries, and unlike sort.Slice this allocates nothing.
+func sortPairs(pairs []labelPair) {
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && pairs[j].k < pairs[j-1].k; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
 		}
-		fmt.Fprintf(&b, "%s=%q", k, merged[k])
 	}
-	b.WriteByte('}')
-	return b.String()
+}
+
+// internLabels is a process-wide table of rendered label strings. Sweeps
+// rebuild every registry per trial with the same device names, so after
+// the first trial every render is a cache hit and allocates nothing. The
+// mutex (not sync.Map) keeps lookups allocation-free; parallel sweep
+// workers contend only for the duration of one map access.
+var (
+	internMu     sync.Mutex
+	internLabels = make(map[string]string)
+)
+
+// intern returns the canonical string for rendered, allocating only the
+// first time a label set is seen process-wide. The map lookup keyed by
+// string(rendered) does not allocate (compiler optimization).
+func intern(rendered []byte) string {
+	internMu.Lock()
+	s, ok := internLabels[string(rendered)]
+	if !ok {
+		s = string(rendered)
+		internLabels[s] = s
+	}
+	internMu.Unlock()
+	return s
 }
 
 // metric is one registered counter or gauge.
@@ -96,25 +106,176 @@ type metric struct {
 // Registry holds the metrics of one component (a device, the fabric).
 // Registration happens at construction time; reads happen at snapshot
 // time. The zero value is not usable; create with NewRegistry.
+//
+// Registration runs per simulated device per trial, so it is built to
+// stay off the allocator: metrics are stored by value, label rendering
+// reuses scratch buffers and caches the last rendered label set
+// (registrations arrive in runs sharing one Labels map), and duplicate
+// detection scans the metric table instead of keeping a side map.
 type Registry struct {
-	common  Labels
-	metrics []*metric
-	seen    map[string]bool // name+labels, to reject duplicates
+	common    []labelPair // sorted by key
+	commonStr string      // rendered form of common alone
+	metrics   []metric
+
+	// Render cache and scratch. lastSpecific/lastRendered memoize the
+	// most recent non-empty specific label set; pairScratch and
+	// bufScratch are reused across renders.
+	lastSpecific []labelPair
+	lastRendered string
+	haveLast     bool
+	pairScratch  []labelPair
+	bufScratch   []byte
 }
 
 // NewRegistry creates a registry whose metrics all carry the common
 // labels (typically {"device": name}).
 func NewRegistry(common Labels) *Registry {
-	return &Registry{common: common, seen: make(map[string]bool)}
+	r := &Registry{metrics: make([]metric, 0, 32)}
+	if len(common) > 0 {
+		r.common = make([]labelPair, 0, len(common))
+		for k, v := range common {
+			r.common = append(r.common, labelPair{k, v})
+		}
+		sortPairs(r.common)
+		r.commonStr = intern(r.renderPairs(r.common))
+	}
+	return r
 }
 
-func (r *Registry) add(m *metric, specific Labels) {
-	m.labels = renderLabels(r.common, specific)
-	key := m.name + m.labels
-	if r.seen[key] {
-		panic(fmt.Sprintf("telemetry: duplicate metric %s%s", m.name, m.labels))
+// regPoolKey is the engine Aux key registry storage lives under.
+const regPoolKey = "telemetry.registries"
+
+// regPool recycles registries (and hubs) across engine generations:
+// sweeps rebuild every device per trial under the same names, so each
+// trial's NewRegistryOn calls get back last trial's registry with its
+// metric table, label scratch and render cache intact. Same-name
+// registries within one generation get distinct instances, handed out in
+// construction order (which is deterministic).
+type regPool struct {
+	gen    uint64
+	byName map[string]*regList
+	hubs   []*Hub
+	hubUse int
+}
+
+type regList struct {
+	all  []*Registry
+	next int
+}
+
+func poolFor(eng *sim.Engine) *regPool {
+	p, _ := eng.Aux(regPoolKey).(*regPool)
+	if p == nil {
+		p = &regPool{byName: make(map[string]*regList)}
+		eng.SetAux(regPoolKey, p)
 	}
-	r.seen[key] = true
+	if gen := eng.Generation() + 1; p.gen != gen {
+		p.gen = gen
+		for _, l := range p.byName {
+			l.next = 0
+		}
+		p.hubUse = 0
+	}
+	return p
+}
+
+// NewRegistryOn is NewRegistry with engine-generation recycling: name
+// must identify the component uniquely enough that its common labels are
+// the same every trial (the device name serves). After an engine Reset,
+// the registry registered under name last run is returned emptied of
+// metrics but keeping its storage.
+func NewRegistryOn(eng *sim.Engine, name string, common Labels) *Registry {
+	p := poolFor(eng)
+	l := p.byName[name]
+	if l == nil {
+		l = &regList{}
+		p.byName[name] = l
+	}
+	if l.next < len(l.all) {
+		r := l.all[l.next]
+		l.next++
+		r.metrics = r.metrics[:0]
+		return r
+	}
+	r := NewRegistry(common)
+	l.all = append(l.all, r)
+	l.next = len(l.all)
+	return r
+}
+
+// renderPairs renders sorted pairs into the reusable byte scratch in the
+// canonical `{k="v",…}` form; the result is valid until the next render.
+func (r *Registry) renderPairs(pairs []labelPair) []byte {
+	if len(pairs) == 0 {
+		return nil
+	}
+	if r.bufScratch == nil {
+		r.bufScratch = make([]byte, 0, 96)
+	}
+	buf := append(r.bufScratch[:0], '{')
+	for i, p := range pairs {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, p.k...)
+		buf = append(buf, '=')
+		buf = strconv.AppendQuote(buf, p.v)
+	}
+	buf = append(buf, '}')
+	r.bufScratch = buf
+	return buf
+}
+
+// render merges the common labels with specific (specific wins) into the
+// canonical sorted `{k="v",…}` form, or "" when there are none.
+func (r *Registry) render(specific Labels) string {
+	if len(specific) == 0 {
+		return r.commonStr
+	}
+	if r.haveLast && len(specific) == len(r.lastSpecific) {
+		same := true
+		for _, p := range r.lastSpecific {
+			if specific[p.k] != p.v {
+				same = false
+				break
+			}
+		}
+		if same {
+			return r.lastRendered
+		}
+	}
+	if r.pairScratch == nil {
+		r.pairScratch = make([]labelPair, 0, 8)
+		r.lastSpecific = make([]labelPair, 0, 8)
+	}
+	pairs := r.pairScratch[:0]
+	for _, p := range r.common {
+		if _, overridden := specific[p.k]; !overridden {
+			pairs = append(pairs, p)
+		}
+	}
+	for k, v := range specific {
+		pairs = append(pairs, labelPair{k, v})
+	}
+	sortPairs(pairs)
+	r.pairScratch = pairs
+	rendered := intern(r.renderPairs(pairs))
+	r.lastSpecific = r.lastSpecific[:0]
+	for k, v := range specific {
+		r.lastSpecific = append(r.lastSpecific, labelPair{k, v})
+	}
+	r.lastRendered = rendered
+	r.haveLast = true
+	return rendered
+}
+
+func (r *Registry) add(m metric, specific Labels) {
+	m.labels = r.render(specific)
+	for i := range r.metrics {
+		if r.metrics[i].name == m.name && r.metrics[i].labels == m.labels {
+			panic(fmt.Sprintf("telemetry: duplicate metric %s%s", m.name, m.labels))
+		}
+	}
 	r.metrics = append(r.metrics, m)
 }
 
@@ -125,7 +286,7 @@ func (r *Registry) Counter(name, help string, labels Labels, v *uint64) {
 	if v == nil {
 		panic("telemetry: Counter requires non-nil storage")
 	}
-	r.add(&metric{name: name, help: help, kind: KindCounter, counter: v}, labels)
+	r.add(metric{name: name, help: help, kind: KindCounter, counter: v}, labels)
 }
 
 // Gauge registers a callback-backed gauge, read at snapshot time. read
@@ -134,7 +295,7 @@ func (r *Registry) Gauge(name, help string, labels Labels, read func() float64) 
 	if read == nil {
 		panic("telemetry: Gauge requires a read callback")
 	}
-	r.add(&metric{name: name, help: help, kind: KindGauge, gauge: read}, labels)
+	r.add(metric{name: name, help: help, kind: KindGauge, gauge: read}, labels)
 }
 
 // Len returns the number of registered metrics.
@@ -158,7 +319,8 @@ type Snapshot struct {
 
 // snapshotInto appends this registry's current values.
 func (r *Registry) snapshotInto(out []Sample) []Sample {
-	for _, m := range r.metrics {
+	for i := range r.metrics {
+		m := &r.metrics[i]
 		s := Sample{Name: m.name, Labels: m.labels, Help: m.help, Kind: m.kind}
 		if m.kind == KindCounter {
 			s.Value = float64(*m.counter)
@@ -172,16 +334,33 @@ func (r *Registry) snapshotInto(out []Sample) []Sample {
 
 // Snapshot reads the registry at virtual time at.
 func (r *Registry) Snapshot(at sim.Time) Snapshot {
-	return finishSnapshot(at, r.snapshotInto(nil))
+	return finishSnapshot(at, r.snapshotInto(make([]Sample, 0, len(r.metrics))))
+}
+
+// sampleLess orders samples by (Name, Labels).
+func sampleLess(a, b *Sample) bool {
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	return a.Labels < b.Labels
 }
 
 func finishSnapshot(at sim.Time, samples []Sample) Snapshot {
-	sort.SliceStable(samples, func(i, j int) bool {
-		if samples[i].Name != samples[j].Name {
-			return samples[i].Name < samples[j].Name
+	// Insertion sort: stable, allocation-free (sort.Stable boxes the
+	// slice into an interface), and cheap here because registries emit
+	// samples in near-sorted runs.
+	for i := 1; i < len(samples); i++ {
+		if !sampleLess(&samples[i], &samples[i-1]) {
+			continue
 		}
-		return samples[i].Labels < samples[j].Labels
-	})
+		s := samples[i]
+		j := i - 1
+		for j >= 0 && sampleLess(&s, &samples[j]) {
+			samples[j+1] = samples[j]
+			j--
+		}
+		samples[j+1] = s
+	}
 	return Snapshot{At: at, Samples: samples}
 }
 
@@ -241,12 +420,32 @@ type Hub struct {
 // NewHub creates a hub over the given registries.
 func NewHub(regs ...*Registry) *Hub { return &Hub{regs: regs} }
 
+// NewHubOn creates an empty hub recycled through the engine's registry
+// pool, keeping its registry list's backing array across trials.
+func NewHubOn(eng *sim.Engine) *Hub {
+	p := poolFor(eng)
+	if p.hubUse < len(p.hubs) {
+		h := p.hubs[p.hubUse]
+		p.hubUse++
+		h.regs = h.regs[:0]
+		return h
+	}
+	h := &Hub{}
+	p.hubs = append(p.hubs, h)
+	p.hubUse = len(p.hubs)
+	return h
+}
+
 // Add attaches another registry.
 func (h *Hub) Add(r *Registry) { h.regs = append(h.regs, r) }
 
 // Snapshot reads every registry at virtual time at.
 func (h *Hub) Snapshot(at sim.Time) Snapshot {
-	var samples []Sample
+	n := 0
+	for _, r := range h.regs {
+		n += r.Len()
+	}
+	samples := make([]Sample, 0, n)
 	for _, r := range h.regs {
 		samples = r.snapshotInto(samples)
 	}
