@@ -13,11 +13,12 @@ import (
 	"odpsim/internal/apps/kvstore"
 	"odpsim/internal/apps/sparkucx"
 	"odpsim/internal/cluster"
+	"odpsim/internal/congestion"
 	"odpsim/internal/core"
 	"odpsim/internal/fabric"
 	"odpsim/internal/hostmem"
-	"odpsim/internal/packet"
 	"odpsim/internal/odp"
+	"odpsim/internal/packet"
 	"odpsim/internal/parallel"
 	"odpsim/internal/perftest"
 	"odpsim/internal/regcache"
@@ -736,6 +737,36 @@ func BenchmarkSweepDatapathSendDeliver(b *testing.B) {
 		f := fabric.New(eng, fabric.DefaultConfig())
 		src := f.AttachPort(1, "src", func(*packet.Packet) {})
 		f.AttachPort(2, "dst", func(*packet.Packet) {})
+		pool := f.Pool()
+		for j := 0; j < 4096; j++ {
+			p := pool.Get()
+			p.Opcode = packet.OpReadRequest
+			p.DLID = 2
+			p.PSN = uint32(j)
+			src.Send(p)
+		}
+		eng.Run()
+	}
+}
+
+// BenchmarkCongestedSend measures the same pooled send→deliver stream
+// through the switched lossless-fabric stage of internal/congestion: two
+// hosts on opposite edge switches with PFC on, so every packet crosses
+// the 4×-oversubscribed inter-switch link and the host uplink is
+// XOFF/XON-paused while the burst drains. The delta against
+// BenchmarkSweepDatapathSendDeliver is the per-packet cost of the switch
+// model (buffer accounting, VL queues, the PFC state machine).
+func BenchmarkCongestedSend(b *testing.B) {
+	eng := sim.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.Reset(int64(i))
+		f := fabric.New(eng, fabric.DefaultConfig())
+		src := f.AttachPort(1, "src", func(*packet.Packet) {})
+		f.AttachPort(2, "dst", func(*packet.Packet) {})
+		ccfg := congestion.DefaultConfig()
+		ccfg.PFC = true
+		f.EnableCongestion(ccfg)
 		pool := f.Pool()
 		for j := 0; j < 4096; j++ {
 			p := pool.Get()

@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"odpsim/internal/congestion"
 	"odpsim/internal/core"
 	"odpsim/internal/fabric"
 	"odpsim/internal/packet"
@@ -104,6 +105,11 @@ type benchReport struct {
 		NsPerSend     float64 `json:"ns_per_send"`
 		AllocsPerLoop int64   `json:"allocs_per_loop"`
 	} `json:"datapath"`
+	Congested struct {
+		Name          string  `json:"name"`
+		NsPerSend     float64 `json:"ns_per_send"`
+		AllocsPerLoop int64   `json:"allocs_per_loop"`
+	} `json:"congested"`
 }
 
 // writeBenchFile measures the multi-trial Figure-4 sweep sequentially and
@@ -201,6 +207,36 @@ func writeBenchFile(path string) error {
 	rep.Datapath.NsPerSend = float64(dpRes.NsPerOp()) / sendsPerLoop
 	rep.Datapath.AllocsPerLoop = dpRes.AllocsPerOp()
 
+	// The same stream through the switched lossless-fabric stage: two
+	// hosts on opposite edge switches, PFC on, every packet crossing the
+	// oversubscribed core. The delta against the datapath row is the
+	// per-packet cost of the congestion model.
+	cgRes := testing.Benchmark(func(b *testing.B) {
+		eng := sim.New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.Reset(int64(i))
+			f := fabric.New(eng, fabric.DefaultConfig())
+			src := f.AttachPort(1, "src", func(*packet.Packet) {})
+			f.AttachPort(2, "dst", func(*packet.Packet) {})
+			ccfg := congestion.DefaultConfig()
+			ccfg.PFC = true
+			f.EnableCongestion(ccfg)
+			pool := f.Pool()
+			for j := 0; j < sendsPerLoop; j++ {
+				p := pool.Get()
+				p.Opcode = packet.OpReadRequest
+				p.DLID = 2
+				p.PSN = uint32(j)
+				src.Send(p)
+			}
+			eng.Run()
+		}
+	})
+	rep.Congested.Name = "switched-fabric Port.Send→deliver loop, 4096 packets, 2 switches, PFC, Reset-reused engine"
+	rep.Congested.NsPerSend = float64(cgRes.NsPerOp()) / sendsPerLoop
+	rep.Congested.AllocsPerLoop = cgRes.AllocsPerOp()
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -209,9 +245,9 @@ func writeBenchFile(path string) error {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: sweep %.2fx speedup (%d workers), engine %.0f ns/event, %d allocs/loop, datapath %.0f ns/send, %d allocs/loop\n",
+	fmt.Printf("wrote %s: sweep %.2fx speedup (%d workers), engine %.0f ns/event, %d allocs/loop, datapath %.0f ns/send, %d allocs/loop, congested %.0f ns/send\n",
 		path, rep.Sweep.Speedup, rep.Jobs, rep.Engine.NsPerEvent, rep.Engine.AllocsPerLoop,
-		rep.Datapath.NsPerSend, rep.Datapath.AllocsPerLoop)
+		rep.Datapath.NsPerSend, rep.Datapath.AllocsPerLoop, rep.Congested.NsPerSend)
 	return nil
 }
 

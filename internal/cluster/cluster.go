@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 
+	"odpsim/internal/congestion"
 	"odpsim/internal/fabric"
 	"odpsim/internal/hostmem"
 	"odpsim/internal/rnic"
@@ -42,6 +43,11 @@ type System struct {
 	// layer uses it to model slower or faster fault paths than the
 	// calibrated ConnectX-4 numbers.
 	FaultScale float64
+	// Congestion, when non-nil, replaces the fabric's analytic latency
+	// model with the switched lossless-fabric model (switch buffers,
+	// PFC, ECN) and — when its DCQCN block is enabled — turns on the
+	// DCQCN loop on every node.
+	Congestion *congestion.Config
 }
 
 // Memory returns the host memory configuration. Network page fault
@@ -167,6 +173,9 @@ func (c *Cluster) Telemetry() *telemetry.Hub {
 	if c.tel == nil {
 		c.tel = telemetry.NewHubOn(c.Eng)
 		c.tel.Add(c.Fab.Telemetry())
+		if net := c.Fab.Network(); net != nil {
+			c.tel.Add(net.Telemetry())
+		}
 		for _, n := range c.Nodes {
 			c.tel.Add(n.Telemetry())
 		}
@@ -194,10 +203,18 @@ func (s System) BuildOn(eng *sim.Engine, seed int64, nodes int) *Cluster {
 	if s.LossRate > 0 {
 		fab.SetLossRate(s.LossRate)
 	}
+	if s.Congestion != nil {
+		fab.EnableCongestion(*s.Congestion)
+	}
 	c := &Cluster{Eng: eng, Fab: fab, Sys: s}
 	for i := 0; i < nodes; i++ {
 		name := fmt.Sprintf("node%d", i)
-		c.Nodes = append(c.Nodes, rnic.New(fab, uint16(i+1), name, s.Device, s.Memory()))
+		n := rnic.New(fab, uint16(i+1), name, s.Device, s.Memory())
+		if s.Congestion != nil && s.Congestion.DCQCN.Enabled {
+			// Before any QPs exist, so every QP gets a rate limiter.
+			n.EnableDCQCN(s.Congestion.DCQCN, s.Device.LinkGbps)
+		}
+		c.Nodes = append(c.Nodes, n)
 	}
 	return c
 }

@@ -3,7 +3,10 @@ package cluster
 import (
 	"testing"
 
+	"odpsim/internal/congestion"
+	"odpsim/internal/fabric"
 	"odpsim/internal/hostmem"
+	"odpsim/internal/packet"
 	"odpsim/internal/rnic"
 	"odpsim/internal/sim"
 )
@@ -49,6 +52,92 @@ func TestPoolConservationUnderLossAndRetransmit(t *testing.T) {
 	}
 	if qc.Stats.Retransmits == 0 {
 		t.Fatal("no retransmissions: test exercises nothing")
+	}
+
+	pool := cl.Fab.Pool()
+	if pool.Gets == 0 {
+		t.Fatal("RNIC datapath did not draw from the pool")
+	}
+	if pool.Balance() != 0 {
+		t.Errorf("pool Balance = %d after drain, want 0 (Gets=%d Puts=%d)",
+			pool.Balance(), pool.Gets, pool.Puts)
+	}
+	if pool.FreeLen() != int(pool.Allocs) {
+		t.Errorf("FreeLen = %d, Allocs = %d: packets leaked in flight",
+			pool.FreeLen(), pool.Allocs)
+	}
+}
+
+// TestPoolConservationCongested runs the same ledger check on the
+// switched lossless-fabric path: a WRITE burst over a lossy congested
+// 2-switch fabric with PFC and DCQCN on, so the pool additionally cycles
+// CNP frames, the synthetic PFC pause frames taps borrow, switch
+// tail-drop reclamation and packets shed by the DCQCN rate limiter's
+// finite TX backlog. Every frame class must return to the pool exactly
+// once by drain time.
+func TestPoolConservationCongested(t *testing.T) {
+	sys := KNL()
+	sys.LossRate = 0.2
+	sys.Congestion = &congestion.Config{
+		BufferBytes: 2 << 10,
+		XOffBytes:   1536,
+		XOnBytes:    512,
+		PFC:         true,
+		DCQCN:       congestion.DCQCNConfig{Enabled: true},
+	}
+	cl := sys.Build(7, 2)
+	client, server := cl.Nodes[0], cl.Nodes[1]
+
+	// Count the control frames as a capture would see them, to prove the
+	// PFC and CNP pool paths actually ran.
+	var pauseFrames, cnpFrames int
+	cl.Fab.AddTap(func(ev fabric.TapEvent) {
+		switch ev.Pkt.Opcode {
+		case packet.OpPFCPause:
+			pauseFrames++
+		case packet.OpCNP:
+			cnpFrames++
+		}
+	})
+
+	const nqp, n, size = 8, 32, 512
+	buflen := nqp * n * size
+	lbuf := client.AS.Alloc(buflen)
+	rbuf := server.AS.Alloc(buflen)
+	client.AS.Touch(lbuf, buflen)
+	server.AS.Touch(rbuf, buflen)
+	client.RegisterMR(lbuf, buflen)
+	server.RegisterMR(rbuf, buflen)
+
+	cq := rnic.NewCQ(cl.Eng)
+	scq := rnic.NewCQ(cl.Eng)
+	params := rnic.ConnParams{CACK: 8, RetryCount: 7, MinRNRDelay: sim.FromMillis(1.28)}
+	qps := make([]*rnic.QP, nqp)
+	for i := range qps {
+		qc := client.CreateQP(cq, cq)
+		qs := server.CreateQP(scq, scq)
+		rnic.ConnectPair(qc, qs, params, params)
+		qps[i] = qc
+	}
+
+	for i := 0; i < nqp*n; i++ {
+		off := hostmem.Addr(i * size)
+		qps[i%nqp].PostSend(rnic.SendWR{ID: uint64(i), Op: rnic.OpWrite,
+			LocalAddr: lbuf + off, RemoteAddr: rbuf + off, Len: size})
+	}
+	cl.Eng.Run()
+
+	if got := len(cq.Poll(0)); got != nqp*n {
+		t.Fatalf("completed %d/%d WRITEs despite retries", got, nqp*n)
+	}
+	if cl.Fab.Dropped == 0 {
+		t.Fatal("no packets dropped: test exercises nothing")
+	}
+	if pauseFrames == 0 {
+		t.Error("no PFC pause frames tapped: the pause pool path did not run")
+	}
+	if cnpFrames == 0 {
+		t.Error("no CNP frames tapped: the DCQCN pool path did not run")
 	}
 
 	pool := cl.Fab.Pool()

@@ -1,0 +1,178 @@
+// Package congestion models the lossless-fabric layer the paper's
+// testbeds take for granted and related work studies explicitly: switches
+// with finite shared buffers and per-port virtual-lane queues, IEEE
+// 802.1Qbb priority flow control (PFC) pause/resume with configurable
+// XOFF/XON thresholds, ECN marking above a queue-depth threshold, and a
+// DCQCN-style rate limiter (Zhu et al., SIGCOMM 2015) on each RNIC
+// requester. It is the first subsystem that makes fabric state feed back
+// into RNIC pacing: every earlier layer was feed-forward.
+//
+// The model follows the PFC/RCM RoCEv2 simulations of Liu et al. and the
+// lossless-vs-lossy framing of IRN (Mittal et al.): under a lossy fabric
+// the ODP retransmission storms contend with finite buffers and lose
+// packets (go-back-N amplification); under PFC the fabric is lossless but
+// pause propagates; DCQCN paces the senders so the storm stops
+// overrunning the bottleneck in the first place. See DESIGN.md §9 for the
+// substitutions and calibration.
+package congestion
+
+import "odpsim/internal/sim"
+
+// Virtual lanes. Data rides VL0; CNPs ride VL1, which is strictly
+// prioritized and never paused — the standard DCQCN deployment puts
+// congestion notifications on their own traffic class precisely so they
+// outrun the congestion they report.
+const (
+	VLData    = 0
+	VLControl = 1
+	numVLs    = 2
+)
+
+// Config describes the switched fabric. The zero value is not useful;
+// start from DefaultConfig.
+type Config struct {
+	// Switches is the number of switches in the linear core (hosts
+	// attach round-robin by LID; with 2 switches and 2 hosts every flow
+	// crosses the inter-switch link).
+	Switches int
+	// UplinkFactor oversubscribes the inter-switch links: their
+	// bandwidth is the edge link rate divided by this factor (spine
+	// oversubscription is what makes a 2-host topology contend at all).
+	// Values below 1 are treated as 1 (no oversubscription).
+	UplinkFactor float64
+	// BufferBytes is each switch's shared packet buffer. Arrivals that
+	// would overflow it are tail-dropped (unless PFC paused the source
+	// first).
+	BufferBytes int
+
+	// PFC enables pause/resume frames: when the bytes buffered from one
+	// ingress neighbour exceed XOffBytes the switch pauses that
+	// neighbour's data VL, resuming below XOnBytes. XOffBytes must be
+	// greater than XOnBytes.
+	PFC       bool
+	XOffBytes int
+	XOnBytes  int
+
+	// ECN enables congestion-experienced marking: packets admitted to a
+	// switch whose shared-buffer occupancy is at or above
+	// ECNThresholdBytes are marked (the RED-like min=max threshold
+	// DCQCN's K_min=K_max degenerate configuration uses). Keep the
+	// threshold below XOffBytes so marking engages before PFC throttles
+	// the flow.
+	ECN               bool
+	ECNThresholdBytes int
+
+	// DCQCN configures the end-to-end rate control loop; DCQCN implies
+	// ECN (the marks are its only input).
+	DCQCN DCQCNConfig
+}
+
+// DCQCNConfig holds the rate-control parameters of the DCQCN reaction
+// point and notification point. Zero fields select the defaults noted.
+type DCQCNConfig struct {
+	// Enabled turns the whole loop on: CNP generation at receivers and
+	// per-QP rate limiting at senders.
+	Enabled bool
+	// MinCNPInterval is the notification point's per-QP CNP pacing
+	// window (default 50 µs, the N_CNP timer).
+	MinCNPInterval sim.Time
+	// G is the alpha EWMA gain (default 1/16).
+	G float64
+	// AlphaTimer is the alpha-decay update period (default 55 µs).
+	AlphaTimer sim.Time
+	// RateTimer is the rate-increase period (default 300 µs; the DCQCN
+	// paper uses 1.5 ms with a byte counter — the simulator is
+	// timer-only, so it recovers faster to keep short floods
+	// interesting).
+	RateTimer sim.Time
+	// FastRecoverySteps is F: rate-timer expirations spent in fast
+	// recovery (rc averaged toward rt) before additive increase starts
+	// (default 5).
+	FastRecoverySteps int
+	// AIRateGbps is the additive-increase step R_AI (default 5 Gb/s).
+	AIRateGbps float64
+	// MinRateGbps floors the current rate (default 0.1 Gb/s).
+	MinRateGbps float64
+	// MaxBacklog bounds how far ahead of the clock the rate limiter may
+	// book transmissions (default 1 ms). It models the finite TX queue
+	// of a real port: go-back-N retransmission bursts that exceed it are
+	// shed rather than queued, exactly as a NIC cannot hold an unbounded
+	// retransmit backlog — the timeout/NAK machinery regenerates them.
+	// Without the bound a retransmission storm against a cut rate books
+	// events unboundedly into the future.
+	MaxBacklog sim.Time
+}
+
+// DefaultConfig returns a 2-switch fabric with a 4× oversubscribed
+// inter-switch link and thresholds sized to the paper's flood bursts
+// (128 QPs × ~80-byte requests ≈ 10 KB per blind-retransmission round):
+// an 8 KB shared buffer overflows under a round, XOFF at 6 KB keeps PFC
+// ahead of the drop point, and ECN at 1.5 KB marks early enough for
+// DCQCN to cut rates within a few rounds.
+func DefaultConfig() Config {
+	return Config{
+		Switches:          2,
+		UplinkFactor:      4,
+		BufferBytes:       8 << 10,
+		XOffBytes:         6 << 10,
+		XOnBytes:          2 << 10,
+		ECNThresholdBytes: 1536,
+		DCQCN:             DCQCNConfig{},
+	}
+}
+
+// withDefaults fills unset tuning fields.
+func (c Config) withDefaults() Config {
+	if c.Switches <= 0 {
+		c.Switches = 2
+	}
+	if c.UplinkFactor < 1 {
+		c.UplinkFactor = 1
+	}
+	if c.BufferBytes <= 0 {
+		c.BufferBytes = 8 << 10
+	}
+	if c.XOffBytes <= 0 {
+		c.XOffBytes = 6 << 10
+	}
+	if c.XOnBytes <= 0 {
+		c.XOnBytes = 2 << 10
+	}
+	if c.ECNThresholdBytes <= 0 {
+		c.ECNThresholdBytes = 1536
+	}
+	if c.DCQCN.Enabled {
+		c.ECN = true
+	}
+	c.DCQCN = c.DCQCN.WithDefaults()
+	return c
+}
+
+// WithDefaults fills unset tuning fields with the package defaults.
+func (d DCQCNConfig) WithDefaults() DCQCNConfig {
+	if d.MinCNPInterval <= 0 {
+		d.MinCNPInterval = 50 * sim.Microsecond
+	}
+	if d.G <= 0 {
+		d.G = 1.0 / 16
+	}
+	if d.AlphaTimer <= 0 {
+		d.AlphaTimer = 55 * sim.Microsecond
+	}
+	if d.RateTimer <= 0 {
+		d.RateTimer = 300 * sim.Microsecond
+	}
+	if d.FastRecoverySteps <= 0 {
+		d.FastRecoverySteps = 5
+	}
+	if d.AIRateGbps <= 0 {
+		d.AIRateGbps = 5
+	}
+	if d.MinRateGbps <= 0 {
+		d.MinRateGbps = 0.1
+	}
+	if d.MaxBacklog <= 0 {
+		d.MaxBacklog = sim.Millisecond
+	}
+	return d
+}

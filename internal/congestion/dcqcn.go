@@ -1,0 +1,127 @@
+package congestion
+
+import "odpsim/internal/sim"
+
+// RateState is the DCQCN reaction point for one QP: the rate-decrease /
+// fast-recovery / additive-increase state machine of Zhu et al. (SIGCOMM
+// 2015), driven by CNP arrivals and two timers. The simulator is
+// timer-only (no byte counter) — a documented simplification that keeps
+// the recovery dynamics without per-packet bookkeeping.
+//
+// A RateState at line rate is completely passive: Reserve returns the
+// caller's own clock and no timer is armed, so enabling DCQCN costs
+// nothing until the first CNP arrives, and a drained simulation stays
+// drained (the timers cancel themselves once the rate has recovered).
+type RateState struct {
+	eng  *sim.Engine
+	cfg  DCQCNConfig
+	line float64 // link rate, Gb/s
+
+	rc    float64 // current rate
+	rt    float64 // target rate
+	alpha float64 // congestion estimate
+	stage int     // rate-timer expirations since the last cut
+
+	// nextFree is the pacing credit: the earliest time the next packet
+	// may start clocking out. Only meaningful while rc < line.
+	nextFree sim.Time
+
+	alphaTimer sim.Timer
+	rateTimer  sim.Timer
+	alphaFn    func()
+	rateFn     func()
+
+	// Cuts counts rate decreases (one per handled CNP); Shed counts
+	// packets refused by Reserve because the TX backlog was full.
+	Cuts uint64
+	Shed uint64
+}
+
+// NewRateState creates a reaction point at line rate.
+func NewRateState(eng *sim.Engine, cfg DCQCNConfig, lineGbps float64) *RateState {
+	rs := &RateState{eng: eng, cfg: cfg.WithDefaults(), line: lineGbps, rc: lineGbps, rt: lineGbps}
+	rs.alphaFn = rs.alphaTick
+	rs.rateFn = rs.rateTick
+	return rs
+}
+
+// CurrentGbps returns the current sending rate.
+func (rs *RateState) CurrentGbps() float64 { return rs.rc }
+
+// Limited reports whether the QP is currently below line rate.
+func (rs *RateState) Limited() bool { return rs.rc < rs.line }
+
+// Reserve returns the earliest time a packet of wireBytes may start
+// transmitting, and books that transmission against the rate credit.
+// At line rate it returns (now, true) untouched — the wire's own
+// serialization is the only limit. When the booked backlog already
+// reaches MaxBacklog ahead of the clock, Reserve refuses (false): the
+// TX queue is full and the caller must shed the packet instead of
+// booking it (Shed counts those refusals).
+func (rs *RateState) Reserve(now sim.Time, wireBytes int) (sim.Time, bool) {
+	if rs.rc >= rs.line {
+		rs.nextFree = now
+		return now, true
+	}
+	start := rs.nextFree
+	if start < now {
+		start = now
+	}
+	if start-now > rs.cfg.MaxBacklog {
+		rs.Shed++
+		return 0, false
+	}
+	// bits / (Gb/s) = ns, same arithmetic as the fabric's serialization.
+	rs.nextFree = start + sim.Time(float64(wireBytes*8)/rs.rc)
+	return start, true
+}
+
+// HandleCNP applies one congestion notification: raise alpha, cut the
+// current rate by alpha/2 toward zero, remember the pre-cut rate as the
+// recovery target, and (re)arm the update timers.
+func (rs *RateState) HandleCNP() {
+	g := rs.cfg.G
+	rs.alpha = (1-g)*rs.alpha + g
+	rs.rt = rs.rc
+	rs.rc = rs.rc * (1 - rs.alpha/2)
+	if rs.rc < rs.cfg.MinRateGbps {
+		rs.rc = rs.cfg.MinRateGbps
+	}
+	rs.stage = 0
+	rs.Cuts++
+	if !rs.alphaTimer.Pending() {
+		rs.alphaTimer = rs.eng.After(rs.cfg.AlphaTimer, rs.alphaFn)
+	}
+	if !rs.rateTimer.Pending() {
+		rs.rateTimer = rs.eng.After(rs.cfg.RateTimer, rs.rateFn)
+	}
+}
+
+// alphaTick decays the congestion estimate; it keeps itself armed only
+// while there is something left to decay or recover.
+func (rs *RateState) alphaTick() {
+	rs.alpha *= 1 - rs.cfg.G
+	if rs.alpha > 1e-3 || rs.rc < rs.line {
+		rs.alphaTimer = rs.eng.After(rs.cfg.AlphaTimer, rs.alphaFn)
+	}
+}
+
+// rateTick runs fast recovery (rc averaged toward the pre-cut target)
+// for FastRecoverySteps periods, then additive increase (the target
+// itself climbs by R_AI). The timer disarms once rc is back at line
+// rate, so an idle simulation drains.
+func (rs *RateState) rateTick() {
+	rs.stage++
+	if rs.stage > rs.cfg.FastRecoverySteps {
+		rs.rt += rs.cfg.AIRateGbps
+	}
+	if rs.rt > rs.line {
+		rs.rt = rs.line
+	}
+	rs.rc = (rs.rt + rs.rc) / 2
+	if rs.rc >= rs.line*0.999 {
+		rs.rc, rs.rt = rs.line, rs.line
+		return
+	}
+	rs.rateTimer = rs.eng.After(rs.cfg.RateTimer, rs.rateFn)
+}

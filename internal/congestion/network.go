@@ -1,0 +1,436 @@
+package congestion
+
+import (
+	"fmt"
+	"strconv"
+
+	"odpsim/internal/packet"
+	"odpsim/internal/sim"
+	"odpsim/internal/telemetry"
+)
+
+// Hooks is how the network talks back to the fabric that owns it. The
+// congestion package deliberately does not import internal/fabric: the
+// fabric plugs itself in through these callbacks, keeping the dependency
+// arrow pointing one way (fabric → congestion).
+type Hooks struct {
+	// Deliver is called at the instant the packet finishes clocking out
+	// of the last switch toward the destination host. The fabric adds
+	// its jittered propagation delay, enforces per-pair FIFO and
+	// schedules the final handler call (which also returns the packet
+	// to the pool).
+	Deliver func(dst uint16, pkt *packet.Packet, ws int)
+	// Drop is called when a switch tail-drops the packet on buffer
+	// overflow. The fabric counts it, emits the drop tap and reclaims
+	// the packet.
+	Drop func(src uint16, pkt *packet.Packet, reason string)
+	// Pause is called for every PFC pause/resume frame so the fabric
+	// can surface it to taps (captures show pause frames the way a port
+	// mirror would).
+	Pause func(from, to string, xoff bool)
+}
+
+// entry is one packet queued or in flight inside the switched network.
+// Entries are recycled through the network's free list.
+type entry struct {
+	pkt *packet.Packet
+	ws  int
+	src uint16
+	dst uint16
+	vl  int
+	// via is the egress port the entry last left (set while the entry
+	// is on a wire); buf/acct locate the entry's switch-buffer and
+	// PFC ingress accounting while it is buffered in a switch.
+	via  *port
+	buf  *swtch
+	acct *port
+	// arriveFn caches the arrive method value so per-hop scheduling
+	// does not allocate a closure.
+	arriveFn func()
+}
+
+func (e *entry) arrive() { e.via.arrived(e) }
+
+// port is one egress queue clocking packets onto one link: a host's
+// uplink into its edge switch, a switch-to-switch link, or a switch's
+// downlink to a host. VL1 (CNPs) is strictly prioritized over VL0 and
+// is never paused.
+type port struct {
+	n    *Network
+	name string
+	gbps float64
+	prop sim.Time
+
+	q      [numVLs][]*entry
+	qbytes [numVLs]int
+
+	// pausedData suspends VL0 service (set by the downstream switch's
+	// PFC state machine). pauseStart times the current pause for the
+	// tx_pause_duration accounting. acctBytes is the downstream switch's
+	// per-ingress-neighbour byte count for this link — the quantity the
+	// XOFF/XON thresholds compare against.
+	pausedData bool
+	pauseStart sim.Time
+	acctBytes  int
+
+	busy   bool
+	cur    *entry
+	doneFn func()
+
+	// dstSwitch is the far end for switch-bound links; nil means the
+	// far end is a host and the entry leaves the network on arrival.
+	dstSwitch *swtch
+}
+
+// enqueue appends an entry and starts the transmitter if idle. ECN
+// marking happens at switch-buffer admission (see swtch.admit); the
+// queue itself is policy-free.
+func (p *port) enqueue(e *entry) {
+	p.q[e.vl] = append(p.q[e.vl], e)
+	p.qbytes[e.vl] += e.ws
+	p.pump()
+}
+
+// pop takes the next serviceable entry: control VL first, data VL only
+// when not paused.
+func (p *port) pop() *entry {
+	for vl := numVLs - 1; vl >= 0; vl-- {
+		if vl == VLData && p.pausedData {
+			continue
+		}
+		if len(p.q[vl]) == 0 {
+			continue
+		}
+		e := p.q[vl][0]
+		p.q[vl][0] = nil
+		p.q[vl] = p.q[vl][1:]
+		p.qbytes[vl] -= e.ws
+		return e
+	}
+	return nil
+}
+
+// pump starts serializing the next queued entry if the wire is free.
+func (p *port) pump() {
+	if p.busy {
+		return
+	}
+	e := p.pop()
+	if e == nil {
+		return
+	}
+	p.busy = true
+	p.cur = e
+	p.n.eng.After(serTime(e.ws, p.gbps), p.doneFn)
+}
+
+// txDone fires when the current entry has fully clocked onto the link:
+// the entry leaves the switch buffer it was draining (store-and-forward)
+// and is admitted to the next switch's buffer before it flies — the
+// commitment point is the packet boundary, which is what lets PFC keep
+// the fabric lossless: once XOFF lands, nothing further is charged, so
+// an admitted packet always fits. The wire then frees up for the next
+// entry and the packet arrives after the link's propagation delay.
+func (p *port) txDone() {
+	e := p.cur
+	p.cur = nil
+	p.busy = false
+	if e.buf != nil {
+		e.buf.release(e)
+	}
+	if p.dstSwitch != nil && e.vl == VLData && !p.dstSwitch.admit(e, p) {
+		p.pump()
+		return
+	}
+	e.via = p
+	if p.prop > 0 {
+		p.n.eng.After(p.prop, e.arriveFn)
+	} else {
+		e.arrive()
+	}
+	p.pump()
+}
+
+// arrived lands the entry at this port's far end.
+func (p *port) arrived(e *entry) {
+	if p.dstSwitch != nil {
+		p.dstSwitch.forward(e)
+		return
+	}
+	// Final hop: hand the packet back to the fabric for delivery.
+	n := p.n
+	n.hooks.Deliver(e.dst, e.pkt, e.ws)
+	n.putEntry(e)
+}
+
+// swtch is one switch: a shared packet buffer, per-egress VL queues and
+// the PFC pause state machine for each of its ingress links.
+type swtch struct {
+	n    *Network
+	idx  int
+	name string
+
+	bytes uint64 // shared-buffer occupancy (data VL)
+	peak  uint64
+
+	toHost map[uint16]*port
+	left   *port // toward switch idx-1
+	right  *port // toward switch idx+1
+
+	Drops       uint64
+	EcnMarked   uint64
+	PauseFrames uint64
+}
+
+// admit reserves shared-buffer space for a data entry that just left
+// the upstream port toward this switch (tail drop on overflow) and runs
+// the PFC XOFF check against the upstream link's accounted bytes.
+// Control frames never pass through here — they ride reserved headroom
+// and are never dropped or paused.
+func (sw *swtch) admit(e *entry, from *port) bool {
+	n := sw.n
+	if int(sw.bytes)+e.ws > n.cfg.BufferBytes {
+		sw.Drops++
+		n.hooks.Drop(e.src, e.pkt, "switch buffer overflow")
+		n.putEntry(e)
+		return false
+	}
+	sw.bytes += uint64(e.ws)
+	if sw.bytes > sw.peak {
+		sw.peak = sw.bytes
+	}
+	// ECN marks against the shared-buffer occupancy at admission, not
+	// the egress queue: admission is where congestion is first visible,
+	// and a threshold below XOFF must fire before PFC throttles the
+	// flow (an egress-queue check would lag one propagation flight and
+	// lose that race).
+	if n.cfg.ECN && !e.pkt.ECN && int(sw.bytes) >= n.cfg.ECNThresholdBytes {
+		e.pkt.ECN = true
+		sw.EcnMarked++
+	}
+	e.buf = sw
+	e.acct = from
+	from.acctBytes += e.ws
+	if n.cfg.PFC && !from.pausedData && from.acctBytes >= n.cfg.XOffBytes {
+		sw.setPause(from, true)
+	}
+	return true
+}
+
+// forward queues the entry on the egress toward its destination. ECN
+// marking happened at admission (see admit).
+func (sw *swtch) forward(e *entry) {
+	sw.route(e.dst).enqueue(e)
+}
+
+// release returns the entry's bytes to the shared buffer and the PFC
+// ingress accounting, resuming the upstream link once its backlog has
+// drained below XON.
+func (sw *swtch) release(e *entry) {
+	sw.bytes -= uint64(e.ws)
+	up := e.acct
+	e.buf, e.acct = nil, nil
+	up.acctBytes -= e.ws
+	if sw.n.cfg.PFC && up.pausedData && up.acctBytes <= sw.n.cfg.XOnBytes {
+		sw.setPause(up, false)
+	}
+}
+
+// setPause sends a PFC pause (xoff) or resume frame to the upstream
+// link's transmitter and applies it. Pause frames are link-local and
+// effectively instantaneous at simulation scale.
+func (sw *swtch) setPause(up *port, xoff bool) {
+	n := sw.n
+	sw.PauseFrames++
+	if xoff {
+		up.pausedData = true
+		up.pauseStart = n.eng.Now()
+	} else {
+		up.pausedData = false
+		n.pausedNs += uint64(n.eng.Now() - up.pauseStart)
+	}
+	if n.hooks.Pause != nil {
+		n.hooks.Pause(sw.name, up.name, xoff)
+	}
+	if !xoff {
+		up.pump()
+	}
+}
+
+// route picks the egress port toward the destination host.
+func (sw *swtch) route(dst uint16) *port {
+	t := sw.n.switchOf(dst)
+	if t == sw.idx {
+		return sw.hostPort(dst)
+	}
+	if t < sw.idx {
+		return sw.left
+	}
+	return sw.right
+}
+
+// hostPort lazily creates the downlink to an attached host.
+func (sw *swtch) hostPort(dst uint16) *port {
+	p := sw.toHost[dst]
+	if p == nil {
+		p = sw.n.newPort(fmt.Sprintf("%s-host%d", sw.name, dst), sw.n.edgeGbps, 0, nil)
+		sw.toHost[dst] = p
+	}
+	return p
+}
+
+// Network is the switched fabric core: the linear switch chain plus one
+// uplink queue per attached host (the host-side port PFC pauses).
+type Network struct {
+	eng   *sim.Engine
+	cfg   Config
+	hooks Hooks
+
+	edgeGbps float64  // host links
+	coreGbps float64  // inter-switch links
+	prop     sim.Time // per-hop propagation
+
+	switches []*swtch
+	uplinks  []*port // indexed by LID
+
+	free []*entry
+
+	tel *telemetry.Registry
+	// pausedNs accumulates completed pause intervals across every link
+	// (exported as tx_pause_duration, in µs, mlx5-style).
+	pausedNs uint64
+}
+
+// serTime is the serialization delay of wireBytes at gbps.
+func serTime(wireBytes int, gbps float64) sim.Time {
+	return sim.Time(float64(wireBytes*8) / gbps)
+}
+
+// NewNetwork builds the switch topology on eng. linkGbps and propDelay
+// mirror the owning fabric's link model; hooks connect delivery, drops
+// and pause-frame visibility back to it.
+func NewNetwork(eng *sim.Engine, cfg Config, linkGbps float64, propDelay sim.Time, hooks Hooks) *Network {
+	cfg = cfg.withDefaults()
+	if cfg.PFC && cfg.XOffBytes <= cfg.XOnBytes {
+		panic("congestion: XOffBytes must be greater than XOnBytes")
+	}
+	n := &Network{
+		eng:      eng,
+		cfg:      cfg,
+		hooks:    hooks,
+		edgeGbps: linkGbps,
+		coreGbps: linkGbps / cfg.UplinkFactor,
+		prop:     propDelay,
+		tel:      telemetry.NewRegistryOn(eng, "congestion", telemetry.Labels{"device": "congestion"}),
+	}
+	n.switches = make([]*swtch, cfg.Switches)
+	for i := range n.switches {
+		sw := &swtch{n: n, idx: i, name: "sw" + strconv.Itoa(i), toHost: make(map[uint16]*port)}
+		n.switches[i] = sw
+	}
+	for i, sw := range n.switches {
+		if i > 0 {
+			sw.left = n.newPort(fmt.Sprintf("%s-sw%d", sw.name, i-1), n.coreGbps, n.prop, n.switches[i-1])
+		}
+		if i < len(n.switches)-1 {
+			sw.right = n.newPort(fmt.Sprintf("%s-sw%d", sw.name, i+1), n.coreGbps, n.prop, n.switches[i+1])
+		}
+	}
+	n.registerMetrics()
+	return n
+}
+
+// Config returns the resolved configuration (defaults filled in).
+func (n *Network) Config() Config { return n.cfg }
+
+// Telemetry returns the network's counter registry.
+func (n *Network) Telemetry() *telemetry.Registry { return n.tel }
+
+// PauseDurationMicros returns the accumulated pause time across every
+// link, in microseconds (completed pauses only; a drained simulation has
+// none outstanding).
+func (n *Network) PauseDurationMicros() float64 { return float64(n.pausedNs) / 1e3 }
+
+func (n *Network) registerMetrics() {
+	n.tel.Gauge(telemetry.TxPauseDuration, "accumulated PFC pause time across all links [µs]", nil,
+		n.PauseDurationMicros)
+	for _, sw := range n.switches {
+		sw := sw
+		l := telemetry.Labels{"switch": sw.name}
+		n.tel.Counter(telemetry.SimSwitchDrops, "packets tail-dropped on shared-buffer overflow", l, &sw.Drops)
+		n.tel.Counter(telemetry.SimSwitchEcnMarked, "packets ECN-marked at egress", l, &sw.EcnMarked)
+		n.tel.Counter(telemetry.SimSwitchPauseFrames, "PFC pause/resume frames sent", l, &sw.PauseFrames)
+		n.tel.Gauge(telemetry.SimSwitchQueueBytes, "shared-buffer occupancy [bytes]", l,
+			func() float64 { return float64(sw.bytes) })
+		n.tel.Gauge(telemetry.SimSwitchQueuePeak, "shared-buffer high-water mark [bytes]", l,
+			func() float64 { return float64(sw.peak) })
+	}
+}
+
+// switchOf maps a host LID onto its edge switch (round-robin).
+func (n *Network) switchOf(lid uint16) int {
+	if lid == 0 {
+		return 0
+	}
+	return int(lid-1) % len(n.switches)
+}
+
+func (n *Network) newPort(name string, gbps float64, prop sim.Time, dst *swtch) *port {
+	p := &port{n: n, name: name, gbps: gbps, prop: prop, dstSwitch: dst}
+	p.doneFn = p.txDone
+	return p
+}
+
+// uplink lazily creates the host's egress queue into its edge switch.
+func (n *Network) uplink(src uint16) *port {
+	for int(src) >= len(n.uplinks) {
+		n.uplinks = append(n.uplinks, nil)
+	}
+	p := n.uplinks[src]
+	if p == nil {
+		sw := n.switches[n.switchOf(src)]
+		p = n.newPort(fmt.Sprintf("host%d-%s", src, sw.name), n.edgeGbps, n.prop, sw)
+		n.uplinks[src] = p
+	}
+	return p
+}
+
+// Send injects a packet the fabric accepted for transmission. Ownership
+// of pkt stays with the fabric's pool contract: the network hands it
+// back through Hooks.Deliver or Hooks.Drop, never keeps it.
+func (n *Network) Send(src, dst uint16, pkt *packet.Packet, ws int) {
+	e := n.getEntry()
+	e.pkt, e.ws, e.src, e.dst = pkt, ws, src, dst
+	e.vl = VLData
+	if pkt.Opcode == packet.OpCNP {
+		e.vl = VLControl
+	}
+	n.uplink(src).enqueue(e)
+}
+
+// QueuedBytes reports the data-VL backlog buffered across the switch
+// chain (diagnostics and tests).
+func (n *Network) QueuedBytes() int {
+	total := 0
+	for _, sw := range n.switches {
+		total += int(sw.bytes)
+	}
+	return total
+}
+
+func (n *Network) getEntry() *entry {
+	if k := len(n.free); k > 0 {
+		e := n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+		return e
+	}
+	e := &entry{}
+	e.arriveFn = e.arrive
+	return e
+}
+
+func (n *Network) putEntry(e *entry) {
+	e.pkt, e.via, e.buf, e.acct = nil, nil, nil, nil
+	n.free = append(n.free, e)
+}

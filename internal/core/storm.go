@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"odpsim/internal/apps/sparkucx"
+	"odpsim/internal/rnic"
+	"odpsim/internal/scenario"
+	"odpsim/internal/telemetry"
+)
+
+// This file is the congestion follow-up question the paper could not
+// ask on its fixed testbeds: do the ODP pitfalls get better or worse on
+// a lossless fabric? The storm workload re-runs the Figure-11
+// page-fault flood (driven in the write direction so the storm's own
+// data contends in the core) and the Table-13 KNL SparkUCX row on the
+// switched fabric of internal/congestion, comparing three fabric
+// variants side by side:
+//
+//   analytic   — the paper's original serialization-only fabric,
+//   lossy      — the switched topology with PFC/ECN/DCQCN all off, so
+//                the flood tail-drops in the oversubscribed core,
+//   (declared) — the scenario's own congestion block (PFC for
+//                storm-lossless, PFC+DCQCN for storm-dcqcn).
+//
+// Every variant runs the same seed, so the rows differ only by fabric.
+
+func init() { scenario.RegisterWorkload(stormWorkload{}) }
+
+type stormWorkload struct{}
+
+func (stormWorkload) Kind() string { return "storm" }
+
+func (stormWorkload) Validate(sc *scenario.Scenario) error {
+	if sc.Congestion == nil {
+		return fmt.Errorf("scenario %q: storm compares fabric variants, so it needs a congestion block", sc.Name)
+	}
+	return scenario.RequireTrials(sc)
+}
+
+// stormVariant is one fabric configuration under comparison.
+type stormVariant struct {
+	label string
+	spec  *scenario.CongestionSpec // nil = analytic fabric
+}
+
+// variants derives the three fabric rows from the scenario's block. The
+// lossy row keeps the declared topology (switch count, buffers, uplink
+// oversubscription) but strips every relief mechanism, so it shows what
+// the same storm costs when the fabric just drops.
+func stormVariants(sc *scenario.Scenario) []stormVariant {
+	lossy := *sc.Congestion
+	lossy.PFC = false
+	lossy.ECN = false
+	lossy.DCQCN = false
+	declared := "switched+pfc"
+	if sc.Congestion.DCQCN {
+		declared = "switched+pfc+dcqcn"
+	}
+	return []stormVariant{
+		{label: "analytic", spec: nil},
+		{label: "switched lossy", spec: &lossy},
+		{label: declared, spec: sc.Congestion},
+	}
+}
+
+func (stormWorkload) Run(sc *scenario.Scenario, out *scenario.Output) error {
+	cfg, err := benchConfig(sc)
+	if err != nil {
+		return err
+	}
+	// The flood sends data *toward* the ODP side so the storm itself is
+	// what contends in the fabric: server-side ODP drives WRITE bursts
+	// (RNR NAK → blind go-back-N replays of full data packets), while
+	// client-side ODP keeps Fig-11's READ shape (the response stream
+	// contends instead).
+	op := "READ"
+	if cfg.Mode == ServerODP || cfg.Mode == BothODP {
+		cfg.OpOverride = func(int) rnic.SendOp { return rnic.OpWrite }
+		op = "WRITE"
+	}
+	fmt.Fprintln(out.W, sc.ExpandedTitle())
+
+	fmt.Fprintf(out.W, "\nflood (%d %ss × %d B over %d QPs, %s, C_ACK=%d):\n",
+		cfg.NumOps, op, cfg.Size, cfg.NumQPs, cfg.Mode, cfg.CACK)
+	fmt.Fprintf(out.W, "%-20s %12s %9s %9s %7s %9s %8s %6s\n",
+		"fabric", "exec", "retrans", "timeouts", "drops", "pause[us]", "ecn", "cnps")
+	for _, v := range stormVariants(sc) {
+		b := cfg
+		b.System.Congestion = nil
+		if v.spec != nil {
+			c := v.spec.Config()
+			b.System.Congestion = &c
+		}
+		r := RunMicrobench(b)
+		fmt.Fprintf(out.W, "%-20s %12v %9d %9d %7.0f %9.0f %8.0f %6.0f\n",
+			v.label, time.Duration(r.ExecTime), r.Retransmits, r.Timeouts,
+			r.Final.Total(telemetry.SimSwitchDrops),
+			r.Final.Total(telemetry.TxPauseDuration),
+			r.Final.Total(telemetry.SimSwitchEcnMarked),
+			r.Final.Total(telemetry.NpCnpSent))
+	}
+
+	// The Table-13 row: the KNL SparkTC job, ODP disabled vs enabled,
+	// on the declared congested fabric. Label stays "KNL (2)" — the
+	// calibrated base times are keyed by it.
+	waves := sc.Waves
+	if waves == 0 {
+		waves = 2
+	}
+	knl := sparkucx.Table13Configs()[0]
+	knl.System = sc.ApplyFaults(knl.System)
+	row := sparkucx.MeasureRow(sparkucx.SparkTC, knl, sc.Trials, sc.SeedOrDefault(), waves)
+	fmt.Fprintf(out.W, "\nTable-13 SparkTC on the congested fabric (%d trials):\n", sc.Trials)
+	fmt.Fprintf(out.W, "%-16s %6s %16s %16s %8s %8s\n", "", "QPs", "Disable [s]", "Enable [s]", "ratio", "omitted")
+	fmt.Fprintf(out.W, "%-16s %6d %9.1f ±%4.1f %9.1f ±%4.1f %8.2f %8d\n",
+		row.Label, row.QPs,
+		row.Disable.Mean, row.Disable.Std,
+		row.Enable.Mean, row.Enable.Std,
+		row.Ratio, row.Omitted)
+	return nil
+}

@@ -1,0 +1,143 @@
+package fabric
+
+import (
+	"testing"
+
+	"odpsim/internal/congestion"
+	"odpsim/internal/packet"
+)
+
+func TestCongestedDelivery(t *testing.T) {
+	eng, f, a, _, _, atB := pair(t, DefaultConfig())
+	f.EnableCongestion(congestion.DefaultConfig())
+	for i := 0; i < 8; i++ {
+		pkt := f.Pool().Get()
+		pkt.Opcode = packet.OpWriteOnly
+		pkt.DLID = 2
+		pkt.PSN = uint32(i)
+		a.Send(pkt)
+	}
+	eng.Run()
+	if len(*atB) != 8 {
+		t.Fatalf("B received %d of 8 packets", len(*atB))
+	}
+	for i, p := range *atB {
+		if p.PSN != uint32(i) {
+			t.Fatalf("FIFO broken through the switched path: got PSN %d at %d", p.PSN, i)
+		}
+	}
+	if f.Delivered != 8 || f.Dropped != 0 {
+		t.Fatalf("counters: delivered=%d dropped=%d", f.Delivered, f.Dropped)
+	}
+	if bal := f.Pool().Balance(); bal != 0 {
+		t.Fatalf("pool balance = %d after congested run", bal)
+	}
+}
+
+func TestCongestedOverflowSplitsDropReason(t *testing.T) {
+	eng, f, a, _, _, atB := pair(t, DefaultConfig())
+	cfg := congestion.DefaultConfig()
+	cfg.BufferBytes = 256
+	f.EnableCongestion(cfg)
+	var tapDrops int
+	f.AddTap(func(ev TapEvent) {
+		if ev.Dropped {
+			tapDrops++
+			if ev.Reason != "switch buffer overflow" {
+				t.Errorf("drop reason = %q", ev.Reason)
+			}
+		}
+	})
+	for i := 0; i < 64; i++ {
+		pkt := f.Pool().Get()
+		pkt.Opcode = packet.OpWriteOnly
+		pkt.DLID = 2
+		pkt.PayloadLen = 128
+		a.Send(pkt)
+	}
+	eng.Run()
+	if f.DropsCongestion == 0 {
+		t.Fatal("no congestion drops under a 256B switch buffer")
+	}
+	if f.Dropped != f.DropsCongestion {
+		t.Fatalf("total %d != congestion drops %d", f.Dropped, f.DropsCongestion)
+	}
+	if int(f.Dropped) != tapDrops {
+		t.Fatalf("taps saw %d drops, counter %d", tapDrops, f.Dropped)
+	}
+	if len(*atB)+int(f.Dropped) != 64 {
+		t.Fatalf("conservation: %d delivered + %d dropped != 64", len(*atB), f.Dropped)
+	}
+	if bal := f.Pool().Balance(); bal != 0 {
+		t.Fatalf("pool balance = %d after drops", bal)
+	}
+	snap := f.Telemetry().Snapshot(eng.Now())
+	if got := snap.Total("sim_fabric_packets_dropped"); got != float64(f.Dropped) {
+		t.Fatalf("labeled drop series totals %v, field %d", got, f.Dropped)
+	}
+}
+
+func TestPFCPauseFramesReachTaps(t *testing.T) {
+	eng, f, a, _, _, _ := pair(t, DefaultConfig())
+	cfg := congestion.DefaultConfig()
+	cfg.PFC = true
+	cfg.BufferBytes = 2048
+	cfg.XOffBytes = 1024
+	cfg.XOnBytes = 256
+	f.EnableCongestion(cfg)
+	var pauses, resumes int
+	f.AddTap(func(ev TapEvent) {
+		if ev.Pkt.Opcode != packet.OpPFCPause {
+			return
+		}
+		if ev.Pkt.XOff {
+			pauses++
+		} else {
+			resumes++
+		}
+	})
+	for i := 0; i < 64; i++ {
+		pkt := f.Pool().Get()
+		pkt.Opcode = packet.OpWriteOnly
+		pkt.DLID = 2
+		pkt.PayloadLen = 128
+		a.Send(pkt)
+	}
+	eng.Run()
+	if pauses == 0 || pauses != resumes {
+		t.Fatalf("tap saw %d pauses / %d resumes, want matched non-zero", pauses, resumes)
+	}
+	if f.Dropped != 0 {
+		t.Fatalf("PFC run dropped %d packets", f.Dropped)
+	}
+	if bal := f.Pool().Balance(); bal != 0 {
+		t.Fatalf("pool balance = %d (pause-frame tap packets must be returned)", bal)
+	}
+}
+
+func TestDropReasonCountersOnAnalyticPath(t *testing.T) {
+	eng, f, a, _, _, _ := pair(t, DefaultConfig())
+	// Unroutable.
+	a.Send(&packet.Packet{Opcode: packet.OpWriteOnly, DLID: 99})
+	// Filtered.
+	f.SetDropFilter(func(p *packet.Packet) bool { return p.PSN == 7 })
+	a.Send(&packet.Packet{Opcode: packet.OpWriteOnly, DLID: 2, PSN: 7})
+	f.SetDropFilter(nil)
+	eng.Run()
+	if f.DropsUnroutable != 1 || f.DropsFilter != 1 || f.DropsLoss != 0 {
+		t.Fatalf("split = unroutable %d / filter %d / loss %d", f.DropsUnroutable, f.DropsFilter, f.DropsLoss)
+	}
+	if f.Dropped != 2 {
+		t.Fatalf("total = %d", f.Dropped)
+	}
+}
+
+func TestLossCounterOnAnalyticPath(t *testing.T) {
+	eng, f, a, _, _, _ := pair(t, DefaultConfig())
+	f.SetLossRate(1.0)
+	a.Send(&packet.Packet{Opcode: packet.OpWriteOnly, DLID: 2})
+	eng.Run()
+	if f.DropsLoss != 1 || f.Dropped != 1 {
+		t.Fatalf("loss split = %d, total = %d", f.DropsLoss, f.Dropped)
+	}
+}

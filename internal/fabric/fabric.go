@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"odpsim/internal/congestion"
 	"odpsim/internal/packet"
 	"odpsim/internal/sim"
 	"odpsim/internal/telemetry"
@@ -184,14 +185,23 @@ type Fabric struct {
 	lossRate float64
 	// dropFilter, when non-nil, drops packets it returns true for.
 	dropFilter func(*packet.Packet) bool
+	// net, when non-nil, replaces the analytic latency model with the
+	// switched lossless-fabric model: accepted packets enter the switch
+	// topology and come back through deliverFromNet / dropFromNet.
+	net *congestion.Network
 	// tel publishes the fabric-wide counters below.
 	tel *telemetry.Registry
 
-	// Counters.
-	Sent      uint64
-	Delivered uint64
-	Dropped   uint64
-	BytesSent uint64
+	// Counters. Dropped is the total; the Drops* fields split it by
+	// reason and back the labeled sim_fabric_packets_dropped series.
+	Sent            uint64
+	Delivered       uint64
+	Dropped         uint64
+	BytesSent       uint64
+	DropsLoss       uint64
+	DropsUnroutable uint64
+	DropsFilter     uint64
+	DropsCongestion uint64
 }
 
 // New creates a fabric on engine eng.
@@ -227,9 +237,91 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 	}
 	f.tel.Counter(telemetry.SimFabricPacketsSent, "packets handed to the fabric", nil, &f.Sent)
 	f.tel.Counter(telemetry.SimFabricPacketsDelivered, "packets delivered to a port", nil, &f.Delivered)
-	f.tel.Counter(telemetry.SimFabricPacketsDropped, "packets dropped in flight", nil, &f.Dropped)
 	f.tel.Counter(telemetry.SimFabricBytesSent, "wire bytes handed to the fabric", nil, &f.BytesSent)
+	// Drops are published per reason; Snapshot.Total over the name gives
+	// the old aggregate (the Dropped field stays the Go-side total).
+	f.tel.Counter(telemetry.SimFabricPacketsDropped, "packets dropped by the loss injector",
+		telemetry.Labels{"reason": "loss"}, &f.DropsLoss)
+	f.tel.Counter(telemetry.SimFabricPacketsDropped, "packets dropped for an unknown DLID",
+		telemetry.Labels{"reason": "unroutable"}, &f.DropsUnroutable)
+	f.tel.Counter(telemetry.SimFabricPacketsDropped, "packets dropped by an experiment drop filter",
+		telemetry.Labels{"reason": "filter"}, &f.DropsFilter)
+	f.tel.Counter(telemetry.SimFabricPacketsDropped, "packets tail-dropped by congested switches",
+		telemetry.Labels{"reason": "congestion"}, &f.DropsCongestion)
 	return f
+}
+
+// EnableCongestion replaces the fabric's analytic egress with the
+// switched lossless-fabric model of internal/congestion: packets the
+// fabric accepts traverse switch buffers, PFC and ECN before delivery.
+// Call it once, after New and before traffic. Returns the network so
+// callers can export its telemetry.
+func (f *Fabric) EnableCongestion(cfg congestion.Config) *congestion.Network {
+	if f.net != nil {
+		panic("fabric: EnableCongestion called twice")
+	}
+	f.net = congestion.NewNetwork(f.eng, cfg, f.cfg.BandwidthGbps, f.cfg.PropDelay, congestion.Hooks{
+		Deliver: f.deliverFromNet,
+		Drop:    f.dropFromNet,
+		Pause:   f.tapPause,
+	})
+	return f.net
+}
+
+// Network returns the congestion network, or nil when the analytic
+// latency model is active.
+func (f *Fabric) Network() *congestion.Network { return f.net }
+
+// deliverFromNet schedules final delivery for a packet leaving the
+// switched network's last hop: the fabric's jittered propagation delay
+// covers the downlink wire, and the per-pair FIFO clamp is preserved
+// (jitter must not reorder an RC flow).
+func (f *Fabric) deliverFromNet(dstLID uint16, pkt *packet.Packet, ws int) {
+	dst := f.ports[dstLID]
+	at := f.eng.Now() + f.eng.Jitter(f.cfg.PropDelay, f.cfg.DelayJitter)
+	if last := f.lastArrival[pkt.SLID][dstLID]; at < last {
+		at = last
+	}
+	f.lastArrival[pkt.SLID][dstLID] = at
+	d := f.getDelivery()
+	d.dst, d.pkt, d.ws = dst, pkt, uint64(ws)
+	f.eng.At(at, d.fn)
+}
+
+// dropFromNet accounts a switch tail drop. The packet was already
+// tapped once at Send; the second tap event with Dropped set is how a
+// capture sees that the wire copy never arrived.
+func (f *Fabric) dropFromNet(srcLID uint16, pkt *packet.Packet, reason string) {
+	f.Dropped++
+	f.DropsCongestion++
+	if src := f.ports[srcLID]; src != nil {
+		src.TxDiscards++
+	}
+	f.emitTap(TapEvent{At: f.eng.Now(), Pkt: pkt, SrcName: f.portName(srcLID), Dropped: true, Reason: reason})
+	f.pool.Put(pkt)
+}
+
+// tapPause surfaces a PFC pause/resume frame to the taps as a synthetic
+// pool packet (borrowed for the tap call, returned immediately), so
+// captures show pause frames the way a port mirror would.
+func (f *Fabric) tapPause(from, to string, xoff bool) {
+	if len(f.taps) == 0 {
+		return
+	}
+	pkt := f.pool.Get()
+	pkt.Opcode = packet.OpPFCPause
+	pkt.XOff = xoff
+	pkt.VL = congestion.VLData
+	f.emitTap(TapEvent{At: f.eng.Now(), Pkt: pkt, SrcName: from, DstName: to})
+	f.pool.Put(pkt)
+}
+
+// portName returns the attached port's name, or "" for an unknown LID.
+func (f *Fabric) portName(lid uint16) string {
+	if int(lid) < len(f.ports) && f.ports[lid] != nil {
+		return f.ports[lid].Name
+	}
+	return ""
 }
 
 // Engine returns the simulation engine.
@@ -385,14 +477,15 @@ func (p *Port) Send(pkt *packet.Packet) {
 	}
 	drop := dst == nil
 	reason := ""
+	reasonCtr := &f.DropsUnroutable
 	if drop {
 		reason = "unknown DLID"
 	}
 	if !drop && f.dropFilter != nil && f.dropFilter(pkt) {
-		drop, reason = true, "drop filter"
+		drop, reason, reasonCtr = true, "drop filter", &f.DropsFilter
 	}
 	if !drop && f.lossRate > 0 && f.eng.Bernoulli(f.lossRate) {
-		drop, reason = true, "random loss"
+		drop, reason, reasonCtr = true, "random loss", &f.DropsLoss
 	}
 
 	dstName := ""
@@ -402,8 +495,17 @@ func (p *Port) Send(pkt *packet.Packet) {
 	f.emitTap(TapEvent{At: f.eng.Now(), Pkt: pkt, SrcName: p.Name, DstName: dstName, Dropped: drop, Reason: reason})
 	if drop {
 		f.Dropped++
+		*reasonCtr++
 		p.TxDiscards++
 		f.pool.Put(pkt)
+		return
+	}
+
+	if f.net != nil {
+		// Switched egress: the network models serialization, queueing,
+		// PFC and ECN; the fabric resumes at the far edge through
+		// deliverFromNet / dropFromNet.
+		f.net.Send(p.LID, pkt.DLID, pkt, int(ws))
 		return
 	}
 

@@ -31,6 +31,14 @@ const (
 	OpFetchAdd
 	OpCmpSwap
 	OpAtomicResp
+	// OpCNP is the RoCEv2-style Congestion Notification Packet a DCQCN
+	// notification point sends back to the traffic source when it
+	// receives ECN-marked packets (one per QP per notification window).
+	OpCNP
+	// OpPFCPause is an IEEE 802.1Qbb priority-flow-control pause/resume
+	// frame. It is link-local (switch to upstream neighbour), never
+	// routed, and surfaces in captures only through fabric taps.
+	OpPFCPause
 )
 
 // String implements fmt.Stringer using ibdump-like names.
@@ -60,6 +68,10 @@ func (o Opcode) String() string {
 		return "ATOMIC CmpSwap"
 	case OpAtomicResp:
 		return "ATOMIC Acknowledge"
+	case OpCNP:
+		return "CNP"
+	case OpPFCPause:
+		return "PFC Pause"
 	default:
 		return fmt.Sprintf("Opcode(%d)", int(o))
 	}
@@ -168,6 +180,19 @@ type Packet struct {
 	// requester model; see internal/rnic.
 	DammingDoomed bool
 
+	// ECN is the congestion-experienced mark a switch sets when the
+	// packet passed an egress queue above the ECN threshold (the CE
+	// codepoint of the IP ECN field in RoCEv2; InfiniBand proper carries
+	// the equivalent FECN bit). The receiving RNIC answers marked
+	// packets with CNPs when DCQCN is on.
+	ECN bool
+
+	// PFC pause-frame fields (OpPFCPause only). XOff true pauses the
+	// receiving port's class, false resumes it; VL is the paused virtual
+	// lane / priority.
+	XOff bool
+	VL   uint8
+
 	// Pool bookkeeping (not wire state): gen counts recycles through a
 	// Pool, pooled marks packets currently sitting in a free list so a
 	// double Put panics instead of corrupting later traffic.
@@ -186,11 +211,19 @@ const (
 	atomicAckEthBytes = 8
 	icrcBytes         = 4
 	vcrcBytes         = 2
+	// cnpPadBytes is the 16-byte reserved payload a RoCEv2 CNP carries
+	// after the BTH; pfcFrameBytes is the fixed size of an 802.1Qbb
+	// pause frame (a minimum-size control frame).
+	cnpPadBytes   = 16
+	pfcFrameBytes = 64
 )
 
 // WireSize returns the packet's size on the wire in bytes, used for
 // serialization-delay modelling and byte counters.
 func (p *Packet) WireSize() int {
+	if p.Opcode == OpPFCPause {
+		return pfcFrameBytes
+	}
 	n := lrhBytes + bthBytes + icrcBytes + vcrcBytes + p.PayloadLen
 	switch p.Opcode {
 	case OpReadRequest, OpWriteOnly:
@@ -203,6 +236,8 @@ func (p *Packet) WireSize() int {
 		n += atomicEthBytes
 	case OpAtomicResp:
 		n += aethBytes + atomicAckEthBytes
+	case OpCNP:
+		n += cnpPadBytes
 	}
 	return n
 }
@@ -225,9 +260,20 @@ func (p *Packet) String() string {
 		s += fmt.Sprintf(" va=0x%x len=%d", p.RemoteAddr, p.DMALen)
 	case OpAcknowledge:
 		s = fmt.Sprintf("%s PSN=%d QP=%d", p.Syndrome, p.AckPSN, p.DestQP)
+	case OpCNP:
+		s = fmt.Sprintf("CNP QP=%d", p.DestQP)
+	case OpPFCPause:
+		if p.XOff {
+			s = fmt.Sprintf("PFC Pause VL=%d (XOFF)", p.VL)
+		} else {
+			s = fmt.Sprintf("PFC Resume VL=%d (XON)", p.VL)
+		}
 	}
 	if p.PayloadLen > 0 && p.Opcode != OpReadRequest {
 		s += fmt.Sprintf(" payload=%dB", p.PayloadLen)
+	}
+	if p.ECN {
+		s += " [ECN]"
 	}
 	return s
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"odpsim/internal/congestion"
 	"odpsim/internal/hostmem"
 	"odpsim/internal/packet"
 	"odpsim/internal/sim"
@@ -147,6 +148,12 @@ type QP struct {
 	// on every timeout/pending-window entry.
 	onTimeoutFn func()
 	resumeFn    func()
+
+	// DCQCN state: rate is the reaction-point limiter (nil unless the
+	// device enabled DCQCN before this QP was created), lastCNP the
+	// notification-point pacing clock for marked arrivals on this QP.
+	rate    *congestion.RateState
+	lastCNP sim.Time
 
 	// Responder state.
 	ePSN uint32
@@ -300,7 +307,13 @@ func (qp *QP) pump() {
 // Timeout- and NAK-triggered retransmissions are unaffected, which is why
 // follow-up traffic rescues dammed requests via the PSN sequence error NAK
 // (§V-B) while an idle QP has to ride out the full timeout.
-func (qp *QP) sendRequest(o *outReq) {
+//
+// The return value reports whether the packet actually went to the wire
+// (or was booked for a paced future send); false means the DCQCN TX
+// backlog shed it. Retransmission accounting counts wire sends only —
+// the counters mirror what a capture or the mlx5 hardware counters see,
+// and a shed packet never left the NIC.
+func (qp *QP) sendRequest(o *outReq) bool {
 	pkt := qp.rnic.pool.Get()
 	pkt.DLID = qp.dlid
 	pkt.DestQP = qp.dqpn
@@ -338,7 +351,33 @@ func (qp *QP) sendRequest(o *outReq) {
 			o.w.postedPaused = false
 		}
 	}
+	return qp.sendPaced(pkt)
+}
+
+// sendPaced transmits through the QP's DCQCN rate limiter: at line rate
+// the packet goes straight to the port (no closure, no timer — the
+// zero-allocation datapath is untouched unless a CNP has actually cut
+// this QP's rate); when limited, transmission is deferred to the rate
+// credit's start time. A full TX backlog sheds the packet (returning
+// false) — go-back-N storms would otherwise book unbounded future sends
+// — and recovery is left to the timeout/NAK machinery that generated
+// the burst.
+func (qp *QP) sendPaced(pkt *packet.Packet) bool {
+	if qp.rate != nil {
+		now := qp.rnic.eng.Now()
+		start, ok := qp.rate.Reserve(now, pkt.WireSize())
+		if !ok {
+			qp.rnic.pool.Put(pkt)
+			return false
+		}
+		if start > now {
+			port := qp.rnic.Port
+			qp.rnic.eng.At(start, func() { port.Send(pkt) })
+			return true
+		}
+	}
 	qp.rnic.Port.Send(pkt)
+	return true
 }
 
 // armTimeout (re)arms the Local ACK Timeout for the oldest outstanding
@@ -368,12 +407,14 @@ func (qp *QP) onTimeout() {
 }
 
 // retransmitFrom resends every outstanding request at or after psn
-// (go-back-N).
+// (go-back-N). Only packets that reach the wire count as
+// retransmissions; sends shed by a full DCQCN TX backlog do not.
 func (qp *QP) retransmitFrom(psn uint32) {
 	for _, o := range qp.out {
 		if packet.PSNDiff(o.lastPSN(), psn) >= 0 {
-			qp.Stats.Retransmits++
-			qp.sendRequest(o)
+			if qp.sendRequest(o) {
+				qp.Stats.Retransmits++
+			}
 		}
 	}
 }

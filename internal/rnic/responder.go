@@ -201,6 +201,8 @@ func (qp *QP) sendReadResponse(firstPSN uint32, length, npsn int) {
 		pkt.AckPSN = packet.PSNAdd(firstPSN, i)
 		pkt.Syndrome = packet.SynACK
 		pkt.PayloadLen = chunk
-		qp.rnic.Port.Send(pkt)
+		// READ responses are the data-bearing direction of a READ
+		// workload, so they flow through the same DCQCN limiter.
+		qp.sendPaced(pkt)
 	}
 }

@@ -3,6 +3,7 @@ package rnic
 import (
 	"fmt"
 
+	"odpsim/internal/congestion"
 	"odpsim/internal/fabric"
 	"odpsim/internal/hostmem"
 	"odpsim/internal/odp"
@@ -48,6 +49,11 @@ type RNIC struct {
 	// busyQPs counts QPs with outstanding requests (the load signal for
 	// the §VI-C timeout-lengthening effect).
 	busyQPs int
+	// DCQCN state (EnableDCQCN): dcqcn holds the loop parameters, and
+	// lineGbps is the port rate new QPs' rate limiters start at.
+	dcqcnOn  bool
+	dcqcn    congestion.DCQCNConfig
+	lineGbps float64
 	// tel is the device's counter registry — the simulator's equivalent
 	// of /sys/class/infiniband/<dev>. The exported counter fields below
 	// are its live storage (pointer-backed), so reading them directly
@@ -63,6 +69,11 @@ type RNIC struct {
 	AtomicsExecuted   uint64
 	DuplicateRequests uint64 // already-executed requests re-received
 	OutOfBuffer       uint64 // RNR NAKs caused by an empty receive queue
+	// DCQCN counters (registered by EnableDCQCN): notification-point
+	// marks seen and CNPs sent, reaction-point CNPs handled.
+	EcnMarked  uint64
+	CnpSent    uint64
+	CnpHandled uint64
 	// wcByStatus counts work completions per WCStatus.
 	wcByStatus [numWCStatuses]uint64
 }
@@ -93,6 +104,24 @@ func New(fab *fabric.Fabric, lid uint16, name string, prof Profile, memCfg hostm
 
 // Telemetry returns the device's counter registry.
 func (r *RNIC) Telemetry() *telemetry.Registry { return r.tel }
+
+// EnableDCQCN turns on the DCQCN loop for this device: as a notification
+// point it answers ECN-marked arrivals with CNPs (per-QP pacing window),
+// and as a reaction point every QP created afterwards gets a rate
+// limiter that CNPs cut. lineGbps is the port rate limiters start at.
+// Call before creating QPs; the np_*/rp_* counters register here so
+// devices without DCQCN keep their exact pre-existing metric set.
+func (r *RNIC) EnableDCQCN(cfg congestion.DCQCNConfig, lineGbps float64) {
+	if r.dcqcnOn {
+		panic("rnic: EnableDCQCN called twice")
+	}
+	r.dcqcnOn = true
+	r.dcqcn = cfg.WithDefaults()
+	r.lineGbps = lineGbps
+	r.tel.Counter(telemetry.NpEcnMarked, "ECN-marked packets received (notification point)", nil, &r.EcnMarked)
+	r.tel.Counter(telemetry.NpCnpSent, "CNPs sent by the notification point", nil, &r.CnpSent)
+	r.tel.Counter(telemetry.RpCnpHandled, "CNPs handled by the reaction point (rate cuts)", nil, &r.CnpHandled)
+}
 
 // registerMetrics publishes the device-level counters under the
 // hw_counter vocabulary (plus sim_* names for quantities real hardware
@@ -202,6 +231,9 @@ func (r *RNIC) CreateQP(sendCQ, recvCQ *CQ) *QP {
 	}
 	qp.onTimeoutFn = qp.onTimeout
 	qp.resumeFn = qp.resumePending
+	if r.dcqcnOn {
+		qp.rate = congestion.NewRateState(r.eng, r.dcqcn, r.lineGbps)
+	}
 	r.nextQPN++
 	r.qps[qp.Num] = qp
 	qp.registerMetrics(r.tel)
@@ -209,8 +241,22 @@ func (r *RNIC) CreateQP(sendCQ, recvCQ *CQ) *QP {
 }
 
 // receive dispatches an arriving packet to the destination QP, on the
-// requester or responder path depending on the opcode.
+// requester or responder path depending on the opcode. With DCQCN on,
+// the device also acts as notification point (ECN-marked arrivals are
+// answered with CNPs) and reaction point (CNPs cut the target QP's
+// rate) before normal dispatch.
 func (r *RNIC) receive(pkt *packet.Packet) {
+	if pkt.Opcode == packet.OpCNP {
+		if qp, ok := r.qps[pkt.DestQP]; ok && qp.rate != nil {
+			r.CnpHandled++
+			qp.rate.HandleCNP()
+		}
+		return
+	}
+	if pkt.ECN && r.dcqcnOn {
+		r.EcnMarked++
+		r.maybeSendCNP(pkt)
+	}
 	if pkt.Opcode == packet.OpUDSend {
 		if udqp, ok := r.udqps[pkt.DestQP]; ok {
 			udqp.receive(pkt)
@@ -226,6 +272,29 @@ func (r *RNIC) receive(pkt *packet.Packet) {
 	} else {
 		qp.requesterReceive(pkt)
 	}
+}
+
+// maybeSendCNP answers an ECN-marked packet with a Congestion
+// Notification Packet to its sender, rate-limited per destination QP by
+// the notification-point pacing window (one CNP per MinCNPInterval, as
+// the mlx5 N_CNP timer does).
+func (r *RNIC) maybeSendCNP(marked *packet.Packet) {
+	qp, ok := r.qps[marked.DestQP]
+	if !ok {
+		return
+	}
+	now := r.eng.Now()
+	if qp.lastCNP > 0 && now-qp.lastCNP < r.dcqcn.MinCNPInterval {
+		return
+	}
+	qp.lastCNP = now
+	cnp := r.pool.Get()
+	cnp.Opcode = packet.OpCNP
+	cnp.DLID = marked.SLID
+	cnp.DestQP = marked.SrcQP
+	cnp.SrcQP = marked.DestQP
+	r.CnpSent++
+	r.Port.Send(cnp)
 }
 
 // ConnectPair wires two QPs into one Reliable Connection with symmetric

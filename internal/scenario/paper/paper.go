@@ -145,6 +145,39 @@ func init() {
 		Quick:    &scenario.Quick{Trials: 5},
 	})
 	scenario.Register(scenario.Scenario{
+		Name:     "storm-lossless",
+		Title:    "Retransmission storm on a lossless fabric: write flood + Table-13 SparkTC, 2 switches, PFC",
+		Workload: "storm",
+		Mode:     "server",
+		Size:     512,
+		QPs:      8,
+		CACK:     8,
+		Ops:      512,
+		Trials:   5,
+		Congestion: &scenario.CongestionSpec{
+			BufferKB: 2, XOffKB: 1.5, XOnKB: 0.5,
+			PFC: true,
+		},
+		Quick: &scenario.Quick{Trials: 2, Ops: 128, Waves: 1},
+	})
+	scenario.Register(scenario.Scenario{
+		Name:     "storm-dcqcn",
+		Title:    "Retransmission storm under DCQCN: write flood + Table-13 SparkTC, 2 switches, PFC+ECN+DCQCN",
+		Workload: "storm",
+		Mode:     "server",
+		Size:     512,
+		QPs:      8,
+		CACK:     8,
+		Ops:      512,
+		Trials:   5,
+		Congestion: &scenario.CongestionSpec{
+			BufferKB: 2, XOffKB: 1.5, XOnKB: 0.5,
+			PFC:   true,
+			DCQCN: true,
+		},
+		Quick: &scenario.Quick{Trials: 2, Ops: 128, Waves: 1},
+	})
+	scenario.Register(scenario.Scenario{
 		Name:     "perf-compare",
 		Title:    "perftest: READ latency by registration mode (refs [19], [20])",
 		Workload: "perftest",

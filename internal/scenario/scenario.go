@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"odpsim/internal/cluster"
+	"odpsim/internal/congestion"
 	"odpsim/internal/sim"
 )
 
@@ -92,6 +93,14 @@ type Scenario struct {
 	// clusters (loss, congestion, page-fault latency scale).
 	Faults Faults `json:"faults,omitempty"`
 
+	// Congestion, when present, replaces the fabric's analytic latency
+	// model with the switched lossless-fabric model of
+	// internal/congestion (finite switch buffers, optional PFC and ECN,
+	// optional DCQCN rate control). It is independent of
+	// Faults.Congestion, which keeps selecting the legacy analytic
+	// egress-queuing knob.
+	Congestion *CongestionSpec `json:"congestion,omitempty"`
+
 	// Grid is the sweep axis: an interval range in milliseconds or an
 	// explicit integer list (C_ACK values, QP counts).
 	Grid *Grid `json:"grid,omitempty"`
@@ -139,6 +148,86 @@ type Faults struct {
 	// PageFaultScale multiplies the kernel page-fault resolution latency
 	// (0 = 1.0).
 	PageFaultScale float64 `json:"page_fault_scale,omitempty"`
+}
+
+// CongestionSpec is the JSON face of congestion.Config: buffer sizes in
+// KB instead of bytes and DCQCN reduced to one switch (the tuned loop
+// parameters keep their package defaults). Zero fields select the
+// congestion package's defaults, so `"congestion": {}` alone turns the
+// switched model on with the paper-calibrated topology.
+type CongestionSpec struct {
+	// Switches is the linear-core switch count (default 2).
+	Switches int `json:"switches,omitempty"`
+	// UplinkFactor oversubscribes the inter-switch links (default 4).
+	UplinkFactor float64 `json:"uplink_factor,omitempty"`
+	// BufferKB is each switch's shared buffer in KB (default 8).
+	BufferKB float64 `json:"buffer_kb,omitempty"`
+	// PFC enables pause/resume frames.
+	PFC bool `json:"pfc,omitempty"`
+	// XOffKB / XOnKB are the PFC thresholds in KB (defaults 6 / 2;
+	// XOff must stay above XOn).
+	XOffKB float64 `json:"xoff_kb,omitempty"`
+	XOnKB  float64 `json:"xon_kb,omitempty"`
+	// ECN enables congestion-experienced marking.
+	ECN bool `json:"ecn,omitempty"`
+	// ECNThresholdKB is the marking threshold in KB (default 1.5).
+	ECNThresholdKB float64 `json:"ecn_threshold_kb,omitempty"`
+	// DCQCN turns on the end-to-end rate-control loop (implies ECN).
+	DCQCN bool `json:"dcqcn,omitempty"`
+}
+
+// kb converts a KB spec field to bytes, keeping zero as "default".
+func kb(x float64) int { return int(x * 1024) }
+
+// Config maps the spec onto a congestion.Config, starting from the
+// package defaults so unset fields keep their calibrated values.
+func (cs *CongestionSpec) Config() congestion.Config {
+	cfg := congestion.DefaultConfig()
+	if cs.Switches > 0 {
+		cfg.Switches = cs.Switches
+	}
+	if cs.UplinkFactor > 0 {
+		cfg.UplinkFactor = cs.UplinkFactor
+	}
+	if cs.BufferKB > 0 {
+		cfg.BufferBytes = kb(cs.BufferKB)
+	}
+	cfg.PFC = cs.PFC
+	if cs.XOffKB > 0 {
+		cfg.XOffBytes = kb(cs.XOffKB)
+	}
+	if cs.XOnKB > 0 {
+		cfg.XOnBytes = kb(cs.XOnKB)
+	}
+	cfg.ECN = cs.ECN
+	if cs.ECNThresholdKB > 0 {
+		cfg.ECNThresholdBytes = kb(cs.ECNThresholdKB)
+	}
+	cfg.DCQCN.Enabled = cs.DCQCN
+	return cfg
+}
+
+// validate checks the congestion block against the same rules
+// congestion.NewNetwork enforces by panic, so a bad spec fails at load
+// time with a message instead of at build time with a stack trace.
+func (cs *CongestionSpec) validate(name string) error {
+	for field, x := range map[string]float64{
+		"switches": float64(cs.Switches), "uplink_factor": cs.UplinkFactor,
+		"buffer_kb": cs.BufferKB, "xoff_kb": cs.XOffKB, "xon_kb": cs.XOnKB,
+		"ecn_threshold_kb": cs.ECNThresholdKB,
+	} {
+		if x < 0 {
+			return fmt.Errorf("scenario %q: congestion.%s must not be negative", name, field)
+		}
+	}
+	if cs.PFC {
+		cfg := cs.Config()
+		if cfg.XOffBytes <= cfg.XOnBytes {
+			return fmt.Errorf("scenario %q: congestion xoff_kb (%g KB effective) must be greater than xon_kb (%g KB effective)",
+				name, float64(cfg.XOffBytes)/1024, float64(cfg.XOnBytes)/1024)
+		}
+	}
+	return nil
 }
 
 // Quick is the reduced-fidelity profile applied by quick mode.
@@ -289,6 +378,11 @@ func (sc *Scenario) Validate() error {
 	if sc.Faults.PageFaultScale < 0 {
 		return fmt.Errorf("scenario %q: page_fault_scale must not be negative", sc.Name)
 	}
+	if sc.Congestion != nil {
+		if err := sc.Congestion.validate(sc.Name); err != nil {
+			return err
+		}
+	}
 	if err := sc.Grid.validate(sc.Name, "grid"); err != nil {
 		return err
 	}
@@ -329,6 +423,10 @@ func (sc *Scenario) ApplyFaults(s cluster.System) cluster.System {
 	}
 	if sc.Faults.PageFaultScale > 0 {
 		s.FaultScale = sc.Faults.PageFaultScale
+	}
+	if sc.Congestion != nil {
+		cfg := sc.Congestion.Config()
+		s.Congestion = &cfg
 	}
 	return s
 }

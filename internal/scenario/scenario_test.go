@@ -52,6 +52,14 @@ func TestValidateRejects(t *testing.T) {
 		{"grid negative start", func(sc *Scenario) { sc.Grid = &Grid{FromMs: -1, ToMs: 1, StepMs: 1} }, "below zero"},
 		{"series bad grid", func(sc *Scenario) { sc.Series = []Variant{{Grid: &Grid{ToMs: 3}}} }, "series[0].grid"},
 		{"series negative ops", func(sc *Scenario) { sc.Series = []Variant{{Ops: -2}} }, "negative field"},
+		{"congestion negative buffer", func(sc *Scenario) { sc.Congestion = &CongestionSpec{BufferKB: -4} }, "buffer_kb"},
+		{"congestion xoff below xon", func(sc *Scenario) {
+			sc.Congestion = &CongestionSpec{PFC: true, XOffKB: 1, XOnKB: 2}
+		}, "xoff_kb"},
+		{"congestion xoff below default xon", func(sc *Scenario) {
+			// XOn is unset, so the effective 2 KB default applies.
+			sc.Congestion = &CongestionSpec{PFC: true, XOffKB: 1}
+		}, "xoff_kb"},
 	}
 	for _, c := range cases {
 		sc := valid()
@@ -187,6 +195,52 @@ func TestFaultKnobsReachSystems(t *testing.T) {
 	}
 }
 
+func TestCongestionSpecReachesSystems(t *testing.T) {
+	sc := valid()
+	sc.Congestion = &CongestionSpec{
+		Switches: 3, BufferKB: 4, PFC: true, XOffKB: 3, XOnKB: 1,
+		ECNThresholdKB: 1, DCQCN: true,
+	}
+	sys, err := sc.ResolvedSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sys.Congestion
+	if cfg == nil {
+		t.Fatal("congestion block did not reach the system")
+	}
+	if cfg.Switches != 3 || cfg.BufferBytes != 4<<10 || !cfg.PFC ||
+		cfg.XOffBytes != 3<<10 || cfg.XOnBytes != 1<<10 ||
+		cfg.ECNThresholdBytes != 1<<10 || !cfg.DCQCN.Enabled {
+		t.Errorf("spec not mapped: %+v", cfg)
+	}
+	// Unset fields keep the package defaults, and an empty block is a
+	// valid "switched model, default topology" selection.
+	if cfg.UplinkFactor != 4 {
+		t.Errorf("unset uplink_factor should default to 4, got %v", cfg.UplinkFactor)
+	}
+	sc.Congestion = &CongestionSpec{}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("empty congestion block: %v", err)
+	}
+	sys, err = sc.ResolvedSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Congestion == nil || sys.Congestion.BufferBytes != 8<<10 {
+		t.Errorf("empty block should select defaults: %+v", sys.Congestion)
+	}
+	// No block, no switched model.
+	sc.Congestion = nil
+	sys, err = sc.ResolvedSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Congestion != nil {
+		t.Error("nil spec block must leave System.Congestion nil")
+	}
+}
+
 func TestSpecRoundTrip(t *testing.T) {
 	sc := valid()
 	sc.Title = "spec test"
@@ -194,6 +248,7 @@ func TestSpecRoundTrip(t *testing.T) {
 	sc.Grid = &Grid{ToMs: 6, StepMs: 0.5}
 	sc.Series = []Variant{{Label: "a", RNRDelayMs: 0.01}}
 	sc.Faults = Faults{LossRate: 0.02}
+	sc.Congestion = &CongestionSpec{PFC: true, XOffKB: 6, XOnKB: 2, DCQCN: true}
 	sc.Quick = &Quick{Trials: 1}
 	data, err := SaveSpec(sc)
 	if err != nil {
@@ -202,6 +257,9 @@ func TestSpecRoundTrip(t *testing.T) {
 	got, err := LoadSpec(data)
 	if err != nil {
 		t.Fatalf("LoadSpec: %v\nspec:\n%s", err, data)
+	}
+	if got.Congestion == nil || *got.Congestion != *sc.Congestion {
+		t.Errorf("congestion block lost in round trip: %+v", got.Congestion)
 	}
 	// Round-tripped scenarios must run identically.
 	var a, b bytes.Buffer
@@ -227,6 +285,8 @@ func TestSpecRejects(t *testing.T) {
 		{"unknown workload", `{"name":"x","workload":"warp"}`, "unknown workload"},
 		{"malformed grid", `{"name":"x","workload":"fake","trials":1,"grid":{"to_ms":5}}`, "positive step"},
 		{"loss out of range", `{"name":"x","workload":"fake","trials":1,"faults":{"loss_rate":1.5}}`, "loss_rate"},
+		{"congestion unknown field", `{"name":"x","workload":"fake","trials":1,"congestion":{"buffers_kb":8}}`, "buffers_kb"},
+		{"congestion bad thresholds", `{"name":"x","workload":"fake","trials":1,"congestion":{"pfc":true,"xoff_kb":2,"xon_kb":3}}`, "xoff_kb"},
 		{"trailing data", `{"name":"x","workload":"fake","trials":1} {"again":true}`, "trailing"},
 		{"not json", `figure four please`, "spec"},
 	}
@@ -263,12 +323,12 @@ func TestLookupUnknown(t *testing.T) {
 
 func TestIsSpecPath(t *testing.T) {
 	for arg, want := range map[string]bool{
-		"fig4":          false,
-		"sweep.json":    true,
-		"./fig4":        true,
-		"dir/spec":      true,
-		`dir\spec`:      true,
-		"tab13":         false,
+		"fig4":       false,
+		"sweep.json": true,
+		"./fig4":     true,
+		"dir/spec":   true,
+		`dir\spec`:   true,
+		"tab13":      false,
 	} {
 		if got := IsSpecPath(arg); got != want {
 			t.Errorf("IsSpecPath(%q) = %v", arg, got)

@@ -115,10 +115,45 @@ const (
 	SimUDDroppedFault  = "sim_ud_dropped_fault"
 )
 
-// Fabric-wide counters.
+// Fabric-wide counters. SimFabricPacketsDropped carries a reason label
+// (loss, unroutable, filter, congestion) so loss-injector drops and
+// unknown-DLID drops are distinguishable; Snapshot.Total sums them.
 const (
 	SimFabricPacketsSent      = "sim_fabric_packets_sent"
 	SimFabricPacketsDelivered = "sim_fabric_packets_delivered"
 	SimFabricPacketsDropped   = "sim_fabric_packets_dropped"
 	SimFabricBytesSent        = "sim_fabric_bytes_sent"
+)
+
+// Congestion-control counters, following the mlx5 ethtool/hw_counter
+// vocabulary where one exists. The np_*/rp_* names are per-RNIC
+// (notification point = the receiver that answers ECN marks with CNPs,
+// reaction point = the sender whose rate the CNPs cut); the sim_switch_*
+// names are per-switch ground truth labelled switch="swN".
+const (
+	// NpEcnMarked counts ECN-marked (congestion experienced) packets
+	// received by the notification point.
+	NpEcnMarked = "np_ecn_marked_roce_packets"
+	// NpCnpSent counts CNPs the notification point sent back.
+	NpCnpSent = "np_cnp_sent"
+	// RpCnpHandled counts CNPs the reaction point received and applied a
+	// rate cut for.
+	RpCnpHandled = "rp_cnp_handled"
+	// TxPauseDuration accumulates, in microseconds, how long this
+	// device's uplink was paused by PFC frames from its switch (the
+	// mlx5 pause-duration counters are in µs as well).
+	TxPauseDuration = "tx_pause_duration"
+	// TxPauseFrames counts PFC pause (XOFF) frames the switch fleet
+	// sent; labelled per switch.
+	SimSwitchPauseFrames = "sim_switch_pause_frames"
+	// SimSwitchEcnMarked counts packets a switch marked CE at egress.
+	SimSwitchEcnMarked = "sim_switch_ecn_marked"
+	// SimSwitchDrops counts packets tail-dropped on switch buffer
+	// overflow.
+	SimSwitchDrops = "sim_switch_drops"
+	// SimSwitchQueueBytes gauges a switch's shared-buffer occupancy.
+	SimSwitchQueueBytes = "sim_switch_queue_bytes"
+	// SimSwitchQueuePeak gauges the high-water mark of the shared
+	// buffer across the run.
+	SimSwitchQueuePeak = "sim_switch_queue_peak_bytes"
 )
