@@ -1,0 +1,53 @@
+// Alloc-budget guard for the congested datapath. The switched-fabric
+// stage is not on the zero-alloc contract (DESIGN.md §8): rebuilding the
+// two-switch topology and running a 4096-packet PFC-paused burst costs a
+// five-figure allocation count per trial, dominated by the per-switch VL
+// queues and buffer accounts. This test records the measured figure and
+// pins a ceiling slightly above it so the path cannot silently grow —
+// tighten the ceiling if the measurement drops.
+package odpsim
+
+import (
+	"testing"
+
+	"odpsim/internal/congestion"
+	"odpsim/internal/fabric"
+	"odpsim/internal/packet"
+	"odpsim/internal/sim"
+)
+
+// congestedAllocCeiling is ~8% above the ~12450 allocs/trial measured for
+// the BenchmarkCongestedSend loop body at the time the guard was added.
+const congestedAllocCeiling = 13500
+
+func TestAllocBudgetCongestedSend(t *testing.T) {
+	eng := sim.New(1)
+	seed := int64(0)
+	trial := func() {
+		seed++
+		eng.Reset(seed)
+		f := fabric.New(eng, fabric.DefaultConfig())
+		src := f.AttachPort(1, "src", func(*packet.Packet) {})
+		f.AttachPort(2, "dst", func(*packet.Packet) {})
+		ccfg := congestion.DefaultConfig()
+		ccfg.PFC = true
+		f.EnableCongestion(ccfg)
+		pool := f.Pool()
+		for j := 0; j < 4096; j++ {
+			p := pool.Get()
+			p.Opcode = packet.OpReadRequest
+			p.DLID = 2
+			p.PSN = uint32(j)
+			src.Send(p)
+		}
+		eng.Run()
+	}
+	trial() // first trial warms the arenas
+
+	avg := testing.AllocsPerRun(10, trial)
+	t.Logf("congested send→deliver trial allocates %.0f/op (ceiling %d)", avg, congestedAllocCeiling)
+	if avg > congestedAllocCeiling {
+		t.Errorf("congested trial allocates %.0f/op, ceiling %d — the switched datapath grew",
+			avg, congestedAllocCeiling)
+	}
+}

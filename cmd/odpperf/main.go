@@ -30,7 +30,8 @@ import (
 
 func main() {
 	test := flag.String("test", "lat", "lat, bw, or compare")
-	writeBench := flag.String("write-bench", "", "write a perf snapshot (sequential-vs-parallel sweep wall clock, engine event-loop ns/op and allocs/op) as JSON to FILE, e.g. BENCH_sweeps.json, and exit")
+	writeBench := flag.String("write-bench", "", "write a perf snapshot (sequential-vs-parallel sweep wall clock, engine event-loop ns/op and allocs/op) as JSON to FILE, e.g. BENCH_baseline.json, and exit")
+	checkBench := flag.String("check-bench", "", "measure a fresh snapshot, compare it against the baseline JSON in FILE, and exit non-zero on a regression beyond the noise band")
 	size := flag.Int("size", 8, "message size in bytes")
 	iters := flag.Int("iters", 1000, "iterations")
 	mode := flag.String("mode", "none", "ODP mode: none, server, client, both")
@@ -44,6 +45,12 @@ func main() {
 
 	if *writeBench != "" {
 		if err := writeBenchFile(*writeBench); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *checkBench != "" {
+		if err := checkBenchFile(*checkBench); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -112,10 +119,11 @@ type benchReport struct {
 	} `json:"congested"`
 }
 
-// writeBenchFile measures the multi-trial Figure-4 sweep sequentially and
-// with the full worker pool, plus the engine event-loop microbenchmarks,
-// and writes the snapshot as JSON.
-func writeBenchFile(path string) error {
+// measureBench runs every tracked benchmark — the multi-trial Figure-4
+// sweep sequentially and with the full worker pool, plus the engine,
+// microbench and datapath loops — and returns one snapshot. Both
+// -write-bench (record) and -check-bench (compare) consume it.
+func measureBench() benchReport {
 	var rep benchReport
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	rep.Jobs = parallel.Jobs()
@@ -237,6 +245,13 @@ func writeBenchFile(path string) error {
 	rep.Congested.NsPerSend = float64(cgRes.NsPerOp()) / sendsPerLoop
 	rep.Congested.AllocsPerLoop = cgRes.AllocsPerOp()
 
+	return rep
+}
+
+// writeBenchFile measures a snapshot and records it as JSON — the file
+// committed as BENCH_baseline.json is what -check-bench compares against.
+func writeBenchFile(path string) error {
+	rep := measureBench()
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -248,6 +263,57 @@ func writeBenchFile(path string) error {
 	fmt.Printf("wrote %s: sweep %.2fx speedup (%d workers), engine %.0f ns/event, %d allocs/loop, datapath %.0f ns/send, %d allocs/loop, congested %.0f ns/send\n",
 		path, rep.Sweep.Speedup, rep.Jobs, rep.Engine.NsPerEvent, rep.Engine.AllocsPerLoop,
 		rep.Datapath.NsPerSend, rep.Datapath.AllocsPerLoop, rep.Congested.NsPerSend)
+	return nil
+}
+
+// benchNoiseBand is the allowed growth over the committed baseline before
+// -check-bench fails: wall-clock rows jitter with machine load, and alloc
+// counts only move when code changes, so one generous band covers both.
+const benchNoiseBand = 1.25
+
+// checkBenchFile measures a fresh snapshot and fails if any tracked
+// metric regressed beyond the noise band relative to the baseline file.
+// Improvements never fail (refresh the baseline with -write-bench to
+// lock them in); determinism (identical sequential/parallel sweep
+// output) must hold outright.
+func checkBenchFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %v", path, err)
+	}
+	cur := measureBench()
+
+	var failures []string
+	check := func(name string, baseline, current float64) {
+		status := "ok"
+		if baseline > 0 && current > baseline*benchNoiseBand {
+			status = "REGRESSION"
+			failures = append(failures, name)
+		}
+		fmt.Printf("%-28s baseline %12.1f  current %12.1f  %s\n", name, baseline, current, status)
+	}
+	check("sweep sequential_ns", float64(base.Sweep.SequentialNs), float64(cur.Sweep.SequentialNs))
+	check("sweep parallel_ns", float64(base.Sweep.ParallelNs), float64(cur.Sweep.ParallelNs))
+	check("engine ns_per_event", base.Engine.NsPerEvent, cur.Engine.NsPerEvent)
+	check("engine allocs_per_loop", float64(base.Engine.AllocsPerLoop), float64(cur.Engine.AllocsPerLoop))
+	check("microbench ns_per_op", float64(base.Microbench.NsPerOp), float64(cur.Microbench.NsPerOp))
+	check("microbench allocs_per_op", float64(base.Microbench.Allocs), float64(cur.Microbench.Allocs))
+	check("datapath ns_per_send", base.Datapath.NsPerSend, cur.Datapath.NsPerSend)
+	check("datapath allocs_per_loop", float64(base.Datapath.AllocsPerLoop), float64(cur.Datapath.AllocsPerLoop))
+	check("congested ns_per_send", base.Congested.NsPerSend, cur.Congested.NsPerSend)
+	check("congested allocs_per_loop", float64(base.Congested.AllocsPerLoop), float64(cur.Congested.AllocsPerLoop))
+	if !cur.Sweep.Identical {
+		failures = append(failures, "sweep determinism (sequential vs parallel output differs)")
+	}
+
+	if len(failures) > 0 {
+		return fmt.Errorf("bench check failed vs %s (band %.0f%%): %v", path, (benchNoiseBand-1)*100, failures)
+	}
+	fmt.Printf("bench check passed vs %s (band %.0f%%)\n", path, (benchNoiseBand-1)*100)
 	return nil
 }
 

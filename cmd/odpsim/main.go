@@ -11,7 +11,8 @@
 //	odpsim show fig4 > my.json     # export a registry entry as an editable spec
 //
 // Run flags: -j N parallel workers (output is identical for any value),
-// -quick reduced-fidelity profiles, -seed, -trials and -waves overrides,
+// -quick reduced-fidelity profiles, -seed, -trials, -waves and -memory
+// overrides,
 // plus the side outputs -counters (progress scenarios), -analyze, -csv
 // and -trace (trace scenarios).
 package main
@@ -68,6 +69,7 @@ run flags:
   -seed N     override the base seed
   -trials N   override the trial count
   -waves N    override the sampled shuffle waves (sparkucx)
+  -memory M   override the memory mode: pin, odp or npr
   -counters F write sampled device counters as CSV (progress scenarios)
   -analyze    append per-operation analysis (trace scenarios)
   -csv F      write the packet capture as CSV (trace scenarios)
@@ -101,6 +103,7 @@ func run(args []string) {
 	seed := fs.Int64("seed", 0, "override the base seed (0 keeps the scenario's)")
 	trials := fs.Int("trials", 0, "override the trial count (0 keeps the scenario's)")
 	waves := fs.Int("waves", 0, "override the sampled shuffle waves (0 keeps the scenario's)")
+	memory := fs.String("memory", "", "override the memory mode: pin, odp or npr (empty keeps the scenario's)")
 	counters := fs.String("counters", "", "write sampled device counters as CSV to FILE (progress scenarios)")
 	analyze := fs.Bool("analyze", false, "append per-operation analysis (trace scenarios)")
 	csvOut := fs.String("csv", "", "write the packet capture as CSV to FILE (trace scenarios)")
@@ -109,6 +112,11 @@ func run(args []string) {
 		os.Exit(2)
 	}
 	parallel.SetJobs(*jobs)
+	switch *memory {
+	case "", "pin", "odp", "npr":
+	default:
+		log.Fatalf("-memory must be pin, odp or npr, not %q", *memory)
+	}
 
 	var scs []scenario.Scenario
 	switch {
@@ -154,6 +162,17 @@ func run(args []string) {
 		}
 		if *waves > 0 {
 			sc.Waves = *waves
+		}
+		if *memory != "" {
+			mem := scenario.MemorySpec{Mode: *memory}
+			if sc.Memory != nil {
+				mem = *sc.Memory
+				mem.Mode = *memory
+			}
+			if mem.Mode != "npr" {
+				mem.PoolKB = 0 // pool sizing is an npr-only knob
+			}
+			sc.Memory = &mem
 		}
 		if err := execute(sc, *outDir, len(scs) > 1 && i > 0, opts); err != nil {
 			log.Fatal(err)

@@ -10,6 +10,7 @@ import (
 	"odpsim/internal/congestion"
 	"odpsim/internal/fabric"
 	"odpsim/internal/hostmem"
+	"odpsim/internal/npr"
 	"odpsim/internal/rnic"
 	"odpsim/internal/sim"
 	"odpsim/internal/telemetry"
@@ -48,6 +49,14 @@ type System struct {
 	// PFC, ECN) and — when its DCQCN block is enabled — turns on the
 	// DCQCN loop on every node.
 	Congestion *congestion.Config
+	// MemMode selects how managed registrations translate on every node:
+	// "odp" (or "", the default — the paper's configuration), "pin"
+	// (up-front pinning) or "npr" (the NP-RDMA no-pinning mitigation:
+	// driver-level translation through a bounded DMA-able pool).
+	MemMode string
+	// NPRPoolBytes overrides the per-node NP-RDMA pool bound when
+	// MemMode is "npr"; zero keeps npr.DefaultConfig's 2 MiB.
+	NPRPoolBytes int
 }
 
 // Memory returns the host memory configuration. Network page fault
@@ -213,6 +222,20 @@ func (s System) BuildOn(eng *sim.Engine, seed int64, nodes int) *Cluster {
 		if s.Congestion != nil && s.Congestion.DCQCN.Enabled {
 			// Before any QPs exist, so every QP gets a rate limiter.
 			n.EnableDCQCN(s.Congestion.DCQCN, s.Device.LinkGbps)
+		}
+		switch s.MemMode {
+		case "", "odp":
+			// The default: managed registrations use Explicit ODP.
+		case "pin":
+			n.ForcePinned()
+		case "npr":
+			cfg := npr.DefaultConfig()
+			if s.NPRPoolBytes > 0 {
+				cfg.PoolBytes = s.NPRPoolBytes
+			}
+			n.EnableNPR(cfg)
+		default:
+			panic(fmt.Sprintf("cluster: unknown memory mode %q", s.MemMode))
 		}
 		c.Nodes = append(c.Nodes, n)
 	}

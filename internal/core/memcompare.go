@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"odpsim/internal/scenario"
+)
+
+func init() {
+	scenario.RegisterWorkload(memCompare{})
+}
+
+// memModes is the comparison order: the paper's baseline (pin), its
+// subject (odp), and the NP-RDMA mitigation (npr).
+var memModes = []string{"pin", "odp", "npr"}
+
+// memCompare is the mitigation-comparison wrapper: it reruns an inner
+// workload under each memory mode (pin, odp, npr), separated by
+// `=== memory: <mode> ===` headers. Every other scenario field passes
+// through to the inner workload unchanged, so npr-exec is exactly fig4
+// swept three ways.
+type memCompare struct{}
+
+func (memCompare) Kind() string { return "mem-compare" }
+
+// derive builds the inner scenario for one memory mode: same fields,
+// inner workload, memory block pinned to the mode (a declared PoolKB
+// only applies to the npr leg — cluster ignores it elsewhere, but the
+// spec validator rejects pool_kb without mode "npr").
+func (memCompare) derive(sc scenario.Scenario, mode string) scenario.Scenario {
+	sc.Workload = sc.Inner
+	sc.Inner = ""
+	mem := scenario.MemorySpec{Mode: mode}
+	if sc.Memory != nil && mode == "npr" {
+		mem.PoolKB = sc.Memory.PoolKB
+	}
+	sc.Memory = &mem
+	return sc
+}
+
+func (w memCompare) Validate(sc *scenario.Scenario) error {
+	if sc.Inner == "" {
+		return fmt.Errorf("scenario %q: mem-compare needs an inner workload", sc.Name)
+	}
+	if sc.Inner == w.Kind() {
+		return fmt.Errorf("scenario %q: mem-compare cannot nest itself", sc.Name)
+	}
+	if sc.Memory != nil && sc.Memory.Mode != "" && sc.Memory.Mode != "npr" {
+		return fmt.Errorf("scenario %q: mem-compare sweeps every memory mode; memory.mode %q would be ignored",
+			sc.Name, sc.Memory.Mode)
+	}
+	inner, err := scenario.LookupWorkload(sc.Inner)
+	if err != nil {
+		return fmt.Errorf("scenario %q: %v", sc.Name, err)
+	}
+	for _, mode := range memModes {
+		d := w.derive(*sc, mode)
+		if err := d.Validate(); err != nil {
+			return err
+		}
+		if err := inner.Validate(&d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w memCompare) Run(sc *scenario.Scenario, out *scenario.Output) error {
+	inner, err := scenario.LookupWorkload(sc.Inner)
+	if err != nil {
+		return err
+	}
+	for i, mode := range memModes {
+		if i > 0 {
+			fmt.Fprintln(out.W)
+		}
+		fmt.Fprintf(out.W, "=== memory: %s ===\n", mode)
+		d := w.derive(*sc, mode)
+		if err := inner.Run(&d, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

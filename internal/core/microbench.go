@@ -166,15 +166,18 @@ func RunMicrobench(cfg BenchConfig) *BenchResult {
 	buflen := cfg.Size * cfg.NumOps
 	lbuf := client.AS.Alloc(buflen)
 	rbuf := server.AS.Alloc(buflen)
+	// The "ODP side" of each mode is a managed registration: it follows
+	// the node's memory mode (odp normally, npr/pin when the System says
+	// so), which is how `memory:` sweeps reroute every benchmark.
 	switch cfg.Mode {
 	case ClientODP, BothODP:
-		client.RegisterODPMR(lbuf, buflen)
+		client.RegisterManagedMR(lbuf, buflen)
 	default:
 		client.RegisterMR(lbuf, buflen)
 	}
 	switch cfg.Mode {
 	case ServerODP, BothODP:
-		server.RegisterODPMR(rbuf, buflen)
+		server.RegisterManagedMR(rbuf, buflen)
 	default:
 		server.RegisterMR(rbuf, buflen)
 	}

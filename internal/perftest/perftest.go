@@ -100,7 +100,9 @@ func newEnv(cfg Config) *env {
 		if cfg.Implicit {
 			nic.EnableImplicitODP()
 		} else {
-			nic.RegisterODPMR(addr, buflen)
+			// Managed: Explicit ODP normally, rerouted through the NPR
+			// shadow table (or pinning) when the node's mode says so.
+			nic.RegisterManagedMR(addr, buflen)
 		}
 	}
 	reg(client, e.lbuf, cfg.Mode == core.ClientODP || cfg.Mode == core.BothODP)

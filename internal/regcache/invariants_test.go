@@ -62,6 +62,66 @@ func TestPinDownCacheBudgetProperty(t *testing.T) {
 	}
 }
 
+// TestNPROnceBoundProperty: for any random access trace against an
+// NPR-enabled device, the pool never exceeds its byte bound, a
+// translation is never served for an unmigrated page, and hit/miss
+// accounting is conserved.
+func TestNPROnceBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	f := func(seed int64, accessesRaw []uint8) bool {
+		sys := cluster.ReedbushH()
+		sys.MemMode = "npr"
+		sys.NPRPoolBytes = 4 * hostmem.PageSize
+		cl := sys.Build(seed, 1)
+		nic := cl.Nodes[0]
+		const nBufs, size = 12, hostmem.PageSize
+		bufs := make([]hostmem.Addr, nBufs)
+		for i := range bufs {
+			bufs[i] = nic.AS.Alloc(size)
+		}
+		s := NewNPROnce(nic).(*nprOnce)
+		pool := nic.NPR()
+
+		ok := true
+		cl.Eng.Go("w", func(p *sim.Proc) {
+			for _, a := range accessesRaw {
+				addr := bufs[int(a)%nBufs]
+				mr, release := s.Acquire(p, addr, size)
+				// The invariant the NIC relies on: whatever Acquire
+				// handed out is translated right now, and the bound
+				// held getting there.
+				if !pool.Translated(addr, size) || mr == nil {
+					ok = false
+					return
+				}
+				if s.PinnedBytes() > sys.NPRPoolBytes {
+					ok = false
+					return
+				}
+				release()
+			}
+		})
+		cl.Eng.MustRun()
+		if !ok {
+			return false
+		}
+		// A buffer never accessed must not be translated: the shadow
+		// table serves migrated pages only.
+		spare := nic.AS.Alloc(size)
+		if pool.Translated(spare, size) {
+			return false
+		}
+		st := s.Stats()
+		if st.Hits+st.Misses != uint64(len(accessesRaw)) {
+			return false
+		}
+		return st.Misses == st.Registrations
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestCopyPathRoutingProperty: every access below the threshold copies,
 // every access at/above it pins — no third path.
 func TestCopyPathRoutingProperty(t *testing.T) {

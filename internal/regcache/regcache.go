@@ -353,6 +353,49 @@ func (o *odpOnce) Acquire(p *sim.Proc, addr hostmem.Addr, length int) (*rnic.MR,
 func (o *odpOnce) PinnedBytes() int { return 0 }
 func (o *odpOnce) Stats() Stats     { return o.stats }
 
+// --- NPROnce ---
+
+type nprOnce struct {
+	nic   *rnic.RNIC
+	mrs   map[hostmem.Addr]*rnic.MR
+	stats Stats
+}
+
+// NewNPROnce registers each buffer once through the NP-RDMA shadow
+// table: registration is as cheap as ODP, but the translation cost is a
+// bounded synchronous driver migration (charged here at acquire time,
+// the moment the driver would migrate for a host-initiated transfer)
+// instead of a network page fault. The device must have EnableNPR on.
+func NewNPROnce(nic *rnic.RNIC) Strategy {
+	if nic.NPR() == nil {
+		panic("regcache: NewNPROnce needs EnableNPR on the device")
+	}
+	return &nprOnce{nic: nic, mrs: make(map[hostmem.Addr]*rnic.MR)}
+}
+
+func (o *nprOnce) Name() string { return "npr" }
+
+func (o *nprOnce) Acquire(p *sim.Proc, addr hostmem.Addr, length int) (*rnic.MR, func()) {
+	mr, ok := o.mrs[addr]
+	if ok && mr.Len >= length {
+		o.stats.Hits++
+	} else {
+		o.stats.Misses++
+		o.stats.Registrations++
+		mr = o.nic.RegisterNPRMR(addr, length)
+		o.mrs[addr] = mr
+	}
+	pool := o.nic.NPR()
+	p.Sleep(pool.Acquire(addr, length))
+	return mr, func() { pool.Release(addr, length) }
+}
+
+// PinnedBytes reports the pool's resident bytes: unlike ODP the NP-RDMA
+// footprint is not zero, but it is bounded by the pool no matter how
+// much is registered.
+func (o *nprOnce) PinnedBytes() int { return o.nic.NPR().ResidentBytes() }
+func (o *nprOnce) Stats() Stats     { return o.stats }
+
 // --- Workload comparison ---
 
 // WorkloadResult compares one strategy on a registration workload.

@@ -53,7 +53,8 @@ func (qp *QP) respondAtomic(pkt *packet.Packet, dup bool) {
 		// requester's timeout machinery handles it.
 		return
 	}
-	if !qp.translateRemote(addr, 8) {
+	ok, stall := qp.translateRemote(addr, 8)
+	if !ok {
 		r.RNRNakSent++
 		qp.sendRNRNak(pkt.PSN)
 		return
@@ -70,6 +71,13 @@ func (qp *QP) respondAtomic(pkt *packet.Packet, dup bool) {
 	qp.ePSN = packet.PSNAdd(pkt.PSN, 1)
 	r.AtomicsExecuted++
 	qp.rememberAtomic(pkt.PSN, orig)
+	if stall > 0 {
+		// NP-RDMA: the atomic executed; its response waits out the
+		// driver migration of the target page.
+		psn := pkt.PSN
+		r.eng.After(stall, func() { qp.sendAtomicResp(psn, orig) })
+		return
+	}
 	qp.sendAtomicResp(pkt.PSN, orig)
 }
 

@@ -97,6 +97,12 @@ type wqe struct {
 	// faulted marks that the client-side fault for the local buffer was
 	// already registered with the ODP engine.
 	faulted bool
+	// nprHeld marks that the WR holds NP-RDMA frame references on its
+	// local buffer (taken at first transmission, dropped when the WR
+	// leaves the outstanding window). Held frames cannot evict, so READ
+	// responses always find a valid translation — no discard, no blind
+	// retransmission.
+	nprHeld bool
 }
 
 // outReq is a transmitted, uncompleted request.
@@ -226,6 +232,9 @@ func (qp *QP) Reset() {
 		qp.rnic.busyQPs--
 	}
 	qp.state = QPReset
+	for _, o := range qp.out {
+		qp.releaseNPR(o.w)
+	}
 	qp.sq, qp.out, qp.rq = nil, nil, nil
 	qp.nextPSN, qp.ePSN = 0, 0
 	qp.paused, qp.inResume = false, false
@@ -314,6 +323,18 @@ func (qp *QP) pump() {
 // the counters mirror what a capture or the mlx5 hardware counters see,
 // and a shed packet never left the NIC.
 func (qp *QP) sendRequest(o *outReq) bool {
+	// NP-RDMA local translation: the driver migrates the WR's local
+	// buffer into the DMA-able pool and references its frames before the
+	// first transmission. Cold pages stall the send by the synchronous
+	// migration time; warm pages cost nothing. The nil check is the only
+	// hot-path cost in pin/odp modes.
+	var nprStall sim.Time
+	if pool := qp.rnic.npr; pool != nil && !o.w.nprHeld {
+		if kind, ok := qp.rnic.lookupMR(o.w.LocalAddr, o.w.Len); ok && kind == KindNPR {
+			nprStall = pool.Acquire(o.w.LocalAddr, o.w.Len)
+			o.w.nprHeld = true
+		}
+	}
 	pkt := qp.rnic.pool.Get()
 	pkt.DLID = qp.dlid
 	pkt.DestQP = qp.dqpn
@@ -350,6 +371,14 @@ func (qp *QP) sendRequest(o *outReq) bool {
 			// it is no longer entangled with the replay state.
 			o.w.postedPaused = false
 		}
+	}
+	if nprStall > 0 {
+		// A cold-buffer send leaves the NIC only after the driver
+		// migration completes (cold path: the deferred closure follows
+		// the sendPaced precedent and owns the packet until Send).
+		port := qp.rnic.Port
+		qp.rnic.eng.After(nprStall, func() { port.Send(pkt) })
+		return true
 	}
 	return qp.sendPaced(pkt)
 }
@@ -455,10 +484,21 @@ func (qp *QP) findOut(psn uint32) *outReq {
 }
 
 // localIsODP reports whether the WR's local buffer lies in an ODP
-// registration (client-side ODP applies to its READ responses).
+// registration (client-side ODP applies to its READ responses). NPR
+// locals return false on purpose: their translations are driver-held
+// for the WR's lifetime, so the client-fault discard path never runs.
 func (qp *QP) localIsODP(w *wqe) bool {
-	reg, ok := qp.rnic.lookupMR(w.LocalAddr, w.Len)
-	return ok && reg
+	kind, ok := qp.rnic.lookupMR(w.LocalAddr, w.Len)
+	return ok && kind == KindODP
+}
+
+// releaseNPR drops the WR's NP-RDMA frame references once it leaves
+// the outstanding window (completion, fatal error or reset).
+func (qp *QP) releaseNPR(w *wqe) {
+	if w.nprHeld {
+		w.nprHeld = false
+		qp.rnic.npr.Release(w.LocalAddr, w.Len)
+	}
 }
 
 // requesterReceive handles responses and acknowledges.
@@ -560,6 +600,7 @@ func (qp *QP) completeThrough(o *outReq) {
 			break
 		}
 		qp.out = qp.out[1:]
+		qp.releaseNPR(h.w)
 		qp.Stats.Completed++
 		cqe := CQE{WRID: h.w.ID, QPN: qp.Num, Status: WCSuccess, Op: h.w.Op, ByteLen: h.w.Len}
 		if isAtomic(h.w.Op) {
@@ -580,6 +621,7 @@ func (qp *QP) ackThrough(psn uint32) {
 			break
 		}
 		qp.out = qp.out[1:]
+		qp.releaseNPR(h.w)
 		qp.Stats.Completed++
 		qp.deliver(qp.sendCQ, CQE{WRID: h.w.ID, QPN: qp.Num, Status: WCSuccess, Op: h.w.Op, ByteLen: h.w.Len})
 		progressed = true
@@ -610,6 +652,7 @@ func (qp *QP) fatal(culprit *outReq, status WCStatus) {
 	}
 	qp.deliver(qp.sendCQ, CQE{WRID: culprit.w.ID, QPN: qp.Num, Status: status, Op: culprit.w.Op})
 	for _, o := range qp.out {
+		qp.releaseNPR(o.w)
 		if o != culprit {
 			qp.deliver(qp.sendCQ, CQE{WRID: o.w.ID, QPN: qp.Num, Status: WCFlushErr, Op: o.w.Op})
 		}

@@ -3,6 +3,7 @@ package rnic
 import (
 	"odpsim/internal/hostmem"
 	"odpsim/internal/packet"
+	"odpsim/internal/sim"
 )
 
 // responderReceive handles inbound requests: PSN sequencing, translation
@@ -45,26 +46,33 @@ func (qp *QP) responderReceive(pkt *packet.Packet) {
 	}
 }
 
-// translateRemote checks responder-side access to the range; on an ODP
-// miss it registers the fault (or spurious re-access) and reports false.
-func (qp *QP) translateRemote(addr hostmem.Addr, length int) bool {
+// translateRemote checks responder-side access to the range. On an ODP
+// miss it registers the fault (or spurious re-access) and reports
+// ok=false — the RNR NAK path. An NP-RDMA region always translates
+// (ok=true) but may return a nonzero stall: the driver migrates the
+// cold pages synchronously and the response leaves that much later.
+// The NIC never sees a miss, so no NAK, no pending window, no damming.
+func (qp *QP) translateRemote(addr hostmem.Addr, length int) (ok bool, stall sim.Time) {
 	r := qp.rnic
-	reg, ok := r.lookupMR(addr, length)
-	if !ok {
-		return false // protection error, handled by caller
+	kind, found := r.lookupMR(addr, length)
+	if !found {
+		return false, 0 // protection error, handled by caller
 	}
-	if !reg {
-		return true // pinned region: always translatable
+	switch kind {
+	case KindPinned:
+		return true, 0 // pinned region: always translatable
+	case KindNPR:
+		return true, r.npr.EnsureRange(addr, length)
 	}
 	if r.ODP.Access(qp.Num, addr, length) {
-		return true
+		return true, 0
 	}
 	// Re-arrivals while the fault is pending are free on the responder:
 	// the server is stateless — it just NAKs again and "the requests
 	// that cannot be processed can be completely ignored" (§VI-C). Only
 	// the client-side discard path loads the ODP pipeline.
 	r.ODP.Fault(qp.Num, addr, length)
-	return false
+	return false, 0
 }
 
 func (qp *QP) respondRead(pkt *packet.Packet, dup bool) {
@@ -75,7 +83,8 @@ func (qp *QP) respondRead(pkt *packet.Packet, dup bool) {
 		qp.sendAck(packet.SynNAKRemoteAccessErr, pkt.PSN)
 		return
 	}
-	if !qp.translateRemote(addr, length) {
+	ok, stall := qp.translateRemote(addr, length)
+	if !ok {
 		// Server-side ODP: suspend the requester; the reliability of
 		// RC leaves the request on the requester side, so nothing
 		// needs to be stored here (§III-B).
@@ -91,6 +100,13 @@ func (qp *QP) respondRead(pkt *packet.Packet, dup bool) {
 		qp.ePSN = packet.PSNAdd(pkt.PSN, npsn)
 	}
 	r.ReadsExecuted++
+	if stall > 0 {
+		// NP-RDMA cold pages: ePSN already advanced (the request *is*
+		// accepted); only the response waits out the driver migration.
+		psn := pkt.PSN
+		r.eng.After(stall, func() { qp.sendReadResponse(psn, length, npsn) })
+		return
+	}
 	qp.sendReadResponse(pkt.PSN, length, npsn)
 }
 
@@ -102,7 +118,8 @@ func (qp *QP) respondWrite(pkt *packet.Packet, dup bool) {
 		qp.sendAck(packet.SynNAKRemoteAccessErr, pkt.PSN)
 		return
 	}
-	if !qp.translateRemote(addr, length) {
+	ok, stall := qp.translateRemote(addr, length)
+	if !ok {
 		r.RNRNakSent++
 		qp.sendRNRNak(pkt.PSN)
 		return
@@ -112,6 +129,11 @@ func (qp *QP) respondWrite(pkt *packet.Packet, dup bool) {
 	}
 	r.WritesExecuted++
 	if pkt.AckReq {
+		if stall > 0 {
+			psn := pkt.PSN
+			r.eng.After(stall, func() { qp.sendAck(packet.SynACK, psn) })
+			return
+		}
 		qp.sendAck(packet.SynACK, pkt.PSN)
 	}
 }
@@ -131,13 +153,24 @@ func (qp *QP) respondSend(pkt *packet.Packet, dup bool) {
 		return
 	}
 	rwr := qp.rq[0]
-	if !qp.translateRemote(rwr.Addr, pkt.PayloadLen) {
+	ok, stall := qp.translateRemote(rwr.Addr, pkt.PayloadLen)
+	if !ok {
 		r.RNRNakSent++
 		qp.sendRNRNak(pkt.PSN)
 		return
 	}
 	qp.rq = qp.rq[1:]
 	qp.ePSN = packet.PSNAdd(pkt.PSN, 1)
+	if stall > 0 {
+		// The receive completes and the ACK goes out once the driver
+		// has migrated the landing buffer (scalar captures only).
+		id, psn, plen := rwr.ID, pkt.PSN, pkt.PayloadLen
+		r.eng.After(stall, func() {
+			qp.deliver(qp.recvCQ, CQE{WRID: id, QPN: qp.Num, Status: WCSuccess, Op: OpSend, ByteLen: plen, Recv: true})
+			qp.sendAck(packet.SynACK, psn)
+		})
+		return
+	}
 	qp.deliver(qp.recvCQ, CQE{WRID: rwr.ID, QPN: qp.Num, Status: WCSuccess, Op: OpSend, ByteLen: pkt.PayloadLen, Recv: true})
 	qp.sendAck(packet.SynACK, pkt.PSN)
 }

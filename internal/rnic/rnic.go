@@ -6,11 +6,34 @@ import (
 	"odpsim/internal/congestion"
 	"odpsim/internal/fabric"
 	"odpsim/internal/hostmem"
+	"odpsim/internal/npr"
 	"odpsim/internal/odp"
 	"odpsim/internal/packet"
 	"odpsim/internal/sim"
 	"odpsim/internal/telemetry"
 )
+
+// MemKind says how a memory range is translated for DMA: pinned up
+// front, faulted on demand by the NIC (ODP), or migrated on demand by
+// the driver through the NP-RDMA pool.
+type MemKind uint8
+
+const (
+	KindPinned MemKind = iota
+	KindODP
+	KindNPR
+)
+
+func (k MemKind) String() string {
+	switch k {
+	case KindODP:
+		return "odp"
+	case KindNPR:
+		return "npr"
+	default:
+		return "pin"
+	}
+}
 
 // MR is a registered memory region.
 type MR struct {
@@ -20,6 +43,22 @@ type MR struct {
 	// ODP marks an on-demand-paging registration: no pinning, network
 	// page faults on access.
 	ODP bool
+	// NPR marks an NP-RDMA registration: no pinning either, but
+	// translation goes through the driver's shadow table and bounded
+	// DMA-able pool instead of NIC page faults.
+	NPR bool
+}
+
+// Kind returns the region's translation kind.
+func (m *MR) Kind() MemKind {
+	switch {
+	case m.NPR:
+		return KindNPR
+	case m.ODP:
+		return KindODP
+	default:
+		return KindPinned
+	}
 }
 
 // Contains reports whether the byte range lies inside the region.
@@ -46,6 +85,11 @@ type RNIC struct {
 	nextQPN     uint32
 	nextKey     uint32
 	implicitODP bool
+	// npr, when non-nil, is the NP-RDMA driver pool (EnableNPR) and the
+	// device's managed registrations translate through it instead of the
+	// ODP fault engine; forcePinned makes managed registrations pin.
+	npr         *npr.Pool
+	forcePinned bool
 	// busyQPs counts QPs with outstanding requests (the load signal for
 	// the §VI-C timeout-lengthening effect).
 	busyQPs int
@@ -123,6 +167,34 @@ func (r *RNIC) EnableDCQCN(cfg congestion.DCQCNConfig, lineGbps float64) {
 	r.tel.Counter(telemetry.RpCnpHandled, "CNPs handled by the reaction point (rate cuts)", nil, &r.CnpHandled)
 }
 
+// EnableNPR turns on the NP-RDMA no-pinning mode for this device: a
+// bounded DMA-able pool plus a driver-maintained shadow translation
+// table replaces the NIC page-fault path for managed registrations.
+// Call before registering memory; the npr_* counters register here so
+// devices without NPR keep their exact pre-existing metric set.
+func (r *RNIC) EnableNPR(cfg npr.Config) {
+	if r.npr != nil {
+		panic("rnic: EnableNPR called twice")
+	}
+	if r.forcePinned {
+		panic("rnic: EnableNPR after ForcePinned")
+	}
+	r.npr = npr.New(r.AS, cfg)
+	r.npr.RegisterMetrics(r.tel)
+}
+
+// ForcePinned makes RegisterManagedMR pin instead of using ODP — the
+// `memory: pin` end of the pin|odp|npr comparison.
+func (r *RNIC) ForcePinned() {
+	if r.npr != nil {
+		panic("rnic: ForcePinned after EnableNPR")
+	}
+	r.forcePinned = true
+}
+
+// NPR returns the device's NP-RDMA pool, or nil when NPR is off.
+func (r *RNIC) NPR() *npr.Pool { return r.npr }
+
 // registerMetrics publishes the device-level counters under the
 // hw_counter vocabulary (plus sim_* names for quantities real hardware
 // does not export).
@@ -183,6 +255,37 @@ func (r *RNIC) RegisterODPMR(addr hostmem.Addr, length int) *MR {
 	return mr
 }
 
+// RegisterNPRMR registers an NP-RDMA region: no pinning, and access
+// translates through the driver's shadow table, migrating cold pages
+// into the bounded pool on demand. Registration itself is free, like
+// ODP — the cost moves to first touch as a translation stall.
+func (r *RNIC) RegisterNPRMR(addr hostmem.Addr, length int) *MR {
+	if r.npr == nil {
+		panic("rnic: RegisterNPRMR without EnableNPR")
+	}
+	mr := &MR{Key: r.nextKey, Addr: addr, Len: length, NPR: true}
+	r.nextKey++
+	r.mrs = append(r.mrs, mr)
+	return mr
+}
+
+// RegisterManagedMR registers according to the device's memory mode:
+// pinned under ForcePinned (cost returned), NPR under EnableNPR, and
+// Explicit ODP otherwise (both free at registration time). Every layer
+// that used to choose between RegisterMR and RegisterODPMR by an ODP
+// flag funnels through here, which is what makes `memory: pin|odp|npr`
+// a per-node switch instead of a per-callsite one.
+func (r *RNIC) RegisterManagedMR(addr hostmem.Addr, length int) (*MR, sim.Time) {
+	switch {
+	case r.forcePinned:
+		return r.RegisterMR(addr, length)
+	case r.npr != nil:
+		return r.RegisterNPRMR(addr, length), 0
+	default:
+		return r.RegisterODPMR(addr, length), 0
+	}
+}
+
 // AdviseMR prefetches ODP translations for the range into qp's context,
 // modelling ibv_advise_mr(IBV_ADVISE_MR_ADVICE_PREFETCH): the faults run
 // through the same serial pipeline, but before traffic needs them. Li et
@@ -197,7 +300,7 @@ func (r *RNIC) DeregisterMR(mr *MR) {
 	for i, m := range r.mrs {
 		if m == mr {
 			r.mrs = append(r.mrs[:i], r.mrs[i+1:]...)
-			if !mr.ODP {
+			if !mr.ODP && !mr.NPR {
 				r.AS.Unpin(mr.Addr, mr.Len)
 			}
 			return
@@ -206,19 +309,24 @@ func (r *RNIC) DeregisterMR(mr *MR) {
 	panic("rnic: DeregisterMR of unknown MR")
 }
 
-// lookupMR finds a registration covering the range. ok is false when the
-// range is not registered and implicit ODP is off; isODP reports whether
-// the covering registration uses on-demand paging.
-func (r *RNIC) lookupMR(addr hostmem.Addr, length int) (isODP, ok bool) {
+// lookupMR finds a registration covering the range. ok is false when
+// the range is not registered and implicit registration is off; kind
+// reports how the covering registration translates. Under implicit ODP
+// the fallback kind follows the device's memory mode, so an
+// NPR-enabled node's implicit ranges go through the shadow table too.
+func (r *RNIC) lookupMR(addr hostmem.Addr, length int) (kind MemKind, ok bool) {
 	for _, m := range r.mrs {
 		if m.Contains(addr, length) {
-			return m.ODP, true
+			return m.Kind(), true
 		}
 	}
 	if r.implicitODP {
-		return true, true
+		if r.npr != nil {
+			return KindNPR, true
+		}
+		return KindODP, true
 	}
-	return false, false
+	return KindPinned, false
 }
 
 // CreateQP creates a queue pair bound to the completion queues.

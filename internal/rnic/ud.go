@@ -90,12 +90,20 @@ func (qp *UDQP) receive(pkt *packet.Packet) {
 	}
 	rwr := qp.rq[0]
 	r := qp.rnic
-	if isODP, ok := r.lookupMR(rwr.Addr, pkt.PayloadLen); ok && isODP &&
-		!r.ODP.Access(qp.Num, rwr.Addr, pkt.PayloadLen) {
-		// Start the fault for next time, but this datagram is gone.
-		r.ODP.Fault(qp.Num, rwr.Addr, pkt.PayloadLen)
-		qp.DroppedFault++
-		return
+	if kind, ok := r.lookupMR(rwr.Addr, pkt.PayloadLen); ok {
+		switch kind {
+		case KindODP:
+			if !r.ODP.Access(qp.Num, rwr.Addr, pkt.PayloadLen) {
+				// Start the fault for next time, but this datagram is gone.
+				r.ODP.Fault(qp.Num, rwr.Addr, pkt.PayloadLen)
+				qp.DroppedFault++
+				return
+			}
+		case KindNPR:
+			// The driver migrates the landing buffer synchronously; a UD
+			// datagram is never dropped for translation under NP-RDMA.
+			r.npr.EnsureRange(rwr.Addr, pkt.PayloadLen)
+		}
 	}
 	qp.rq = qp.rq[1:]
 	qp.Delivered++

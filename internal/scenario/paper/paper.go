@@ -183,4 +183,43 @@ func init() {
 		Workload: "perftest",
 		Renderer: "compare",
 	})
+
+	// Mitigation comparison: the Figure-4 sweep, Table 13 and the PFC
+	// storm rerun under pin | odp | npr — the "does NP-RDMA dodge both
+	// pitfalls?" result set (ROADMAP item 4; NP-RDMA in PAPERS.md).
+	scenario.Register(scenario.Scenario{
+		Name:     "npr-exec",
+		Title:    "NP-RDMA comparison (Figure 4): mean exec time [s] of 2 READs vs interval ({trials} trials)",
+		Workload: "mem-compare",
+		Inner:    "exec-sweep",
+		Trials:   5,
+		Grid:     &scenario.Grid{ToMs: 6, StepMs: 0.5},
+		Quick:    &scenario.Quick{Trials: 2, GridScale: 2},
+	})
+	scenario.Register(scenario.Scenario{
+		Name:     "npr-tab13",
+		Title:    "NP-RDMA comparison (Table 13): SparkUCX examples, {trials} trials, ODP enabled vs disabled",
+		Workload: "mem-compare",
+		Inner:    "sparkucx",
+		Trials:   3,
+		Slow:     true,
+		Quick:    &scenario.Quick{Trials: 1},
+	})
+	scenario.Register(scenario.Scenario{
+		Name:     "npr-storm",
+		Title:    "NP-RDMA comparison (storm): write flood + Table-13 SparkTC, 2 switches, PFC",
+		Workload: "mem-compare",
+		Inner:    "storm",
+		Mode:     "server",
+		Size:     512,
+		QPs:      8,
+		CACK:     8,
+		Ops:      512,
+		Trials:   3,
+		Congestion: &scenario.CongestionSpec{
+			BufferKB: 2, XOffKB: 1.5, XOnKB: 0.5,
+			PFC: true,
+		},
+		Quick: &scenario.Quick{Trials: 2, Ops: 128, Waves: 1},
+	})
 }

@@ -89,6 +89,15 @@ type Scenario struct {
 	// resolved system list.
 	HistHi []float64 `json:"hist_hi,omitempty"`
 
+	// Memory selects how managed registrations translate on every node:
+	// pin | odp | npr. Absent means odp — the paper's configuration, and
+	// the one every pre-existing scenario renders byte-identically under.
+	Memory *MemorySpec `json:"memory,omitempty"`
+
+	// Inner names the scenario a wrapper workload (mem-compare) derives
+	// its per-mode runs from; empty for ordinary workloads.
+	Inner string `json:"inner,omitempty"`
+
 	// Faults bundles the fault-injection knobs routed into the built
 	// clusters (loss, congestion, page-fault latency scale).
 	Faults Faults `json:"faults,omitempty"`
@@ -174,6 +183,35 @@ type CongestionSpec struct {
 	ECNThresholdKB float64 `json:"ecn_threshold_kb,omitempty"`
 	// DCQCN turns on the end-to-end rate-control loop (implies ECN).
 	DCQCN bool `json:"dcqcn,omitempty"`
+}
+
+// MemorySpec is the JSON face of the memory-mode switch: which
+// translation path managed registrations use on every node, plus the
+// NP-RDMA pool bound for the npr mode.
+type MemorySpec struct {
+	// Mode is "pin", "odp" or "npr" ("" = odp).
+	Mode string `json:"mode,omitempty"`
+	// PoolKB bounds the per-node NP-RDMA DMA-able pool in KB (0 keeps
+	// npr.DefaultConfig's 2 MiB). Only meaningful with mode "npr".
+	PoolKB float64 `json:"pool_kb,omitempty"`
+}
+
+// validate checks the memory block against the modes cluster.BuildOn
+// accepts, so a bad spec fails at load time with a message instead of
+// at build time with a panic.
+func (ms *MemorySpec) validate(name string) error {
+	switch ms.Mode {
+	case "", "pin", "odp", "npr":
+	default:
+		return fmt.Errorf("scenario %q: unknown memory mode %q (want pin, odp or npr)", name, ms.Mode)
+	}
+	if ms.PoolKB < 0 {
+		return fmt.Errorf("scenario %q: memory.pool_kb must not be negative", name)
+	}
+	if ms.PoolKB > 0 && ms.Mode != "npr" {
+		return fmt.Errorf("scenario %q: memory.pool_kb requires mode \"npr\"", name)
+	}
+	return nil
 }
 
 // kb converts a KB spec field to bytes, keeping zero as "default".
@@ -383,6 +421,11 @@ func (sc *Scenario) Validate() error {
 			return err
 		}
 	}
+	if sc.Memory != nil {
+		if err := sc.Memory.validate(sc.Name); err != nil {
+			return err
+		}
+	}
 	if err := sc.Grid.validate(sc.Name, "grid"); err != nil {
 		return err
 	}
@@ -427,6 +470,12 @@ func (sc *Scenario) ApplyFaults(s cluster.System) cluster.System {
 	if sc.Congestion != nil {
 		cfg := sc.Congestion.Config()
 		s.Congestion = &cfg
+	}
+	if sc.Memory != nil {
+		s.MemMode = sc.Memory.Mode
+		if sc.Memory.PoolKB > 0 {
+			s.NPRPoolBytes = kb(sc.Memory.PoolKB)
+		}
 	}
 	return s
 }

@@ -60,6 +60,15 @@ func TestValidateRejects(t *testing.T) {
 			// XOn is unset, so the effective 2 KB default applies.
 			sc.Congestion = &CongestionSpec{PFC: true, XOffKB: 1}
 		}, "xoff_kb"},
+		{"unknown memory mode", func(sc *Scenario) {
+			sc.Memory = &MemorySpec{Mode: "hugepages"}
+		}, "memory mode"},
+		{"negative pool", func(sc *Scenario) {
+			sc.Memory = &MemorySpec{Mode: "npr", PoolKB: -4}
+		}, "pool_kb"},
+		{"pool without npr", func(sc *Scenario) {
+			sc.Memory = &MemorySpec{Mode: "odp", PoolKB: 64}
+		}, "pool_kb"},
 	}
 	for _, c := range cases {
 		sc := valid()
@@ -241,6 +250,27 @@ func TestCongestionSpecReachesSystems(t *testing.T) {
 	}
 }
 
+func TestMemorySpecReachesSystems(t *testing.T) {
+	sc := valid()
+	sc.Memory = &MemorySpec{Mode: "npr", PoolKB: 16}
+	sys, err := sc.ResolvedSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.MemMode != "npr" || sys.NPRPoolBytes != 16<<10 {
+		t.Errorf("memory block not routed: mode %q pool %d", sys.MemMode, sys.NPRPoolBytes)
+	}
+	// No block: the defaults stay zero so cluster keeps its odp path.
+	sc.Memory = nil
+	sys, err = sc.ResolvedSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.MemMode != "" || sys.NPRPoolBytes != 0 {
+		t.Errorf("nil memory block must leave system defaults: %+v", sys)
+	}
+}
+
 func TestSpecRoundTrip(t *testing.T) {
 	sc := valid()
 	sc.Title = "spec test"
@@ -249,6 +279,7 @@ func TestSpecRoundTrip(t *testing.T) {
 	sc.Series = []Variant{{Label: "a", RNRDelayMs: 0.01}}
 	sc.Faults = Faults{LossRate: 0.02}
 	sc.Congestion = &CongestionSpec{PFC: true, XOffKB: 6, XOnKB: 2, DCQCN: true}
+	sc.Memory = &MemorySpec{Mode: "npr", PoolKB: 64}
 	sc.Quick = &Quick{Trials: 1}
 	data, err := SaveSpec(sc)
 	if err != nil {
@@ -260,6 +291,9 @@ func TestSpecRoundTrip(t *testing.T) {
 	}
 	if got.Congestion == nil || *got.Congestion != *sc.Congestion {
 		t.Errorf("congestion block lost in round trip: %+v", got.Congestion)
+	}
+	if got.Memory == nil || *got.Memory != *sc.Memory {
+		t.Errorf("memory block lost in round trip: %+v", got.Memory)
 	}
 	// Round-tripped scenarios must run identically.
 	var a, b bytes.Buffer
@@ -287,6 +321,9 @@ func TestSpecRejects(t *testing.T) {
 		{"loss out of range", `{"name":"x","workload":"fake","trials":1,"faults":{"loss_rate":1.5}}`, "loss_rate"},
 		{"congestion unknown field", `{"name":"x","workload":"fake","trials":1,"congestion":{"buffers_kb":8}}`, "buffers_kb"},
 		{"congestion bad thresholds", `{"name":"x","workload":"fake","trials":1,"congestion":{"pfc":true,"xoff_kb":2,"xon_kb":3}}`, "xoff_kb"},
+		{"memory unknown field", `{"name":"x","workload":"fake","trials":1,"memory":{"mode":"npr","pool":64}}`, "pool"},
+		{"memory unknown mode", `{"name":"x","workload":"fake","trials":1,"memory":{"mode":"rcu"}}`, "memory mode"},
+		{"memory stray pool", `{"name":"x","workload":"fake","trials":1,"memory":{"pool_kb":8}}`, "pool_kb"},
 		{"trailing data", `{"name":"x","workload":"fake","trials":1} {"again":true}`, "trailing"},
 		{"not json", `figure four please`, "spec"},
 	}

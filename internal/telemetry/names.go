@@ -85,6 +85,24 @@ const (
 	OdpPipelineDepth = "pipeline_depth"
 )
 
+// NP-RDMA counters, per device, for the no-pinning mitigation of
+// internal/npr: driver-level translation through a bounded DMA-able pool
+// instead of NIC page faults. Named in the mlx5 style the odp_* family
+// uses, so a dashboard reads pin/odp/npr deployments uniformly.
+const (
+	// NprPoolBytes gauges the bytes currently resident in the DMA-able
+	// migration pool.
+	NprPoolBytes = "npr_pool_bytes"
+	// NprMigrations counts cold pages migrated into the pool on demand.
+	NprMigrations = "npr_migrations"
+	// NprEvictions counts pool pages written back and evicted under
+	// pressure.
+	NprEvictions = "npr_evictions"
+	// NprTranslationStalls counts accesses the driver stalled while it
+	// migrated pages and updated the shadow translation table.
+	NprTranslationStalls = "npr_translation_stalls"
+)
+
 // Completion counters: completions by work-completion status, labelled
 // status="IBV_WC_…". Software sees these through the CQ, so the
 // counter-only diagnosers may use them.

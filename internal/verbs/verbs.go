@@ -91,15 +91,23 @@ func (m *MR) Len() int { return m.inner.Len }
 // IsODP reports whether the registration uses on-demand paging.
 func (m *MR) IsODP() bool { return m.inner.ODP }
 
-// RegisterMR registers [addr, addr+len). With AccessOnDemand it creates an
-// Explicit-ODP region (no pinning); otherwise it pins the pages.
+// Kind returns the registration's translation kind (pin, odp or npr).
+func (m *MR) Kind() rnic.MemKind { return m.inner.Kind() }
+
+// RegisterMR registers [addr, addr+len). With AccessOnDemand it creates
+// a managed (non-pinned) region following the device's memory mode —
+// Explicit ODP normally, an NP-RDMA shadow-table region under
+// EnableNPR, or a pinned region under ForcePinned; otherwise it pins
+// the pages.
 func (p *PD) RegisterMR(addr hostmem.Addr, length int, flags AccessFlags) (*MR, error) {
 	if length <= 0 {
 		return nil, fmt.Errorf("%w: non-positive MR length %d", ErrBadAttr, length)
 	}
 	mr := &MR{pd: p}
 	if flags&AccessOnDemand != 0 {
-		mr.inner = p.ctx.nic.RegisterODPMR(addr, length)
+		inner, cost := p.ctx.nic.RegisterManagedMR(addr, length)
+		mr.inner = inner
+		mr.PinTime = cost
 	} else {
 		inner, cost := p.ctx.nic.RegisterMR(addr, length)
 		mr.inner = inner
