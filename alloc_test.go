@@ -1,10 +1,10 @@
 // Alloc-budget guard for the congested datapath. The switched-fabric
-// stage is not on the zero-alloc contract (DESIGN.md §8): rebuilding the
-// two-switch topology and running a 4096-packet PFC-paused burst costs a
-// five-figure allocation count per trial, dominated by the per-switch VL
-// queues and buffer accounts. This test records the measured figure and
-// pins a ceiling slightly above it so the path cannot silently grow —
-// tighten the ceiling if the measurement drops.
+// stage is on the same zero-allocation ownership contract as the analytic
+// datapath (DESIGN.md §8–§9): entries, VL rings, ports, switches, rate
+// states and delivery lines are all recycled through engine-generation
+// arenas, so a warm trial — rebuild the two-switch topology, run a
+// 4096-packet PFC-paused burst to completion — stays within a handful of
+// allocations (down from ~12,450 before the pooling work landed).
 package odpsim
 
 import (
@@ -16,9 +16,12 @@ import (
 	"odpsim/internal/sim"
 )
 
-// congestedAllocCeiling is ~8% above the ~12450 allocs/trial measured for
-// the BenchmarkCongestedSend loop body at the time the guard was added.
-const congestedAllocCeiling = 13500
+// congestedAllocCeiling bounds the warm-trial allocation count for the
+// BenchmarkCongestedSend loop body. The measured warm figure is ~4
+// (telemetry registration method values); the ceiling leaves headroom
+// for allocator noise, not for growth — investigate anything above
+// single digits.
+const congestedAllocCeiling = 32
 
 func TestAllocBudgetCongestedSend(t *testing.T) {
 	eng := sim.New(1)
@@ -47,7 +50,7 @@ func TestAllocBudgetCongestedSend(t *testing.T) {
 	avg := testing.AllocsPerRun(10, trial)
 	t.Logf("congested send→deliver trial allocates %.0f/op (ceiling %d)", avg, congestedAllocCeiling)
 	if avg > congestedAllocCeiling {
-		t.Errorf("congested trial allocates %.0f/op, ceiling %d — the switched datapath grew",
+		t.Errorf("congested trial allocates %.0f/op, ceiling %d — the switched datapath regressed off the warm-allocation contract",
 			avg, congestedAllocCeiling)
 	}
 }

@@ -755,7 +755,10 @@ func BenchmarkSweepDatapathSendDeliver(b *testing.B) {
 // the 4×-oversubscribed inter-switch link and the host uplink is
 // XOFF/XON-paused while the burst drains. The delta against
 // BenchmarkSweepDatapathSendDeliver is the per-packet cost of the switch
-// model (buffer accounting, VL queues, the PFC state machine).
+// model (buffer accounting, VL queues, the PFC state machine). The
+// switched stage is on the warm zero-allocation contract (DESIGN.md §9):
+// entries, VL rings, wires and topology come from engine-generation
+// arenas, and TestAllocBudgetCongestedSend pins the warm trial budget.
 func BenchmarkCongestedSend(b *testing.B) {
 	eng := sim.New(1)
 	b.ReportAllocs()

@@ -153,3 +153,99 @@ func TestPoolConservationCongested(t *testing.T) {
 			pool.FreeLen(), pool.Allocs)
 	}
 }
+
+// TestPoolConservationCongestedChurn cycles the congested scenario
+// across engine Reset generations on one engine: every generation
+// rebuilds the cluster from the engine-attached arenas (entries, VL
+// rings, ports, switches, DCQCN rate states, delivery lines) and drives
+// enough traffic through a tight PFC window to force XOFF/XON pause
+// churn and DCQCN rate cuts. The shared packet pool's ledger must
+// balance after every generation — a recycled struct that double-Puts or
+// strands a packet shows up here (and the pool panics on double-Put
+// outright) — and once warm, a generation must not allocate new packet
+// storage at all.
+func TestPoolConservationCongestedChurn(t *testing.T) {
+	sys := KNL()
+	sys.Congestion = &congestion.Config{
+		BufferBytes: 2 << 10,
+		XOffBytes:   1536,
+		XOnBytes:    512,
+		PFC:         true,
+		DCQCN:       congestion.DCQCNConfig{Enabled: true},
+	}
+
+	var eng *sim.Engine
+	var warmAllocs uint64
+	for gen := 0; gen < 4; gen++ {
+		var xoff, xon, cnps int
+		var cl *Cluster
+		if eng == nil {
+			cl = sys.Build(int64(gen+1), 2)
+			eng = cl.Eng
+		} else {
+			cl = sys.BuildOn(eng, int64(gen+1), 2)
+		}
+		cl.Fab.AddTap(func(ev fabric.TapEvent) {
+			switch ev.Pkt.Opcode {
+			case packet.OpPFCPause:
+				if ev.Pkt.XOff {
+					xoff++
+				} else {
+					xon++
+				}
+			case packet.OpCNP:
+				cnps++
+			}
+		})
+		client, server := cl.Nodes[0], cl.Nodes[1]
+
+		const n, size = 96, 512
+		lbuf := client.AS.Alloc(n * size)
+		rbuf := server.AS.Alloc(n * size)
+		client.AS.Touch(lbuf, n*size)
+		server.AS.Touch(rbuf, n*size)
+		client.RegisterMR(lbuf, n*size)
+		server.RegisterMR(rbuf, n*size)
+
+		cq := rnic.NewCQ(cl.Eng)
+		scq := rnic.NewCQ(cl.Eng)
+		params := rnic.ConnParams{CACK: 8, RetryCount: 7, MinRNRDelay: sim.FromMillis(1.28)}
+		qc := client.CreateQP(cq, cq)
+		qs := server.CreateQP(scq, scq)
+		rnic.ConnectPair(qc, qs, params, params)
+
+		for i := 0; i < n; i++ {
+			off := hostmem.Addr(i * size)
+			qc.PostSend(rnic.SendWR{ID: uint64(i), Op: rnic.OpWrite,
+				LocalAddr: lbuf + off, RemoteAddr: rbuf + off, Len: size})
+		}
+		cl.Eng.Run()
+
+		if got := len(cq.Poll(0)); got != n {
+			t.Fatalf("gen %d: completed %d/%d WRITEs", gen, got, n)
+		}
+		if xoff == 0 || xon == 0 {
+			t.Errorf("gen %d: pause churn missing (xoff=%d xon=%d): the PFC window did not cycle", gen, xoff, xon)
+		}
+		if cnps == 0 {
+			t.Errorf("gen %d: no CNP frames: DCQCN rate cuts did not run", gen)
+		}
+
+		pool := cl.Fab.Pool()
+		if pool.Balance() != 0 {
+			t.Errorf("gen %d: pool Balance = %d after drain, want 0 (Gets=%d Puts=%d)",
+				gen, pool.Balance(), pool.Gets, pool.Puts)
+		}
+		if pool.FreeLen() != int(pool.Allocs) {
+			t.Errorf("gen %d: FreeLen = %d, Allocs = %d: packets leaked in flight",
+				gen, pool.FreeLen(), pool.Allocs)
+		}
+		if gen == 1 {
+			warmAllocs = pool.Allocs
+		}
+		if gen > 1 && pool.Allocs != warmAllocs {
+			t.Errorf("gen %d: pool grew to %d allocs (warm figure %d): recycled storage is not being reused",
+				gen, pool.Allocs, warmAllocs)
+		}
+	}
+}

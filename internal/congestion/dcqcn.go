@@ -39,10 +39,44 @@ type RateState struct {
 
 // NewRateState creates a reaction point at line rate.
 func NewRateState(eng *sim.Engine, cfg DCQCNConfig, lineGbps float64) *RateState {
-	rs := &RateState{eng: eng, cfg: cfg.WithDefaults(), line: lineGbps, rc: lineGbps, rt: lineGbps}
+	rs := &RateState{}
 	rs.alphaFn = rs.alphaTick
 	rs.rateFn = rs.rateTick
+	rs.reset(eng, cfg, lineGbps)
 	return rs
+}
+
+// NewRateStateOn is NewRateState with engine-generation recycling:
+// rate states handed out in earlier generations are free again after an
+// Engine.Reset, so trial loops that re-arm DCQCN on every rebuilt QP
+// reuse the same structs — and their cached timer closures — instead of
+// allocating a fresh state machine per QP per trial.
+func NewRateStateOn(eng *sim.Engine, cfg DCQCNConfig, lineGbps float64) *RateState {
+	s := scratchFor(eng)
+	if s.rateNext < len(s.rateAll) {
+		rs := s.rateAll[s.rateNext]
+		s.rateNext++
+		rs.reset(eng, cfg, lineGbps)
+		return rs
+	}
+	rs := NewRateState(eng, cfg, lineGbps)
+	s.rateAll = append(s.rateAll, rs)
+	s.rateNext = len(s.rateAll)
+	return rs
+}
+
+// reset returns the state machine to its just-constructed line-rate
+// state. The engine's Reset already made any outstanding timer handles
+// inert (event generations advanced), so zeroing the handles here only
+// keeps Pending() honest before the first CNP of the new trial.
+func (rs *RateState) reset(eng *sim.Engine, cfg DCQCNConfig, lineGbps float64) {
+	rs.eng = eng
+	rs.cfg = cfg.WithDefaults()
+	rs.line, rs.rc, rs.rt = lineGbps, lineGbps, lineGbps
+	rs.alpha, rs.stage = 0, 0
+	rs.nextFree = 0
+	rs.alphaTimer, rs.rateTimer = sim.Timer{}, sim.Timer{}
+	rs.Cuts, rs.Shed = 0, 0
 }
 
 // CurrentGbps returns the current sending rate.

@@ -1,7 +1,6 @@
 package congestion
 
 import (
-	"fmt"
 	"strconv"
 
 	"odpsim/internal/packet"
@@ -31,25 +30,114 @@ type Hooks struct {
 }
 
 // entry is one packet queued or in flight inside the switched network.
-// Entries are recycled through the network's free list.
+// Entries are recycled through the engine-attached scratch free list
+// (shared by every network built on a Reset-reused engine), so steady
+// traffic and repeated trials allocate none once the list is warm.
 type entry struct {
 	pkt *packet.Packet
 	ws  int
 	src uint16
 	dst uint16
 	vl  int
-	// via is the egress port the entry last left (set while the entry
-	// is on a wire); buf/acct locate the entry's switch-buffer and
-	// PFC ingress accounting while it is buffered in a switch.
-	via  *port
+	// buf/acct locate the entry's switch-buffer and PFC ingress
+	// accounting while it is buffered in a switch.
 	buf  *swtch
 	acct *port
-	// arriveFn caches the arrive method value so per-hop scheduling
-	// does not allocate a closure.
-	arriveFn func()
+	// landAt and seq are the entry's arrival deadline and its reserved
+	// engine tie-break while it rides a port's propagation delay line
+	// (see port.wire). seq is claimed when the flight starts so same-
+	// instant ties resolve exactly as if every flight were in the heap.
+	landAt sim.Time
+	seq    uint64
 }
 
-func (e *entry) arrive() { e.via.arrived(e) }
+// entryRing is a reusable FIFO of queued entries: a power-of-two ring
+// buffer that keeps its backing array across drain/refill cycles and
+// across trials (the port that owns it is arena-recycled). It replaces
+// the old append/reslice queue, which leaked the consumed front of the
+// backing array and re-allocated it on every burst.
+type entryRing struct {
+	buf  []*entry
+	head int
+	n    int
+}
+
+// push appends e at the tail, growing the ring only when full.
+func (r *entryRing) push(e *entry) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = e
+	r.n++
+}
+
+// pop removes and returns the head entry, nil-ing its slot so consumed
+// entries are unreachable immediately (not when the array is next
+// overwritten). The ring must be non-empty.
+func (r *entryRing) pop() *entry {
+	e := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return e
+}
+
+// grow doubles the backing array (power of two, so index math stays a
+// mask) and compacts the live entries to the front.
+func (r *entryRing) grow() {
+	newCap := 2 * len(r.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	buf := make([]*entry, newCap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
+// peek returns the head entry without removing it. The ring must be
+// non-empty.
+func (r *entryRing) peek() *entry { return r.buf[r.head] }
+
+// reset empties the ring, clearing any entries an abandoned run left
+// behind, but keeps the backing array for the next trial.
+func (r *entryRing) reset() {
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)&(len(r.buf)-1)] = nil
+	}
+	r.head, r.n = 0, 0
+}
+
+// Port roles, the key under which an arena-recycled port keeps its
+// precomputed name: a port re-grabbed for the same link in the next
+// trial reuses last trial's string instead of rebuilding it.
+const (
+	roleUplink   = iota // host a → switch b
+	roleCore            // switch a → switch b
+	roleDownlink        // switch a → host b
+)
+
+// portRole identifies which link of the topology a port serves.
+type portRole struct {
+	kind int
+	a, b int
+}
+
+// name renders the role in the fixed "host3-sw0" / "sw0-sw1" /
+// "sw1-host2" vocabulary (the same strings the old fmt.Sprintf calls
+// produced, without fmt's boxing).
+func (r portRole) name() string {
+	switch r.kind {
+	case roleUplink:
+		return "host" + strconv.Itoa(r.a) + "-sw" + strconv.Itoa(r.b)
+	case roleCore:
+		return "sw" + strconv.Itoa(r.a) + "-sw" + strconv.Itoa(r.b)
+	default:
+		return "sw" + strconv.Itoa(r.a) + "-host" + strconv.Itoa(r.b)
+	}
+}
 
 // port is one egress queue clocking packets onto one link: a host's
 // uplink into its edge switch, a switch-to-switch link, or a switch's
@@ -58,10 +146,11 @@ func (e *entry) arrive() { e.via.arrived(e) }
 type port struct {
 	n    *Network
 	name string
+	role portRole
 	gbps float64
 	prop sim.Time
 
-	q      [numVLs][]*entry
+	q      [numVLs]entryRing
 	qbytes [numVLs]int
 
 	// pausedData suspends VL0 service (set by the downstream switch's
@@ -77,6 +166,15 @@ type port struct {
 	cur    *entry
 	doneFn func()
 
+	// wire is the link's propagation delay line: entries that finished
+	// clocking out and are in flight toward the far end. prop is constant
+	// per link, so flights land strictly FIFO — only the head flight
+	// holds a scheduled engine callback (landFn re-arms the next head
+	// when it fires), which keeps the event heap shallow no matter how
+	// many packets a 2 µs wire holds at once.
+	wire   entryRing
+	landFn func()
+
 	// dstSwitch is the far end for switch-bound links; nil means the
 	// far end is a host and the entry leaves the network on arrival.
 	dstSwitch *swtch
@@ -86,7 +184,7 @@ type port struct {
 // marking happens at switch-buffer admission (see swtch.admit); the
 // queue itself is policy-free.
 func (p *port) enqueue(e *entry) {
-	p.q[e.vl] = append(p.q[e.vl], e)
+	p.q[e.vl].push(e)
 	p.qbytes[e.vl] += e.ws
 	p.pump()
 }
@@ -98,12 +196,10 @@ func (p *port) pop() *entry {
 		if vl == VLData && p.pausedData {
 			continue
 		}
-		if len(p.q[vl]) == 0 {
+		if p.q[vl].n == 0 {
 			continue
 		}
-		e := p.q[vl][0]
-		p.q[vl][0] = nil
-		p.q[vl] = p.q[vl][1:]
+		e := p.q[vl].pop()
 		p.qbytes[vl] -= e.ws
 		return e
 	}
@@ -121,7 +217,7 @@ func (p *port) pump() {
 	}
 	p.busy = true
 	p.cur = e
-	p.n.eng.After(serTime(e.ws, p.gbps), p.doneFn)
+	p.n.eng.ScheduleAfter(serTime(e.ws, p.gbps), p.doneFn)
 }
 
 // txDone fires when the current entry has fully clocked onto the link:
@@ -142,13 +238,31 @@ func (p *port) txDone() {
 		p.pump()
 		return
 	}
-	e.via = p
 	if p.prop > 0 {
-		p.n.eng.After(p.prop, e.arriveFn)
+		e.landAt = p.n.eng.Now() + p.prop
+		e.seq = p.n.eng.ReserveSeq()
+		if p.wire.n == 0 {
+			p.n.eng.ScheduleSeq(e.landAt, e.seq, p.landFn)
+		}
+		p.wire.push(e)
 	} else {
-		e.arrive()
+		p.arrived(e)
 	}
 	p.pump()
+}
+
+// land fires when the head flight on this port's wire reaches the far
+// end. The next flight (if any) is re-armed before the arrival runs, so
+// its callback takes the earliest sequence number available at this
+// instant — arrivals keep their tie-break priority over work the landing
+// itself schedules.
+func (p *port) land() {
+	e := p.wire.pop()
+	if p.wire.n > 0 {
+		next := p.wire.peek()
+		p.n.eng.ScheduleSeq(next.landAt, next.seq, p.landFn)
+	}
+	p.arrived(e)
 }
 
 // arrived lands the entry at this port's far end.
@@ -173,13 +287,23 @@ type swtch struct {
 	bytes uint64 // shared-buffer occupancy (data VL)
 	peak  uint64
 
-	toHost map[uint16]*port
+	// toHost is the dense LID-indexed downlink table (was a map; LIDs
+	// are small consecutive integers, so indexing replaces hashing on
+	// the last hop of every delivery).
+	toHost []*port
 	left   *port // toward switch idx-1
 	right  *port // toward switch idx+1
 
 	Drops       uint64
 	EcnMarked   uint64
 	PauseFrames uint64
+
+	// labels and the gauge closures are created once per struct
+	// lifetime and reused every trial the switch is re-grabbed for, so
+	// re-registering the telemetry metrics stays off the allocator.
+	labels     telemetry.Labels
+	bytesGauge func() float64
+	peakGauge  func() float64
 }
 
 // admit reserves shared-buffer space for a data entry that just left
@@ -269,11 +393,15 @@ func (sw *swtch) route(dst uint16) *port {
 	return sw.right
 }
 
-// hostPort lazily creates the downlink to an attached host.
+// hostPort lazily creates the downlink to an attached host, indexed
+// densely by LID.
 func (sw *swtch) hostPort(dst uint16) *port {
+	for int(dst) >= len(sw.toHost) {
+		sw.toHost = append(sw.toHost, nil)
+	}
 	p := sw.toHost[dst]
 	if p == nil {
-		p = sw.n.newPort(fmt.Sprintf("%s-host%d", sw.name, dst), sw.n.edgeGbps, 0, nil)
+		p = sw.n.newPort(portRole{roleDownlink, sw.idx, int(dst)}, sw.n.edgeGbps, 0, nil)
 		sw.toHost[dst] = p
 	}
 	return p
@@ -293,12 +421,55 @@ type Network struct {
 	switches []*swtch
 	uplinks  []*port // indexed by LID
 
-	free []*entry
+	scratch *scratch
 
 	tel *telemetry.Registry
 	// pausedNs accumulates completed pause intervals across every link
 	// (exported as tx_pause_duration, in µs, mlx5-style).
-	pausedNs uint64
+	pausedNs   uint64
+	pauseGauge func() float64
+}
+
+// scratchKey is the engine Aux key the congestion layer's recycled
+// storage lives under — the same discipline as fabric.scratch: trial
+// loops that rebuild the network per run on a Reset-reused engine keep
+// one warm set of entries, ports, switches and rate states.
+const scratchKey = "congestion.scratch"
+
+// scratch is the per-engine storage the congestion layer draws from.
+// The entry free list is shared unconditionally (entries are
+// self-contained, like packets and deliveries). The network, port,
+// switch and rate-state arenas are generation-claimed: a Reset
+// wholesale-frees last trial's grabs, while within one generation every
+// constructor call gets a distinct instance, so side-by-side networks
+// on one engine stay correct.
+type scratch struct {
+	free []*entry
+
+	gen      uint64
+	netAll   []*Network
+	netNext  int
+	portAll  []*port
+	portNext int
+	swAll    []*swtch
+	swNext   int
+	rateAll  []*RateState
+	rateNext int
+}
+
+// scratchFor fetches or creates the engine's congestion scratch,
+// rolling the arenas over to the current generation.
+func scratchFor(eng *sim.Engine) *scratch {
+	s, _ := eng.Aux(scratchKey).(*scratch)
+	if s == nil {
+		s = &scratch{}
+		eng.SetAux(scratchKey, s)
+	}
+	if gen := eng.Generation() + 1; s.gen != gen {
+		s.gen = gen
+		s.netNext, s.portNext, s.swNext, s.rateNext = 0, 0, 0, 0
+	}
+	return s
 }
 
 // serTime is the serialization delay of wireBytes at gbps.
@@ -308,36 +479,103 @@ func serTime(wireBytes int, gbps float64) sim.Time {
 
 // NewNetwork builds the switch topology on eng. linkGbps and propDelay
 // mirror the owning fabric's link model; hooks connect delivery, drops
-// and pause-frame visibility back to it.
+// and pause-frame visibility back to it. Networks, their switches and
+// ports are recycled across Engine.Reset generations, so sweeps that
+// rebuild the fabric per trial reuse one warm topology.
 func NewNetwork(eng *sim.Engine, cfg Config, linkGbps float64, propDelay sim.Time, hooks Hooks) *Network {
 	cfg = cfg.withDefaults()
 	if cfg.PFC && cfg.XOffBytes <= cfg.XOnBytes {
 		panic("congestion: XOffBytes must be greater than XOnBytes")
 	}
-	n := &Network{
-		eng:      eng,
-		cfg:      cfg,
-		hooks:    hooks,
-		edgeGbps: linkGbps,
-		coreGbps: linkGbps / cfg.UplinkFactor,
-		prop:     propDelay,
-		tel:      telemetry.NewRegistryOn(eng, "congestion", telemetry.Labels{"device": "congestion"}),
-	}
-	n.switches = make([]*swtch, cfg.Switches)
-	for i := range n.switches {
-		sw := &swtch{n: n, idx: i, name: "sw" + strconv.Itoa(i), toHost: make(map[uint16]*port)}
-		n.switches[i] = sw
+	s := scratchFor(eng)
+	n := s.getNetwork()
+	n.eng = eng
+	n.cfg = cfg
+	n.hooks = hooks
+	n.edgeGbps = linkGbps
+	n.coreGbps = linkGbps / cfg.UplinkFactor
+	n.prop = propDelay
+	n.scratch = s
+	n.tel = telemetry.NewRegistryOn(eng, "congestion", telemetry.Labels{"device": "congestion"})
+	for i := 0; i < cfg.Switches; i++ {
+		n.switches = append(n.switches, n.getSwitch(i))
 	}
 	for i, sw := range n.switches {
 		if i > 0 {
-			sw.left = n.newPort(fmt.Sprintf("%s-sw%d", sw.name, i-1), n.coreGbps, n.prop, n.switches[i-1])
+			sw.left = n.newPort(portRole{roleCore, i, i - 1}, n.coreGbps, n.prop, n.switches[i-1])
 		}
 		if i < len(n.switches)-1 {
-			sw.right = n.newPort(fmt.Sprintf("%s-sw%d", sw.name, i+1), n.coreGbps, n.prop, n.switches[i+1])
+			sw.right = n.newPort(portRole{roleCore, i, i + 1}, n.coreGbps, n.prop, n.switches[i+1])
 		}
 	}
+	// Pre-size the engine's event storage for the switched fan-out: every
+	// link can hold a tx-done event plus propagation flights at once.
+	// Warm engines already have the capacity, so this is a cold-start
+	// courtesy, not a per-trial cost.
+	eng.PreallocEvents(16 * cfg.Switches)
 	n.registerMetrics()
 	return n
+}
+
+// getNetwork grabs a recycled Network (or allocates the arena's next
+// one) and resets its per-trial state.
+func (s *scratch) getNetwork() *Network {
+	var n *Network
+	if s.netNext < len(s.netAll) {
+		n = s.netAll[s.netNext]
+		s.netNext++
+		n.switches = n.switches[:0]
+		for i := range n.uplinks {
+			n.uplinks[i] = nil
+		}
+		n.uplinks = n.uplinks[:0]
+		n.pausedNs = 0
+	} else {
+		n = &Network{}
+		s.netAll = append(s.netAll, n)
+		s.netNext = len(s.netAll)
+	}
+	if n.pauseGauge == nil {
+		n.pauseGauge = n.PauseDurationMicros
+	}
+	return n
+}
+
+// getSwitch grabs a recycled switch for chain position idx, resetting
+// its counters, buffer accounting and downlink table. The name (and the
+// telemetry label map that carries it) is rebuilt only when the struct
+// serves a different position than last trial.
+func (n *Network) getSwitch(idx int) *swtch {
+	s := n.scratch
+	var sw *swtch
+	if s.swNext < len(s.swAll) {
+		sw = s.swAll[s.swNext]
+		s.swNext++
+		sw.bytes, sw.peak = 0, 0
+		sw.Drops, sw.EcnMarked, sw.PauseFrames = 0, 0, 0
+		sw.left, sw.right = nil, nil
+		for i := range sw.toHost {
+			sw.toHost[i] = nil
+		}
+	} else {
+		sw = &swtch{}
+		s.swAll = append(s.swAll, sw)
+		s.swNext = len(s.swAll)
+	}
+	sw.n = n
+	if sw.name == "" || sw.idx != idx {
+		sw.idx = idx
+		sw.name = "sw" + strconv.Itoa(idx)
+		if sw.labels == nil {
+			sw.labels = telemetry.Labels{}
+		}
+		sw.labels["switch"] = sw.name
+	}
+	if sw.bytesGauge == nil {
+		sw.bytesGauge = func() float64 { return float64(sw.bytes) }
+		sw.peakGauge = func() float64 { return float64(sw.peak) }
+	}
+	return sw
 }
 
 // Config returns the resolved configuration (defaults filled in).
@@ -353,17 +591,13 @@ func (n *Network) PauseDurationMicros() float64 { return float64(n.pausedNs) / 1
 
 func (n *Network) registerMetrics() {
 	n.tel.Gauge(telemetry.TxPauseDuration, "accumulated PFC pause time across all links [µs]", nil,
-		n.PauseDurationMicros)
+		n.pauseGauge)
 	for _, sw := range n.switches {
-		sw := sw
-		l := telemetry.Labels{"switch": sw.name}
-		n.tel.Counter(telemetry.SimSwitchDrops, "packets tail-dropped on shared-buffer overflow", l, &sw.Drops)
-		n.tel.Counter(telemetry.SimSwitchEcnMarked, "packets ECN-marked at egress", l, &sw.EcnMarked)
-		n.tel.Counter(telemetry.SimSwitchPauseFrames, "PFC pause/resume frames sent", l, &sw.PauseFrames)
-		n.tel.Gauge(telemetry.SimSwitchQueueBytes, "shared-buffer occupancy [bytes]", l,
-			func() float64 { return float64(sw.bytes) })
-		n.tel.Gauge(telemetry.SimSwitchQueuePeak, "shared-buffer high-water mark [bytes]", l,
-			func() float64 { return float64(sw.peak) })
+		n.tel.Counter(telemetry.SimSwitchDrops, "packets tail-dropped on shared-buffer overflow", sw.labels, &sw.Drops)
+		n.tel.Counter(telemetry.SimSwitchEcnMarked, "packets ECN-marked at egress", sw.labels, &sw.EcnMarked)
+		n.tel.Counter(telemetry.SimSwitchPauseFrames, "PFC pause/resume frames sent", sw.labels, &sw.PauseFrames)
+		n.tel.Gauge(telemetry.SimSwitchQueueBytes, "shared-buffer occupancy [bytes]", sw.labels, sw.bytesGauge)
+		n.tel.Gauge(telemetry.SimSwitchQueuePeak, "shared-buffer high-water mark [bytes]", sw.labels, sw.peakGauge)
 	}
 }
 
@@ -375,9 +609,40 @@ func (n *Network) switchOf(lid uint16) int {
 	return int(lid-1) % len(n.switches)
 }
 
-func (n *Network) newPort(name string, gbps float64, prop sim.Time, dst *swtch) *port {
-	p := &port{n: n, name: name, gbps: gbps, prop: prop, dstSwitch: dst}
-	p.doneFn = p.txDone
+// newPort grabs a recycled port for the given link role, resetting its
+// queues, PFC state and wire state. The precomputed name is kept when
+// the struct serves the same link as last trial (the common case in
+// sweep loops), so warm rebuilds allocate no strings.
+func (n *Network) newPort(role portRole, gbps float64, prop sim.Time, dst *swtch) *port {
+	s := n.scratch
+	var p *port
+	if s.portNext < len(s.portAll) {
+		p = s.portAll[s.portNext]
+		s.portNext++
+		for vl := range p.q {
+			p.q[vl].reset()
+			p.qbytes[vl] = 0
+		}
+		p.wire.reset()
+		p.pausedData, p.pauseStart, p.acctBytes = false, 0, 0
+		p.busy, p.cur = false, nil
+	} else {
+		p = &port{}
+		s.portAll = append(s.portAll, p)
+		s.portNext = len(s.portAll)
+	}
+	p.n = n
+	if p.doneFn == nil {
+		p.doneFn = p.txDone
+		p.landFn = p.land
+	}
+	if p.name == "" || p.role != role {
+		p.role = role
+		p.name = role.name()
+	}
+	p.gbps = gbps
+	p.prop = prop
+	p.dstSwitch = dst
 	return p
 }
 
@@ -389,7 +654,7 @@ func (n *Network) uplink(src uint16) *port {
 	p := n.uplinks[src]
 	if p == nil {
 		sw := n.switches[n.switchOf(src)]
-		p = n.newPort(fmt.Sprintf("host%d-%s", src, sw.name), n.edgeGbps, n.prop, sw)
+		p = n.newPort(portRole{roleUplink, int(src), sw.idx}, n.edgeGbps, n.prop, sw)
 		n.uplinks[src] = p
 	}
 	return p
@@ -419,18 +684,18 @@ func (n *Network) QueuedBytes() int {
 }
 
 func (n *Network) getEntry() *entry {
-	if k := len(n.free); k > 0 {
-		e := n.free[k-1]
-		n.free[k-1] = nil
-		n.free = n.free[:k-1]
+	s := n.scratch
+	if k := len(s.free); k > 0 {
+		e := s.free[k-1]
+		s.free[k-1] = nil
+		s.free = s.free[:k-1]
 		return e
 	}
-	e := &entry{}
-	e.arriveFn = e.arrive
-	return e
+	return &entry{}
 }
 
 func (n *Network) putEntry(e *entry) {
-	e.pkt, e.via, e.buf, e.acct = nil, nil, nil, nil
-	n.free = append(n.free, e)
+	e.pkt, e.buf, e.acct = nil, nil, nil
+	s := n.scratch
+	s.free = append(s.free, e)
 }

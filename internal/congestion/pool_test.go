@@ -1,0 +1,114 @@
+package congestion
+
+import (
+	"testing"
+
+	"odpsim/internal/packet"
+	"odpsim/internal/sim"
+)
+
+// TestVLQueueCapacityStopsGrowing pins the fix for the front-slicing
+// leak: the old `p.q[vl] = p.q[vl][1:]` queue walked its backing array
+// forward on every pop, so append re-allocated it on every burst and the
+// consumed front stayed reachable. The ring buffer must reach a
+// steady-state capacity on the first burst and never grow again for
+// same-sized bursts.
+func TestVLQueueCapacityStopsGrowing(t *testing.T) {
+	h := newHarness(t, Config{Switches: 2, PFC: true})
+
+	const burst = 200
+	run := func() int {
+		for i := 0; i < burst; i++ {
+			h.send(1, 2, 1024)
+		}
+		h.eng.Run()
+		return cap(h.net.uplink(1).q[VLData].buf)
+	}
+
+	warm := run()
+	if warm == 0 {
+		t.Fatal("uplink VL ring never grew: burst did not queue")
+	}
+	for round := 0; round < 5; round++ {
+		if got := run(); got != warm {
+			t.Fatalf("round %d: VL ring capacity %d, want steady-state %d — the queue re-allocates per burst",
+				round, got, warm)
+		}
+	}
+	if len(h.delivered) != 6*burst {
+		t.Fatalf("delivered %d, want %d", len(h.delivered), 6*burst)
+	}
+}
+
+// TestWireDelayLineKeepsHeapShallow pins the propagation delay-line
+// property: no matter how many packets a 2 µs wire holds at once, each
+// port contributes at most one scheduled callback (the head flight), so
+// the engine's event heap stays shallow — the property that keeps the
+// congested path's per-event cost flat at storm scale.
+func TestWireDelayLineKeepsHeapShallow(t *testing.T) {
+	h := newHarness(t, Config{Switches: 2, PFC: true})
+
+	const burst = 512
+	for i := 0; i < burst; i++ {
+		h.send(1, 2, 64) // small frames: hundreds fit in one 2 µs flight
+	}
+	maxHeap := 0
+	for h.eng.Step() {
+		if q := h.eng.QueueLen(); q > maxHeap {
+			maxHeap = q
+		}
+	}
+	if len(h.delivered) != burst {
+		t.Fatalf("delivered %d, want %d", len(h.delivered), burst)
+	}
+	// 2 switches: a handful of tx-done events plus one head flight per
+	// port. Anything near the burst size means flights went back to
+	// one-event-per-packet.
+	if maxHeap > 16 {
+		t.Errorf("event heap reached %d entries for a %d-packet burst, want ≤16 (one callback per wire)",
+			maxHeap, burst)
+	}
+}
+
+// TestScratchArenasRecycleAcrossGenerations checks the engine-generation
+// arena contract: after an Engine.Reset, a rebuilt network reuses last
+// generation's network, switch, port and entry storage instead of
+// allocating fresh structs — while two networks built side by side in
+// one generation stay distinct.
+func TestScratchArenasRecycleAcrossGenerations(t *testing.T) {
+	eng := sim.New(1)
+	build := func() *Network {
+		return NewNetwork(eng, Config{Switches: 2}, 56, 2*sim.Microsecond, Hooks{
+			Deliver: func(dst uint16, pkt *packet.Packet, ws int) {},
+			Drop:    func(src uint16, pkt *packet.Packet, reason string) {},
+		})
+	}
+
+	n1 := build()
+	pkt := &packet.Packet{SLID: 1, DLID: 2, Opcode: packet.OpWriteOnly, PayloadLen: 1024}
+	n1.Send(1, 2, pkt, pkt.WireSize())
+	eng.Run()
+	sw1 := n1.switches[0]
+	up1 := n1.uplink(1)
+
+	if n2 := build(); n2 == n1 {
+		t.Fatal("two networks in one generation share a struct")
+	}
+
+	eng.Reset(2)
+	n3 := build()
+	if n3 != n1 {
+		t.Error("network struct not recycled across Reset")
+	}
+	if n3.switches[0] != sw1 {
+		t.Error("switch struct not recycled across Reset")
+	}
+	n3.Send(1, 2, pkt, pkt.WireSize())
+	eng.Run()
+	if got := n3.uplink(1); got != up1 {
+		t.Error("port struct not recycled across Reset")
+	}
+	if got := len(n3.switches); got != 2 {
+		t.Fatalf("recycled network has %d switches, want 2", got)
+	}
+}

@@ -107,6 +107,12 @@ type delivery struct {
 	pkt *packet.Packet
 	ws  uint64
 	fn  func()
+	// at and seq are the arrival deadline and the reserved engine
+	// tie-break while the delivery waits on its pair's delay line (see
+	// deliveryLine). seq is claimed at schedule time so same-instant
+	// ties resolve exactly as if every delivery were in the heap.
+	at  sim.Time
+	seq uint64
 }
 
 // run fires one arrival: delivery counters, the handler's synchronous
@@ -123,6 +129,67 @@ func (d *delivery) run() {
 	dst.RxBytes += ws
 	dst.handler(pkt)
 	f.pool.Put(pkt)
+}
+
+// deliveryLine is one (src, dst) pair's propagation delay line. The
+// per-pair FIFO clamp (lastArrival) makes arrival deadlines monotone per
+// pair, so in-flight deliveries land strictly in order — only the head
+// delivery holds a scheduled engine callback, and landing re-arms the
+// next head. With a 2 µs wire over nanosecond-scale packet spacing this
+// keeps hundreds of in-flight packets out of the event heap (heap depth
+// is what every push and pop pays for).
+type deliveryLine struct {
+	f    *Fabric
+	buf  []*delivery // power-of-two ring
+	head int
+	n    int
+	fn   func()
+}
+
+// push appends d at the tail, growing the ring only when full.
+func (l *deliveryLine) push(d *delivery) {
+	if l.n == len(l.buf) {
+		newCap := 2 * len(l.buf)
+		if newCap == 0 {
+			newCap = 8
+		}
+		buf := make([]*delivery, newCap)
+		for i := 0; i < l.n; i++ {
+			buf[i] = l.buf[(l.head+i)&(len(l.buf)-1)]
+		}
+		l.buf = buf
+		l.head = 0
+	}
+	l.buf[(l.head+l.n)&(len(l.buf)-1)] = d
+	l.n++
+}
+
+// land fires when the head delivery reaches the destination. The next
+// flight (if any) is re-armed before the arrival runs, so its callback
+// takes the earliest sequence number available at this instant.
+func (l *deliveryLine) land() {
+	d := l.buf[l.head]
+	l.buf[l.head] = nil
+	l.head = (l.head + 1) & (len(l.buf) - 1)
+	l.n--
+	if l.n > 0 {
+		next := l.buf[l.head]
+		l.f.eng.ScheduleSeq(next.at, next.seq, l.fn)
+	}
+	d.run()
+}
+
+// clear drops deliveries an abandoned run left in flight, recycling
+// their storage (their packets are gone with the old run, matching the
+// engine Reset that already dropped the line's scheduled callback).
+func (l *deliveryLine) clear(s *scratch) {
+	for i := 0; i < l.n; i++ {
+		d := l.buf[(l.head+i)&(len(l.buf)-1)]
+		l.buf[(l.head+i)&(len(l.buf)-1)] = nil
+		d.dst, d.pkt = nil, nil
+		s.freeDel = append(s.freeDel, d)
+	}
+	l.head, l.n = 0, 0
 }
 
 // scratchKey is the engine Aux key the fabric's recycled storage lives
@@ -145,6 +212,7 @@ type scratch struct {
 	ports       []*Port
 	egressFree  []sim.Time
 	lastArrival [][]sim.Time
+	lines       [][]*deliveryLine
 
 	portGen  uint64
 	portAll  []*Port
@@ -174,6 +242,7 @@ type Fabric struct {
 	ports       []*Port
 	egressFree  []sim.Time
 	lastArrival [][]sim.Time
+	lines       [][]*deliveryLine
 	// pool recycles packet storage through the datapath; the delivery
 	// free list lives in the shared scratch. ownsTables records that this
 	// fabric claimed the scratch's LID tables for its generation and must
@@ -226,12 +295,20 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 		f.ports = s.ports
 		f.egressFree = s.egressFree
 		f.lastArrival = s.lastArrival
+		f.lines = s.lines
 		for i := range f.ports {
 			f.ports[i] = nil
 			f.egressFree[i] = 0
 			row := f.lastArrival[i]
 			for j := range row {
 				row[j] = 0
+			}
+		}
+		for _, row := range f.lines {
+			for _, l := range row {
+				if l != nil && l.n > 0 {
+					l.clear(s)
+				}
 			}
 		}
 	}
@@ -285,7 +362,7 @@ func (f *Fabric) deliverFromNet(dstLID uint16, pkt *packet.Packet, ws int) {
 	f.lastArrival[pkt.SLID][dstLID] = at
 	d := f.getDelivery()
 	d.dst, d.pkt, d.ws = dst, pkt, uint64(ws)
-	f.eng.At(at, d.fn)
+	f.scheduleDelivery(pkt.SLID, dstLID, d, at)
 }
 
 // dropFromNet accounts a switch tail drop. The packet was already
@@ -356,6 +433,9 @@ func (f *Fabric) grow(n int) {
 		rows := make([][]sim.Time, len(f.lastArrival), capHint)
 		copy(rows, f.lastArrival)
 		f.lastArrival = rows
+		lineRows := make([][]*deliveryLine, len(f.lines), capHint)
+		copy(lineRows, f.lines)
+		f.lines = lineRows
 	}
 	f.ports = f.ports[:n]
 	f.egressFree = f.egressFree[:n]
@@ -372,10 +452,24 @@ func (f *Fabric) grow(n int) {
 	for len(f.lastArrival) < n {
 		f.lastArrival = append(f.lastArrival, make([]sim.Time, n, capHint))
 	}
+	for i := range f.lines {
+		row := f.lines[i]
+		if cap(row) < n {
+			grown := make([]*deliveryLine, n, capHint)
+			copy(grown, row)
+			f.lines[i] = grown
+		} else {
+			f.lines[i] = row[:n]
+		}
+	}
+	for len(f.lines) < n {
+		f.lines = append(f.lines, make([]*deliveryLine, n, capHint))
+	}
 	if f.ownsTables {
 		f.scratch.ports = f.ports
 		f.scratch.egressFree = f.egressFree
 		f.scratch.lastArrival = f.lastArrival
+		f.scratch.lines = f.lines
 	}
 }
 
@@ -438,6 +532,25 @@ func (f *Fabric) emitTap(ev TapEvent) {
 
 // getDelivery pops a recycled delivery event, or allocates one with its
 // run method value cached.
+// scheduleDelivery queues d to land at the (already FIFO-clamped)
+// deadline at on the (src, dst) pair's delay line, arming the line's
+// callback only when d is the new head.
+func (f *Fabric) scheduleDelivery(src, dst uint16, d *delivery, at sim.Time) {
+	l := f.lines[src][dst]
+	if l == nil {
+		l = &deliveryLine{}
+		l.fn = l.land
+		f.lines[src][dst] = l
+	}
+	l.f = f // lines outlive per-trial fabrics, like the delivery free list
+	d.at = at
+	d.seq = f.eng.ReserveSeq()
+	if l.n == 0 {
+		f.eng.ScheduleSeq(at, d.seq, l.fn)
+	}
+	l.push(d)
+}
+
 func (f *Fabric) getDelivery() *delivery {
 	s := f.scratch
 	n := len(s.freeDel)
@@ -526,5 +639,5 @@ func (p *Port) Send(pkt *packet.Packet) {
 	f.lastArrival[p.LID][pkt.DLID] = at
 	d := f.getDelivery()
 	d.dst, d.pkt, d.ws = dst, pkt, ws
-	f.eng.At(at, d.fn)
+	f.scheduleDelivery(p.LID, pkt.DLID, d, at)
 }

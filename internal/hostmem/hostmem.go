@@ -340,7 +340,7 @@ func (as *AddressSpace) ResolveFault(p PageNo, done func()) {
 	pg := as.pageAt(p)
 	switch pg.state {
 	case Mapped, Pinned:
-		as.eng.After(0, done)
+		as.eng.ScheduleAfter(0, done)
 		return
 	case Resolving:
 		pg.resolveWaiters = append(pg.resolveWaiters, done)
@@ -361,7 +361,7 @@ func (as *AddressSpace) ResolveFault(p PageNo, done func()) {
 		}
 	}
 	lat := as.eng.Uniform(as.cfg.FaultResolveMin, as.cfg.FaultResolveMax)
-	as.eng.After(lat, pg.completeFn)
+	as.eng.ScheduleAfter(lat, pg.completeFn)
 }
 
 // ReadWord returns the 8-byte value at addr (zero if never written).

@@ -460,12 +460,12 @@ func (e *Engine) kick() {
 	switch it.kind {
 	case kindSpurious:
 		e.queuedSpurious.clear(it.key.QP, it.key.Page)
-		e.eng.After(e.eng.Jitter(e.cfg.SpuriousCost, 0.1), e.finishFn)
+		e.eng.ScheduleAfter(e.eng.Jitter(e.cfg.SpuriousCost, 0.1), e.finishFn)
 	case kindResolve:
 		e.curPage = it.page
 		e.as.ResolveFault(it.page, e.resolveFn)
 	case kindUpdate:
 		e.curKey = it.key
-		e.eng.After(e.eng.Jitter(e.cfg.QPUpdateCost, 0.1), e.updateFn)
+		e.eng.ScheduleAfter(e.eng.Jitter(e.cfg.QPUpdateCost, 0.1), e.updateFn)
 	}
 }

@@ -75,7 +75,7 @@ func (qp *QP) respondAtomic(pkt *packet.Packet, dup bool) {
 		// NP-RDMA: the atomic executed; its response waits out the
 		// driver migration of the target page.
 		psn := pkt.PSN
-		r.eng.After(stall, func() { qp.sendAtomicResp(psn, orig) })
+		r.eng.ScheduleAfter(stall, func() { qp.sendAtomicResp(psn, orig) })
 		return
 	}
 	qp.sendAtomicResp(pkt.PSN, orig)

@@ -377,7 +377,7 @@ func (qp *QP) sendRequest(o *outReq) bool {
 		// migration completes (cold path: the deferred closure follows
 		// the sendPaced precedent and owns the packet until Send).
 		port := qp.rnic.Port
-		qp.rnic.eng.After(nprStall, func() { port.Send(pkt) })
+		qp.rnic.eng.ScheduleAfter(nprStall, func() { port.Send(pkt) })
 		return true
 	}
 	return qp.sendPaced(pkt)
@@ -401,7 +401,7 @@ func (qp *QP) sendPaced(pkt *packet.Packet) bool {
 		}
 		if start > now {
 			port := qp.rnic.Port
-			qp.rnic.eng.At(start, func() { port.Send(pkt) })
+			qp.rnic.eng.Schedule(start, func() { port.Send(pkt) })
 			return true
 		}
 	}

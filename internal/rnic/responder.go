@@ -104,7 +104,7 @@ func (qp *QP) respondRead(pkt *packet.Packet, dup bool) {
 		// NP-RDMA cold pages: ePSN already advanced (the request *is*
 		// accepted); only the response waits out the driver migration.
 		psn := pkt.PSN
-		r.eng.After(stall, func() { qp.sendReadResponse(psn, length, npsn) })
+		r.eng.ScheduleAfter(stall, func() { qp.sendReadResponse(psn, length, npsn) })
 		return
 	}
 	qp.sendReadResponse(pkt.PSN, length, npsn)
@@ -131,7 +131,7 @@ func (qp *QP) respondWrite(pkt *packet.Packet, dup bool) {
 	if pkt.AckReq {
 		if stall > 0 {
 			psn := pkt.PSN
-			r.eng.After(stall, func() { qp.sendAck(packet.SynACK, psn) })
+			r.eng.ScheduleAfter(stall, func() { qp.sendAck(packet.SynACK, psn) })
 			return
 		}
 		qp.sendAck(packet.SynACK, pkt.PSN)
@@ -165,7 +165,7 @@ func (qp *QP) respondSend(pkt *packet.Packet, dup bool) {
 		// The receive completes and the ACK goes out once the driver
 		// has migrated the landing buffer (scalar captures only).
 		id, psn, plen := rwr.ID, pkt.PSN, pkt.PayloadLen
-		r.eng.After(stall, func() {
+		r.eng.ScheduleAfter(stall, func() {
 			qp.deliver(qp.recvCQ, CQE{WRID: id, QPN: qp.Num, Status: WCSuccess, Op: OpSend, ByteLen: plen, Recv: true})
 			qp.sendAck(packet.SynACK, psn)
 		})

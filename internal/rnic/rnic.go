@@ -340,7 +340,7 @@ func (r *RNIC) CreateQP(sendCQ, recvCQ *CQ) *QP {
 	qp.onTimeoutFn = qp.onTimeout
 	qp.resumeFn = qp.resumePending
 	if r.dcqcnOn {
-		qp.rate = congestion.NewRateState(r.eng, r.dcqcn, r.lineGbps)
+		qp.rate = congestion.NewRateStateOn(r.eng, r.dcqcn, r.lineGbps)
 	}
 	r.nextQPN++
 	r.qps[qp.Num] = qp

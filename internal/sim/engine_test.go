@@ -459,3 +459,116 @@ func TestEngineAllocsFlat(t *testing.T) {
 		t.Errorf("allocs per loop = %v, want ≤ 8 (free list not recycling)", avg)
 	}
 }
+
+// TestScheduleOrderingMatchesAt checks the lite fire-and-forget path
+// (Schedule/ScheduleAfter) shares one sequence counter with At/After:
+// same-instant callbacks fire in scheduling order regardless of which
+// API queued them, so mixing the two paths changes nothing observable.
+func TestScheduleOrderingMatchesAt(t *testing.T) {
+	e := New(1)
+	var order []int
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.After(10, func() { order = append(order, 2) })
+	e.ScheduleAfter(10, func() { order = append(order, 3) })
+	e.At(5, func() { order = append(order, 0) })
+	e.ScheduleAfter(-3, func() { order = append(order, -1) }) // clamped to now
+	e.Run()
+	want := []int{-1, 0, 1, 2, 3}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("fire order = %v, want %v", order, want)
+		}
+	}
+	if e.QueueLen() != 0 {
+		t.Errorf("QueueLen = %d after Run, want 0", e.QueueLen())
+	}
+}
+
+// TestScheduleDroppedByReset checks Reset discards pending lite
+// callbacks like tracked events, and the engine stays reusable.
+func TestScheduleDroppedByReset(t *testing.T) {
+	e := New(1)
+	leaked := false
+	e.Schedule(5, func() { leaked = true })
+	e.Reset(2)
+	fired := false
+	e.ScheduleAfter(1, func() { fired = true })
+	e.Run()
+	if leaked {
+		t.Error("pre-Reset lite callback fired after Reset")
+	}
+	if !fired {
+		t.Error("post-Reset lite callback did not fire")
+	}
+}
+
+// TestScheduleCancelInterleaved exercises Timer.Cancel against a heap
+// holding lite slots: removal sifts move both kinds, and only tracked
+// events carry a heap index. A cancelled timer must not disturb the lite
+// callbacks around it.
+func TestScheduleCancelInterleaved(t *testing.T) {
+	e := New(1)
+	var fired []int
+	timers := make([]Timer, 0, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		e.Schedule(Time(10+i), func() { fired = append(fired, i) })
+		timers = append(timers, e.After(Time(10+i), func() { fired = append(fired, 100+i) }))
+	}
+	for i := 0; i < 8; i += 2 {
+		if !timers[i].Cancel() {
+			t.Fatalf("timer %d did not cancel", i)
+		}
+	}
+	e.Run()
+	want := []int{0, 1, 101, 2, 3, 103, 4, 5, 105, 6, 7, 107}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestPreallocEvents checks pre-sizing: after PreallocEvents(n), a burst
+// of n tracked and lite schedules plus the run to drain them allocates
+// nothing — the switched congestion network relies on this to keep cold
+// trials off the allocator too.
+func TestPreallocEvents(t *testing.T) {
+	e := New(1)
+	e.PreallocEvents(64)
+	fn := func() {}
+	loop := func() {
+		e.Reset(1)
+		for j := 0; j < 32; j++ {
+			e.After(Time(j+1), fn)
+			e.Schedule(Time(j+1), fn)
+		}
+		e.Run()
+	}
+	loop()
+	if avg := testing.AllocsPerRun(10, loop); avg > 0 {
+		t.Errorf("allocs per pre-sized loop = %v, want 0", avg)
+	}
+}
+
+// TestReserveSeqTieBreak checks that a callback scheduled late with a
+// reserved sequence number keeps its reservation-order priority over
+// same-instant events scheduled after the reservation. This is the
+// contract the propagation delay lines depend on: only the head flight
+// sits in the heap, yet ties resolve exactly as if every flight had been
+// scheduled eagerly.
+func TestReserveSeqTieBreak(t *testing.T) {
+	e := New(1)
+	var fired []string
+	seq := e.ReserveSeq()
+	e.Schedule(5, func() { fired = append(fired, "later") })
+	// Reserved earlier, scheduled later: must still run first at t=5.
+	e.ScheduleSeq(5, seq, func() { fired = append(fired, "reserved") })
+	e.Run()
+	if len(fired) != 2 || fired[0] != "reserved" || fired[1] != "later" {
+		t.Fatalf("fired %v, want [reserved later]", fired)
+	}
+}
