@@ -54,3 +54,53 @@ func TestAllocBudgetCongestedSend(t *testing.T) {
 			avg, congestedAllocCeiling)
 	}
 }
+
+// closAllocCeiling bounds the warm-trial allocation count when the
+// rebuilt fabric is a leaf-spine Clos instead of the chain: the graph is
+// bigger (6 switches, 16 links, per-switch CSR routing tables), but the
+// arenas, egress slices and table backing arrays all recycle across
+// Reset, so a warm trial must stay as flat as the chain's.
+const closAllocCeiling = 32
+
+func TestAllocBudgetClosSend(t *testing.T) {
+	ccfg := congestion.DefaultConfig()
+	ccfg.Topology = congestion.ClosTopology(2, 4, 4)
+	ccfg.PFC = true
+	ccfg.XOffBytes = 1 << 10
+	ccfg.XOnBytes = 512
+
+	eng := sim.New(1)
+	seed := int64(0)
+	trial := func() {
+		seed++
+		eng.Reset(seed)
+		f := fabric.New(eng, fabric.DefaultConfig())
+		// Eight hosts round-robin across the four leaves; every flow
+		// below crosses a spine, so ECMP and the routing tables are on
+		// the measured path.
+		ports := make([]*fabric.Port, 8)
+		for lid := uint16(1); lid <= 8; lid++ {
+			ports[lid-1] = f.AttachPort(lid, "host", func(*packet.Packet) {})
+		}
+		f.EnableCongestion(ccfg)
+		pool := f.Pool()
+		for j := 0; j < 4096; j++ {
+			src := ports[j%4]                  // leaves 0..3
+			dst := uint16(5 + (j+1)%4)         // the other replica on each leaf
+			p := pool.Get()
+			p.Opcode = packet.OpReadRequest
+			p.DLID = dst
+			p.PSN = uint32(j)
+			src.Send(p)
+		}
+		eng.Run()
+	}
+	trial() // first trial warms the arenas (incl. CSR routing tables)
+
+	avg := testing.AllocsPerRun(10, trial)
+	t.Logf("clos send→deliver trial allocates %.0f/op (ceiling %d)", avg, closAllocCeiling)
+	if avg > closAllocCeiling {
+		t.Errorf("clos trial allocates %.0f/op, ceiling %d — graph rebuild or ECMP routing left the warm-allocation contract",
+			avg, closAllocCeiling)
+	}
+}

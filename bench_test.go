@@ -782,6 +782,40 @@ func BenchmarkCongestedSend(b *testing.B) {
 	}
 }
 
+// BenchmarkCongestedSendClos is BenchmarkCongestedSend on a leaf-spine
+// Clos (radix 4, 4× oversubscription) with eight hosts spread across the
+// four leaves: every packet is routed by the per-switch CSR tables and
+// the spine hop is picked by seeded-hash ECMP, so the delta against
+// BenchmarkCongestedSend is the cost of graph routing over the
+// hard-wired chain. TestAllocBudgetClosSend pins the warm trial budget.
+func BenchmarkCongestedSendClos(b *testing.B) {
+	ccfg := congestion.DefaultConfig()
+	ccfg.Topology = congestion.ClosTopology(2, 4, 4)
+	ccfg.PFC = true
+	ccfg.XOffBytes = 1 << 10
+	ccfg.XOnBytes = 512
+	eng := sim.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.Reset(int64(i))
+		f := fabric.New(eng, fabric.DefaultConfig())
+		ports := make([]*fabric.Port, 8)
+		for lid := uint16(1); lid <= 8; lid++ {
+			ports[lid-1] = f.AttachPort(lid, "host", func(*packet.Packet) {})
+		}
+		f.EnableCongestion(ccfg)
+		pool := f.Pool()
+		for j := 0; j < 4096; j++ {
+			p := pool.Get()
+			p.Opcode = packet.OpReadRequest
+			p.DLID = uint16(5 + (j+1)%4)
+			p.PSN = uint32(j)
+			ports[j%4].Send(p)
+		}
+		eng.Run()
+	}
+}
+
 // BenchmarkSweepMicrobenchReuse measures one default micro-benchmark run
 // on a Reset-reused engine — the per-trial cost inside every sweep.
 func BenchmarkSweepMicrobenchReuse(b *testing.B) {

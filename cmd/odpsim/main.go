@@ -78,7 +78,7 @@ run flags:
 }
 
 func list() {
-	fmt.Printf("%-14s %-20s %s\n", "NAME", "WORKLOAD", "TITLE")
+	fmt.Printf("%-14s %-20s %-12s %s\n", "NAME", "WORKLOAD", "TOPOLOGY", "TITLE")
 	for _, name := range scenario.Names() {
 		sc, err := scenario.Lookup(name)
 		if err != nil {
@@ -88,7 +88,11 @@ func list() {
 		if sc.Slow {
 			slow = "  [slow]"
 		}
-		fmt.Printf("%-14s %-20s %s%s\n", sc.Name, sc.Workload, sc.ExpandedTitle(), slow)
+		topo := "-"
+		if sc.Congestion != nil && sc.Congestion.Topology != nil {
+			topo = sc.Congestion.Topology.Label()
+		}
+		fmt.Printf("%-14s %-20s %-12s %s%s\n", sc.Name, sc.Workload, topo, sc.ExpandedTitle(), slow)
 	}
 	fmt.Printf("\nworkload kinds for JSON specs: %v\n", scenario.Workloads())
 }
@@ -250,4 +254,20 @@ func show(args []string) {
 		log.Fatal(err)
 	}
 	os.Stdout.Write(data)
+	// The topology summary goes to stderr so stdout stays a valid,
+	// round-trippable JSON spec (`odpsim show fig4 > my.json`).
+	if topo, ok := sc.BuiltTopology(); ok {
+		fmt.Fprintf(os.Stderr, "\ntopology  %s\n", topo.Summary())
+		fmt.Fprintf(os.Stderr, "          tiers:")
+		for i, name := range topo.TierNames {
+			count := 0
+			for _, t := range topo.TierOf {
+				if t == i {
+					count++
+				}
+			}
+			fmt.Fprintf(os.Stderr, " %s=%d", name, count)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
 }

@@ -31,14 +31,22 @@ const (
 // Config describes the switched fabric. The zero value is not useful;
 // start from DefaultConfig.
 type Config struct {
-	// Switches is the number of switches in the linear core (hosts
-	// attach round-robin by LID; with 2 switches and 2 hosts every flow
-	// crosses the inter-switch link).
+	// Topology is the switch graph to build. The zero value (Kind "")
+	// selects the historical linear chain derived from Switches and
+	// UplinkFactor; use ChainTopology or ClosTopology to make it
+	// explicit.
+	Topology Topology
+	// Switches is the number of switches in the implicit linear chain
+	// (hosts attach round-robin by LID; with 2 switches and 2 hosts
+	// every flow crosses the inter-switch link). Ignored when Topology
+	// is set.
 	Switches int
-	// UplinkFactor oversubscribes the inter-switch links: their
-	// bandwidth is the edge link rate divided by this factor (spine
-	// oversubscription is what makes a 2-host topology contend at all).
-	// Values below 1 are treated as 1 (no oversubscription).
+	// UplinkFactor oversubscribes the inter-switch links of the implicit
+	// chain: their bandwidth is the edge link rate divided by this
+	// factor (spine oversubscription is what makes a 2-host topology
+	// contend at all). Values below 1 are treated as 1 (no
+	// oversubscription). Ignored when Topology is set — Clos builders
+	// take their own oversubscription argument.
 	UplinkFactor float64
 	// BufferBytes is each switch's shared packet buffer. Arrivals that
 	// would overflow it are tail-dropped (unless PFC paused the source

@@ -291,8 +291,15 @@ type swtch struct {
 	// are small consecutive integers, so indexing replaces hashing on
 	// the last hop of every delivery).
 	toHost []*port
-	left   *port // toward switch idx-1
-	right  *port // toward switch idx+1
+	// egress holds the switch-to-switch ports, parallel to the
+	// topology's adjacency list for this switch.
+	egress []*port
+	// hopOff/hopPorts are the destination-switch routing table in CSR
+	// form: the equal-cost next hops toward destination switch t are
+	// hopPorts[hopOff[t]:hopOff[t+1]]. Built by Network.buildRoutes on
+	// the recycled backing arrays, so warm rebuilds allocate nothing.
+	hopOff   []int32
+	hopPorts []*port
 
 	Drops       uint64
 	EcnMarked   uint64
@@ -344,7 +351,7 @@ func (sw *swtch) admit(e *entry, from *port) bool {
 // forward queues the entry on the egress toward its destination. ECN
 // marking happened at admission (see admit).
 func (sw *swtch) forward(e *entry) {
-	sw.route(e.dst).enqueue(e)
+	sw.route(e.src, e.dst).enqueue(e)
 }
 
 // release returns the entry's bytes to the shared buffer and the PFC
@@ -381,16 +388,22 @@ func (sw *swtch) setPause(up *port, xoff bool) {
 	}
 }
 
-// route picks the egress port toward the destination host.
-func (sw *swtch) route(dst uint16) *port {
+// route picks the egress port toward the destination host: the downlink
+// when the destination attaches here, the single next hop when the
+// routing table has one, and otherwise a seeded-hash ECMP pick across the
+// equal-cost set. Hashing on the (src, dst) flow pair — never the random
+// stream — keeps the pick consistent for a flow's lifetime (RC delivery
+// stays FIFO per pair) and reproducible for a given engine seed.
+func (sw *swtch) route(src, dst uint16) *port {
 	t := sw.n.switchOf(dst)
 	if t == sw.idx {
 		return sw.hostPort(dst)
 	}
-	if t < sw.idx {
-		return sw.left
+	hops := sw.hopPorts[sw.hopOff[t]:sw.hopOff[t+1]]
+	if len(hops) == 1 {
+		return hops[0]
 	}
-	return sw.right
+	return hops[sw.n.ecmpIndex(src, dst, len(hops))]
 }
 
 // hostPort lazily creates the downlink to an attached host, indexed
@@ -407,19 +420,28 @@ func (sw *swtch) hostPort(dst uint16) *port {
 	return p
 }
 
-// Network is the switched fabric core: the linear switch chain plus one
-// uplink queue per attached host (the host-side port PFC pauses).
+// Network is the switched fabric core: the topology's switch graph plus
+// one uplink queue per attached host (the host-side port PFC pauses).
 type Network struct {
 	eng   *sim.Engine
 	cfg   Config
 	hooks Hooks
 
 	edgeGbps float64  // host links
-	coreGbps float64  // inter-switch links
 	prop     sim.Time // per-hop propagation
 
+	topo     Topology
 	switches []*swtch
 	uplinks  []*port // indexed by LID
+
+	// ecmpSeed folds the engine seed into every ECMP hash so path
+	// assignment is deterministic per seed without touching the engine's
+	// random stream (which would perturb unrelated draws and goldens).
+	ecmpSeed uint64
+	// dist and bfsQ are buildRoutes scratch (a dense [dst][switch]
+	// distance matrix and the BFS work queue), reused across trials.
+	dist []int32
+	bfsQ []int32
 
 	scratch *scratch
 
@@ -455,6 +477,23 @@ type scratch struct {
 	swNext   int
 	rateAll  []*RateState
 	rateNext int
+
+	// chainTopo memoizes the implicit chain topology that configs without
+	// an explicit Topology resolve to, keyed by its parameters, so warm
+	// trial loops do not rebuild the adjacency slices every run.
+	chainTopo Topology
+	chainSw   int
+	chainUF   float64
+}
+
+// chain returns the memoized degenerate chain topology for the given
+// parameters, rebuilding it only when they change.
+func (s *scratch) chain(switches int, uplinkFactor float64) Topology {
+	if s.chainTopo.Kind == "" || s.chainSw != switches || s.chainUF != uplinkFactor {
+		s.chainTopo = ChainTopology(switches, uplinkFactor)
+		s.chainSw, s.chainUF = switches, uplinkFactor
+	}
+	return s.chainTopo
 }
 
 // scratchFor fetches or creates the engine's congestion scratch,
@@ -477,44 +516,123 @@ func serTime(wireBytes int, gbps float64) sim.Time {
 	return sim.Time(float64(wireBytes*8) / gbps)
 }
 
-// NewNetwork builds the switch topology on eng. linkGbps and propDelay
-// mirror the owning fabric's link model; hooks connect delivery, drops
-// and pause-frame visibility back to it. Networks, their switches and
-// ports are recycled across Engine.Reset generations, so sweeps that
-// rebuild the fabric per trial reuse one warm topology.
+// NewNetwork builds the configured switch topology on eng. linkGbps and
+// propDelay mirror the owning fabric's link model; hooks connect
+// delivery, drops and pause-frame visibility back to it. Networks, their
+// switches and ports are recycled across Engine.Reset generations, so
+// sweeps that rebuild the fabric per trial reuse one warm topology.
 func NewNetwork(eng *sim.Engine, cfg Config, linkGbps float64, propDelay sim.Time, hooks Hooks) *Network {
 	cfg = cfg.withDefaults()
 	if cfg.PFC && cfg.XOffBytes <= cfg.XOnBytes {
 		panic("congestion: XOffBytes must be greater than XOnBytes")
 	}
 	s := scratchFor(eng)
+	topo := cfg.Topology
+	if topo.Kind == "" {
+		topo = s.chain(cfg.Switches, cfg.UplinkFactor)
+	}
 	n := s.getNetwork()
 	n.eng = eng
 	n.cfg = cfg
 	n.hooks = hooks
 	n.edgeGbps = linkGbps
-	n.coreGbps = linkGbps / cfg.UplinkFactor
 	n.prop = propDelay
+	n.topo = topo
+	n.ecmpSeed = uint64(eng.Seed()) * 0x9e3779b97f4a7c15
 	n.scratch = s
 	n.tel = telemetry.NewRegistryOn(eng, "congestion", telemetry.Labels{"device": "congestion"})
-	for i := 0; i < cfg.Switches; i++ {
+	for i := 0; i < topo.SwitchCount(); i++ {
 		n.switches = append(n.switches, n.getSwitch(i))
 	}
+	// Create the switch-to-switch ports in adjacency order — for a chain
+	// this is left-then-right per switch, the exact creation order (and
+	// therefore port-arena assignment) of the pre-topology builder.
 	for i, sw := range n.switches {
-		if i > 0 {
-			sw.left = n.newPort(portRole{roleCore, i, i - 1}, n.coreGbps, n.prop, n.switches[i-1])
-		}
-		if i < len(n.switches)-1 {
-			sw.right = n.newPort(portRole{roleCore, i, i + 1}, n.coreGbps, n.prop, n.switches[i+1])
+		sw.egress = sw.egress[:0]
+		for _, l := range topo.Adj[i] {
+			prop := n.prop
+			if l.PropFactor != 1 {
+				prop = sim.Time(float64(prop) * l.PropFactor)
+			}
+			sw.egress = append(sw.egress,
+				n.newPort(portRole{roleCore, i, l.To}, linkGbps/l.SpeedDiv, prop, n.switches[l.To]))
 		}
 	}
-	// Pre-size the engine's event storage for the switched fan-out: every
-	// link can hold a tx-done event plus propagation flights at once.
-	// Warm engines already have the capacity, so this is a cold-start
-	// courtesy, not a per-trial cost.
-	eng.PreallocEvents(16 * cfg.Switches)
+	n.buildRoutes()
+	// Pre-size the engine's event storage from the link count: every link
+	// can hold a tx-done event plus propagation flights at once, and each
+	// leaf adds host up/downlinks. Warm engines already have the capacity,
+	// so this is a cold-start courtesy, not a per-trial cost.
+	eng.PreallocEvents(8 * (topo.LinkCount() + 2*len(topo.Leaves)))
 	n.registerMetrics()
 	return n
+}
+
+// buildRoutes computes the destination-switch routing tables: a BFS from
+// every destination over the (symmetric) adjacency yields hop distances,
+// and each switch's equal-cost next hops toward t are exactly its links
+// that step one closer. Tables land in each switch's recycled CSR arrays,
+// so rebuilding the same topology allocates nothing once warm. Adjacency
+// order fixes the hop order, which makes ECMP picks a pure function of
+// (topology, seed, src, dst).
+func (n *Network) buildRoutes() {
+	S := len(n.switches)
+	if cap(n.dist) < S*S {
+		n.dist = make([]int32, S*S)
+	}
+	n.dist = n.dist[:S*S]
+	if cap(n.bfsQ) < S {
+		n.bfsQ = make([]int32, 0, S)
+	}
+	for t := 0; t < S; t++ {
+		dist := n.dist[t*S : t*S+S]
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[t] = 0
+		q := append(n.bfsQ[:0], int32(t))
+		for head := 0; head < len(q); head++ {
+			v := int(q[head])
+			for _, l := range n.topo.Adj[v] {
+				if dist[l.To] == -1 {
+					dist[l.To] = dist[v] + 1
+					q = append(q, int32(l.To))
+				}
+			}
+		}
+		n.bfsQ = q[:0]
+	}
+	for si, sw := range n.switches {
+		sw.hopOff = append(sw.hopOff[:0], 0)
+		sw.hopPorts = sw.hopPorts[:0]
+		for t := 0; t < S; t++ {
+			if t != si {
+				dist := n.dist[t*S : t*S+S]
+				if dist[si] < 0 {
+					panic("congestion: switch " + sw.name + " has no route to " + n.switches[t].name)
+				}
+				for ai, l := range n.topo.Adj[si] {
+					if dist[l.To] == dist[si]-1 {
+						sw.hopPorts = append(sw.hopPorts, sw.egress[ai])
+					}
+				}
+			}
+			sw.hopOff = append(sw.hopOff, int32(len(sw.hopPorts)))
+		}
+	}
+}
+
+// ecmpIndex hashes the flow pair with the seed-derived key into one of k
+// equal-cost hops (a splitmix-style finalizer: cheap, stateless and
+// well-mixed for adjacent LIDs).
+func (n *Network) ecmpIndex(src, dst uint16, k int) int {
+	h := n.ecmpSeed ^ uint64(src)<<16 ^ uint64(dst)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return int(h % uint64(k))
 }
 
 // getNetwork grabs a recycled Network (or allocates the arena's next
@@ -541,7 +659,7 @@ func (s *scratch) getNetwork() *Network {
 	return n
 }
 
-// getSwitch grabs a recycled switch for chain position idx, resetting
+// getSwitch grabs a recycled switch for graph position idx, resetting
 // its counters, buffer accounting and downlink table. The name (and the
 // telemetry label map that carries it) is rebuilt only when the struct
 // serves a different position than last trial.
@@ -553,7 +671,7 @@ func (n *Network) getSwitch(idx int) *swtch {
 		s.swNext++
 		sw.bytes, sw.peak = 0, 0
 		sw.Drops, sw.EcnMarked, sw.PauseFrames = 0, 0, 0
-		sw.left, sw.right = nil, nil
+		sw.egress = sw.egress[:0]
 		for i := range sw.toHost {
 			sw.toHost[i] = nil
 		}
@@ -571,6 +689,13 @@ func (n *Network) getSwitch(idx int) *swtch {
 		}
 		sw.labels["switch"] = sw.name
 	}
+	// The tier can change even when the position does not (a recycled
+	// struct may serve a chain one trial and a Clos the next), so it is
+	// refreshed unconditionally. TierNames strings are shared with the
+	// topology, so this is a map assign, not an allocation, when warm.
+	if tier := n.topo.TierName(idx); sw.labels["tier"] != tier {
+		sw.labels["tier"] = tier
+	}
 	if sw.bytesGauge == nil {
 		sw.bytesGauge = func() float64 { return float64(sw.bytes) }
 		sw.peakGauge = func() float64 { return float64(sw.peak) }
@@ -580,6 +705,43 @@ func (n *Network) getSwitch(idx int) *swtch {
 
 // Config returns the resolved configuration (defaults filled in).
 func (n *Network) Config() Config { return n.cfg }
+
+// Topology returns the switch graph the network was built from (the
+// resolved chain when the config declared none).
+func (n *Network) Topology() Topology { return n.topo }
+
+// TierStat aggregates one tier's switch counters, for per-tier reporting
+// in workloads (the telemetry registry carries the same data under the
+// "tier" label on the sim_switch_* series).
+type TierStat struct {
+	Tier        string
+	Switches    int
+	Drops       uint64
+	EcnMarked   uint64
+	PauseFrames uint64
+	// PeakBytes is the highest shared-buffer high-water mark across the
+	// tier's switches.
+	PeakBytes uint64
+}
+
+// TierStats returns per-tier aggregates in tier order (leaf → spine).
+func (n *Network) TierStats() []TierStat {
+	stats := make([]TierStat, len(n.topo.TierNames))
+	for i, name := range n.topo.TierNames {
+		stats[i].Tier = name
+	}
+	for i, sw := range n.switches {
+		st := &stats[n.topo.TierOf[i]]
+		st.Switches++
+		st.Drops += sw.Drops
+		st.EcnMarked += sw.EcnMarked
+		st.PauseFrames += sw.PauseFrames
+		if sw.peak > st.PeakBytes {
+			st.PeakBytes = sw.peak
+		}
+	}
+	return stats
+}
 
 // Telemetry returns the network's counter registry.
 func (n *Network) Telemetry() *telemetry.Registry { return n.tel }
@@ -601,12 +763,15 @@ func (n *Network) registerMetrics() {
 	}
 }
 
-// switchOf maps a host LID onto its edge switch (round-robin).
+// switchOf maps a host LID onto its attachment switch (round-robin over
+// the topology's leaves; for a chain every switch is a leaf, reproducing
+// the old placement exactly).
 func (n *Network) switchOf(lid uint16) int {
+	leaves := n.topo.Leaves
 	if lid == 0 {
-		return 0
+		return leaves[0]
 	}
-	return int(lid-1) % len(n.switches)
+	return leaves[int(lid-1)%len(leaves)]
 }
 
 // newPort grabs a recycled port for the given link role, resetting its

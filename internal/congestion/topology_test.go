@@ -1,0 +1,264 @@
+package congestion
+
+import (
+	"fmt"
+	"testing"
+
+	"odpsim/internal/sim"
+)
+
+func TestChainTopologyShape(t *testing.T) {
+	topo := ChainTopology(3, 4)
+	if topo.SwitchCount() != 3 || topo.LinkCount() != 4 {
+		t.Fatalf("chain(3): %d switches, %d links, want 3, 4", topo.SwitchCount(), topo.LinkCount())
+	}
+	if len(topo.Leaves) != 3 {
+		t.Fatalf("chain leaves = %v, want every switch", topo.Leaves)
+	}
+	// Adjacency order is left-then-right: the port creation order the
+	// old chain builder used, load-bearing for golden compatibility.
+	if got := topo.Adj[1]; got[0].To != 0 || got[1].To != 2 {
+		t.Fatalf("middle switch adjacency = %+v, want [left right]", got)
+	}
+	if topo.Adj[0][0].SpeedDiv != 4 {
+		t.Fatalf("core SpeedDiv = %v, want the uplink factor", topo.Adj[0][0].SpeedDiv)
+	}
+	if topo.TierName(0) != "core" {
+		t.Fatalf("chain tier = %q, want core", topo.TierName(0))
+	}
+}
+
+func TestClosTopologyShape(t *testing.T) {
+	ls := ClosTopology(2, 4, 4)
+	if ls.SwitchCount() != 6 || ls.LinkCount() != 16 || len(ls.Leaves) != 4 {
+		t.Fatalf("leaf-spine(r4): %d switches, %d links, %d leaves, want 6, 16, 4",
+			ls.SwitchCount(), ls.LinkCount(), len(ls.Leaves))
+	}
+	if ls.TierName(0) != "leaf" || ls.TierName(4) != "spine" {
+		t.Fatalf("tiers = %q, %q, want leaf, spine", ls.TierName(0), ls.TierName(4))
+	}
+
+	ft := ClosTopology(3, 4, 1)
+	// k=4 fat-tree: 4 pods x (2 edge + 2 agg) + 4 cores = 20 switches;
+	// 16 edge-agg + 16 agg-core undirected links = 64 directed.
+	if ft.SwitchCount() != 20 || ft.LinkCount() != 64 || len(ft.Leaves) != 8 {
+		t.Fatalf("fat-tree(k4): %d switches, %d links, %d leaves, want 20, 64, 8",
+			ft.SwitchCount(), ft.LinkCount(), len(ft.Leaves))
+	}
+	if ft.TierName(0) != "edge" || ft.TierName(8) != "agg" || ft.TierName(16) != "core" {
+		t.Fatalf("fat-tree tiers = %q, %q, %q", ft.TierName(0), ft.TierName(8), ft.TierName(16))
+	}
+}
+
+func closConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Topology = ClosTopology(2, 4, 4)
+	return cfg
+}
+
+func TestClosDeliveryAllPairs(t *testing.T) {
+	h := newHarness(t, closConfig())
+	sent := 0
+	for src := uint16(1); src <= 8; src++ {
+		for dst := uint16(1); dst <= 8; dst++ {
+			if src != dst {
+				h.send(src, dst, 64)
+				sent++
+			}
+		}
+	}
+	h.eng.MustRun()
+	if len(h.delivered) != sent {
+		t.Fatalf("delivered %d of %d packets", len(h.delivered), sent)
+	}
+	if len(h.drops) != 0 {
+		t.Fatalf("unexpected drops: %v", h.drops)
+	}
+	if h.net.QueuedBytes() != 0 {
+		t.Fatalf("buffer not drained: %d bytes", h.net.QueuedBytes())
+	}
+}
+
+func TestFatTreeDelivery(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = ClosTopology(3, 4, 1)
+	h := newHarness(t, cfg)
+	// LIDs 1 and 6 land on edge switches in different pods (8 leaves,
+	// round-robin), so the packet climbs edge → agg → core and back down.
+	h.send(1, 6, 64)
+	h.eng.MustRun()
+	if len(h.delivered) != 1 || h.delivered[0] != 6 {
+		t.Fatalf("delivered = %v, want [6]", h.delivered)
+	}
+}
+
+// pathPicks records the uplink each cross-leaf flow takes at its source
+// leaf switch.
+func pathPicks(n *Network) map[[2]uint16]string {
+	picks := make(map[[2]uint16]string)
+	for src := uint16(1); src <= 8; src++ {
+		for dst := uint16(1); dst <= 8; dst++ {
+			if src == dst || n.switchOf(src) == n.switchOf(dst) {
+				continue
+			}
+			sw := n.switches[n.switchOf(src)]
+			picks[[2]uint16{src, dst}] = sw.route(src, dst).name
+		}
+	}
+	return picks
+}
+
+// TestECMPDeterministicAcrossRebuilds pins the seeded-hash contract:
+// rebuilding the network on a Reset engine with the same seed reproduces
+// the exact path assignment, and a different seed reshuffles it.
+func TestECMPDeterministicAcrossRebuilds(t *testing.T) {
+	eng := sim.New(1)
+	first := pathPicks(NewNetwork(eng, closConfig(), 56, 2*sim.Microsecond, Hooks{}))
+
+	eng.Reset(1)
+	same := pathPicks(NewNetwork(eng, closConfig(), 56, 2*sim.Microsecond, Hooks{}))
+	for pair, want := range first {
+		if same[pair] != want {
+			t.Fatalf("pair %v rerouted across identical-seed rebuild: %q -> %q", pair, want, same[pair])
+		}
+	}
+
+	eng.Reset(2)
+	other := pathPicks(NewNetwork(eng, closConfig(), 56, 2*sim.Microsecond, Hooks{}))
+	differs := false
+	for pair, want := range first {
+		if other[pair] != want {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("seed 2 produced the identical path assignment as seed 1 (48 pairs, 2 spines)")
+	}
+}
+
+// TestECMPSpreadsAcrossSpines asserts ECMP actually uses the path
+// diversity: the 48 cross-leaf flows must not all hash onto one spine.
+func TestECMPSpreadsAcrossSpines(t *testing.T) {
+	eng := sim.New(1)
+	picks := pathPicks(NewNetwork(eng, closConfig(), 56, 2*sim.Microsecond, Hooks{}))
+	used := make(map[string]bool)
+	for _, port := range picks {
+		used[port] = true
+	}
+	if len(used) < 3 {
+		t.Fatalf("flows used only %d distinct uplinks: %v", len(used), used)
+	}
+}
+
+func TestTierStatsAndLabels(t *testing.T) {
+	cfg := closConfig()
+	cfg.PFC = true
+	cfg.XOffBytes = 1 << 10
+	cfg.XOnBytes = 512
+	h := newHarness(t, cfg)
+	// Incast: every other host floods LID 1, converging on its leaf.
+	for i := 0; i < 16; i++ {
+		for src := uint16(2); src <= 8; src++ {
+			h.send(src, 1, 512)
+		}
+	}
+	h.eng.MustRun()
+
+	stats := h.net.TierStats()
+	if len(stats) != 2 || stats[0].Tier != "leaf" || stats[1].Tier != "spine" {
+		t.Fatalf("tier stats = %+v, want leaf and spine rows", stats)
+	}
+	if stats[0].Switches != 4 || stats[1].Switches != 2 {
+		t.Fatalf("tier switch counts = %d, %d, want 4, 2", stats[0].Switches, stats[1].Switches)
+	}
+	if stats[1].PauseFrames == 0 || stats[1].PeakBytes == 0 {
+		t.Fatalf("incast left the spine tier idle: %+v", stats[1])
+	}
+	var drops, pauses uint64
+	for _, sw := range h.net.switches {
+		drops += sw.Drops
+		pauses += sw.PauseFrames
+	}
+	if got := stats[0].Drops + stats[1].Drops; got != drops {
+		t.Fatalf("tier drops sum %d, switches say %d", got, drops)
+	}
+	if got := stats[0].PauseFrames + stats[1].PauseFrames; got != pauses {
+		t.Fatalf("tier pause sum %d, switches say %d", got, pauses)
+	}
+
+	if got := h.net.switches[0].labels["tier"]; got != "leaf" {
+		t.Fatalf(`leaf label = %q, want "leaf"`, got)
+	}
+	if got := h.net.switches[4].labels["tier"]; got != "spine" {
+		t.Fatalf(`spine label = %q, want "spine"`, got)
+	}
+}
+
+// TestTierLabelFollowsRecycledSwitch pins the arena subtlety: a switch
+// struct recycled from a chain trial into a Clos trial must swap its
+// "tier" label even though its position (and name) did not change.
+func TestTierLabelFollowsRecycledSwitch(t *testing.T) {
+	eng := sim.New(1)
+	n := NewNetwork(eng, DefaultConfig(), 56, 2*sim.Microsecond, Hooks{})
+	if got := n.switches[0].labels["tier"]; got != "core" {
+		t.Fatalf(`chain tier label = %q, want "core"`, got)
+	}
+	sw0 := n.switches[0]
+	eng.Reset(1)
+	n = NewNetwork(eng, closConfig(), 56, 2*sim.Microsecond, Hooks{})
+	if n.switches[0] != sw0 {
+		t.Fatal("switch arena did not recycle position 0")
+	}
+	if got := sw0.labels["tier"]; got != "leaf" {
+		t.Fatalf(`recycled tier label = %q, want "leaf"`, got)
+	}
+}
+
+// TestPreallocScalesWithLinks sanity-checks the satellite fix: event
+// prealloc derives from the graph's link count, so a high-radix tree
+// reserves more than a two-switch chain.
+func TestPreallocScalesWithLinks(t *testing.T) {
+	for _, tc := range []struct {
+		topo  Topology
+		floor int
+	}{
+		{ChainTopology(2, 4), 8 * (2 + 2*2)},
+		{ClosTopology(3, 4, 1), 8 * (64 + 2*8)},
+	} {
+		eng := sim.New(1)
+		cfg := DefaultConfig()
+		cfg.Topology = tc.topo
+		NewNetwork(eng, cfg, 56, 2*sim.Microsecond, Hooks{})
+		if got := eng.EventCapacity(); got < tc.floor {
+			t.Errorf("%s: event capacity %d, want >= %d", tc.topo.Kind, got, tc.floor)
+		}
+	}
+}
+
+// Route tables must route every pair on every builder output.
+func TestRoutingCompleteOnAllBuilders(t *testing.T) {
+	for _, topo := range []Topology{
+		ChainTopology(1, 1), ChainTopology(5, 2),
+		ClosTopology(2, 2, 1), ClosTopology(2, 8, 4), ClosTopology(3, 4, 2),
+	} {
+		topo := topo
+		t.Run(fmt.Sprintf("%s-%dt-%dsw", topo.Kind, topo.Tiers, topo.SwitchCount()), func(t *testing.T) {
+			eng := sim.New(1)
+			cfg := DefaultConfig()
+			cfg.Topology = topo
+			n := NewNetwork(eng, cfg, 56, 2*sim.Microsecond, Hooks{})
+			for si, sw := range n.switches {
+				for ti := range n.switches {
+					if ti == si {
+						continue
+					}
+					hops := sw.hopPorts[sw.hopOff[ti]:sw.hopOff[ti+1]]
+					if len(hops) == 0 {
+						t.Fatalf("switch %d has no hops toward %d", si, ti)
+					}
+				}
+			}
+		})
+	}
+}

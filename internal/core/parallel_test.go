@@ -5,12 +5,13 @@ import (
 	"testing"
 
 	"odpsim/internal/cluster"
+	"odpsim/internal/congestion"
 	"odpsim/internal/parallel"
 	"odpsim/internal/sim"
 )
 
-// sweepOutputs runs reduced versions of the Fig-2/4/6/9 sweeps and
-// returns everything they produce.
+// sweepOutputs runs reduced versions of the Fig-2/4/6/9 sweeps, plus a
+// Clos-fabric exec sweep, and returns everything they produce.
 func sweepOutputs() []any {
 	fig2 := SweepTimeouts([]cluster.System{cluster.KNL(), cluster.AzureHC()}, []int{1, 16, 20}, 3)
 
@@ -26,7 +27,19 @@ func sweepOutputs() []any {
 	base9.CACK = 18
 	fig9 := SweepQPs(base9, []int{1, 16}, []ODPMode{NoODP, ClientODP})
 
-	return []any{fig2, fig4, fig6, fig9}
+	// A Clos fabric with ECMP in the loop: path choice hashes on the
+	// engine seed, so per-point seeding must keep it identical for any
+	// worker count.
+	closCfg := congestion.DefaultConfig()
+	closCfg.Topology = congestion.ClosTopology(2, 4, 4)
+	closCfg.PFC = true
+	closCfg.XOffBytes = 1 << 10
+	closCfg.XOnBytes = 512
+	baseClos := DefaultBench()
+	baseClos.System.Congestion = &closCfg
+	clos := SweepExecTime(baseClos, IntervalRange(0, 4, 2), 3)
+
+	return []any{fig2, fig4, fig6, fig9, clos}
 }
 
 // TestSweepDeterminismAcrossJobs is the cross-check the parallel runner

@@ -342,6 +342,12 @@ func (f *Fabric) EnableCongestion(cfg congestion.Config) *congestion.Network {
 		Drop:    f.dropFromNet,
 		Pause:   f.tapPause,
 	})
+	// Size the per-pair delivery tables from the graph rather than the
+	// attach sequence: a multi-tier fabric hosts at least one node per
+	// leaf, so pre-growing to the leaf count turns the doubling during
+	// AttachPort into one cold-start growth. Warm rebuilds on a Reset
+	// engine find the recycled tables already big enough.
+	f.grow(len(f.net.Topology().Leaves) + 1)
 	return f.net
 }
 

@@ -222,4 +222,49 @@ func init() {
 		},
 		Quick: &scenario.Quick{Trials: 2, Ops: 128, Waves: 1},
 	})
+
+	// Clos-topology collectives: the patterns a chain cannot express
+	// (ROADMAP item 1). Incast converges eight senders on one sink, so
+	// the contention lives on the sink leaf's downlink and the spine
+	// uplinks feeding it; shuffle is the SparkUCX exchange shape,
+	// spreading pauses across every leaf. Both run on a 2-tier
+	// leaf-spine (radix 4: four leaves, two spines) with 4x
+	// oversubscribed uplinks and PFC on.
+	scenario.Register(scenario.Scenario{
+		Name:     "incast-clos",
+		Title:    "Incast on a leaf-spine Clos: 8->1 WRITE convergence under pin | odp | npr",
+		Workload: "mem-compare",
+		Inner:    "collective",
+		Pattern:  "incast",
+		Nodes:    9,
+		Mode:     "server",
+		Size:     1024,
+		Ops:      32,
+		CACK:     8,
+		Congestion: &scenario.CongestionSpec{
+			Topology: &scenario.TopologySpec{Kind: "clos", Tiers: 2, Radix: 4, Oversubscription: 4},
+			PFC:      true,
+			XOffKB:   1,
+			XOnKB:    0.5,
+		},
+		Quick: &scenario.Quick{Ops: 8},
+	})
+	scenario.Register(scenario.Scenario{
+		Name:     "shuffle-clos",
+		Title:    "All-to-all shuffle on a leaf-spine Clos: 6 nodes, server-side ODP, PFC",
+		Workload: "collective",
+		Pattern:  "shuffle",
+		Nodes:    6,
+		Mode:     "server",
+		Size:     1024,
+		Ops:      16,
+		CACK:     8,
+		Congestion: &scenario.CongestionSpec{
+			Topology: &scenario.TopologySpec{Kind: "clos", Tiers: 2, Radix: 4, Oversubscription: 4},
+			PFC:      true,
+			XOffKB:   1,
+			XOnKB:    0.5,
+		},
+		Quick: &scenario.Quick{Ops: 4},
+	})
 }

@@ -89,6 +89,11 @@ type Scenario struct {
 	// resolved system list.
 	HistHi []float64 `json:"hist_hi,omitempty"`
 
+	// Pattern selects the collective traffic shape: "incast" (every node
+	// WRITEs to node 0) or "shuffle" (all-to-all). Collective workload
+	// only.
+	Pattern string `json:"pattern,omitempty"`
+
 	// Memory selects how managed registrations translate on every node:
 	// pin | odp | npr. Absent means odp — the paper's configuration, and
 	// the one every pre-existing scenario renders byte-identically under.
@@ -165,6 +170,9 @@ type Faults struct {
 // congestion package's defaults, so `"congestion": {}` alone turns the
 // switched model on with the paper-calibrated topology.
 type CongestionSpec struct {
+	// Topology declares the switch graph (chain or Clos). Absent keeps
+	// the implicit linear chain built from Switches and UplinkFactor.
+	Topology *TopologySpec `json:"topology,omitempty"`
 	// Switches is the linear-core switch count (default 2).
 	Switches int `json:"switches,omitempty"`
 	// UplinkFactor oversubscribes the inter-switch links (default 4).
@@ -183,6 +191,114 @@ type CongestionSpec struct {
 	ECNThresholdKB float64 `json:"ecn_threshold_kb,omitempty"`
 	// DCQCN turns on the end-to-end rate-control loop (implies ECN).
 	DCQCN bool `json:"dcqcn,omitempty"`
+}
+
+// TopologySpec is the JSON face of congestion.Topology's builders: a
+// declarative switch graph for the congestion block. `"kind": "chain"`
+// is the historical linear chain; `"kind": "clos"` builds a leaf-spine
+// (tiers 2) or fat-tree (tiers 3) fabric. Hosts attach round-robin by
+// LID across the bottom tier, which is how the spec reaches
+// cluster.System node placement: the LIDs BuildOn assigns land on leaves
+// in declaration order.
+type TopologySpec struct {
+	// Kind is "chain" or "clos".
+	Kind string `json:"kind"`
+	// Switches is the chain length (chain only; default: the congestion
+	// block's switches field).
+	Switches int `json:"switches,omitempty"`
+	// Tiers is the Clos tier count: 2 = leaf-spine, 3 = fat-tree
+	// (clos only; default 2).
+	Tiers int `json:"tiers,omitempty"`
+	// Radix is the Clos switch port count, even and ≥ 2 (clos only;
+	// default 4).
+	Radix int `json:"radix,omitempty"`
+	// Oversubscription divides the switch-to-switch link rate (≥ 1;
+	// default: the congestion block's uplink_factor, itself default 4).
+	Oversubscription float64 `json:"oversubscription,omitempty"`
+}
+
+// build resolves the spec into a concrete switch graph, defaulting
+// unset fields from the enclosing congestion config.
+func (ts *TopologySpec) build(cfg congestion.Config) congestion.Topology {
+	over := ts.Oversubscription
+	if over == 0 {
+		over = cfg.UplinkFactor
+	}
+	if ts.Kind == "clos" {
+		tiers := ts.Tiers
+		if tiers == 0 {
+			tiers = 2
+		}
+		radix := ts.Radix
+		if radix == 0 {
+			radix = 4
+		}
+		return congestion.ClosTopology(tiers, radix, over)
+	}
+	sw := ts.Switches
+	if sw == 0 {
+		sw = cfg.Switches
+	}
+	return congestion.ChainTopology(sw, over)
+}
+
+// validate rejects graphs the builders would otherwise silently clamp,
+// so a bad spec fails at load time with a message.
+func (ts *TopologySpec) validate(name string) error {
+	switch ts.Kind {
+	case "chain":
+		if ts.Tiers != 0 || ts.Radix != 0 {
+			return fmt.Errorf("scenario %q: topology kind \"chain\" does not take tiers or radix", name)
+		}
+		if ts.Switches < 0 {
+			return fmt.Errorf("scenario %q: topology.switches must not be negative", name)
+		}
+	case "clos":
+		if ts.Switches != 0 {
+			return fmt.Errorf("scenario %q: topology kind \"clos\" takes tiers and radix, not switches", name)
+		}
+		if ts.Tiers != 0 && ts.Tiers != 2 && ts.Tiers != 3 {
+			return fmt.Errorf("scenario %q: topology.tiers must be 2 (leaf-spine) or 3 (fat-tree), got %d", name, ts.Tiers)
+		}
+		if ts.Radix != 0 && (ts.Radix < 2 || ts.Radix%2 != 0) {
+			return fmt.Errorf("scenario %q: topology.radix must be an even number >= 2, got %d", name, ts.Radix)
+		}
+	default:
+		return fmt.Errorf("scenario %q: unknown topology kind %q (want chain or clos)", name, ts.Kind)
+	}
+	if ts.Oversubscription != 0 && ts.Oversubscription < 1 {
+		return fmt.Errorf("scenario %q: topology.oversubscription must be at least 1", name)
+	}
+	return nil
+}
+
+// Label renders the compact form the `odpsim list` topology column uses
+// ("chain*4", "clos/2t/r4").
+func (ts *TopologySpec) Label() string {
+	if ts.Kind == "clos" {
+		tiers, radix := ts.Tiers, ts.Radix
+		if tiers == 0 {
+			tiers = 2
+		}
+		if radix == 0 {
+			radix = 4
+		}
+		return fmt.Sprintf("clos/%dt/r%d", tiers, radix)
+	}
+	if ts.Switches > 0 {
+		return fmt.Sprintf("chain*%d", ts.Switches)
+	}
+	return "chain"
+}
+
+// BuiltTopology resolves the switch graph the scenario declares through
+// its congestion block, reporting ok=false when it declares none (the
+// implicit chain). The CLI uses this for topology summaries.
+func (sc *Scenario) BuiltTopology() (topo congestion.Topology, ok bool) {
+	if sc.Congestion == nil || sc.Congestion.Topology == nil {
+		return congestion.Topology{}, false
+	}
+	return sc.Congestion.Config().Topology, true
 }
 
 // MemorySpec is the JSON face of the memory-mode switch: which
@@ -242,6 +358,9 @@ func (cs *CongestionSpec) Config() congestion.Config {
 		cfg.ECNThresholdBytes = kb(cs.ECNThresholdKB)
 	}
 	cfg.DCQCN.Enabled = cs.DCQCN
+	if cs.Topology != nil {
+		cfg.Topology = cs.Topology.build(cfg)
+	}
 	return cfg
 }
 
@@ -263,6 +382,11 @@ func (cs *CongestionSpec) validate(name string) error {
 		if cfg.XOffBytes <= cfg.XOnBytes {
 			return fmt.Errorf("scenario %q: congestion xoff_kb (%g KB effective) must be greater than xon_kb (%g KB effective)",
 				name, float64(cfg.XOffBytes)/1024, float64(cfg.XOnBytes)/1024)
+		}
+	}
+	if cs.Topology != nil {
+		if err := cs.Topology.validate(name); err != nil {
+			return err
 		}
 	}
 	return nil

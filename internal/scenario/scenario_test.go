@@ -69,6 +69,30 @@ func TestValidateRejects(t *testing.T) {
 		{"pool without npr", func(sc *Scenario) {
 			sc.Memory = &MemorySpec{Mode: "odp", PoolKB: 64}
 		}, "pool_kb"},
+		{"topology unknown kind", func(sc *Scenario) {
+			sc.Congestion = &CongestionSpec{Topology: &TopologySpec{Kind: "torus"}}
+		}, "topology kind"},
+		{"topology missing kind", func(sc *Scenario) {
+			sc.Congestion = &CongestionSpec{Topology: &TopologySpec{Radix: 4}}
+		}, "topology kind"},
+		{"chain with radix", func(sc *Scenario) {
+			sc.Congestion = &CongestionSpec{Topology: &TopologySpec{Kind: "chain", Radix: 4}}
+		}, "tiers or radix"},
+		{"chain negative switches", func(sc *Scenario) {
+			sc.Congestion = &CongestionSpec{Topology: &TopologySpec{Kind: "chain", Switches: -2}}
+		}, "switches"},
+		{"clos with switches", func(sc *Scenario) {
+			sc.Congestion = &CongestionSpec{Topology: &TopologySpec{Kind: "clos", Switches: 3}}
+		}, "not switches"},
+		{"clos bad tiers", func(sc *Scenario) {
+			sc.Congestion = &CongestionSpec{Topology: &TopologySpec{Kind: "clos", Tiers: 5}}
+		}, "tiers"},
+		{"clos odd radix", func(sc *Scenario) {
+			sc.Congestion = &CongestionSpec{Topology: &TopologySpec{Kind: "clos", Radix: 3}}
+		}, "radix"},
+		{"topology oversub below 1", func(sc *Scenario) {
+			sc.Congestion = &CongestionSpec{Topology: &TopologySpec{Kind: "clos", Oversubscription: 0.5}}
+		}, "oversubscription"},
 	}
 	for _, c := range cases {
 		sc := valid()
@@ -308,6 +332,56 @@ func TestSpecRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTopologySpecRoundTrip(t *testing.T) {
+	sc := valid()
+	sc.Congestion = &CongestionSpec{
+		Topology: &TopologySpec{Kind: "clos", Tiers: 2, Radix: 4, Oversubscription: 4},
+		PFC:      true, XOffKB: 1, XOnKB: 0.5,
+	}
+	data, err := SaveSpec(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSpec(data)
+	if err != nil {
+		t.Fatalf("LoadSpec: %v\nspec:\n%s", err, data)
+	}
+	if got.Congestion == nil || got.Congestion.Topology == nil {
+		t.Fatalf("topology block lost in round trip: %+v", got.Congestion)
+	}
+	if *got.Congestion.Topology != *sc.Congestion.Topology {
+		t.Errorf("topology changed in round trip: %+v vs %+v",
+			*got.Congestion.Topology, *sc.Congestion.Topology)
+	}
+	// The round-tripped spec must resolve to the same switch graph.
+	want, ok := sc.BuiltTopology()
+	if !ok {
+		t.Fatal("BuiltTopology reported no declared topology")
+	}
+	back, _ := got.BuiltTopology()
+	if back.SwitchCount() != want.SwitchCount() || back.LinkCount() != want.LinkCount() {
+		t.Errorf("rebuilt graph differs: %s vs %s", back.Summary(), want.Summary())
+	}
+}
+
+func TestTopologySpecLabel(t *testing.T) {
+	cases := []struct {
+		ts   TopologySpec
+		want string
+	}{
+		{TopologySpec{Kind: "clos", Tiers: 2, Radix: 4}, "clos/2t/r4"},
+		{TopologySpec{Kind: "clos"}, "clos/2t/r4"}, // defaults shown, not zeros
+		{TopologySpec{Kind: "clos", Tiers: 3, Radix: 8}, "clos/3t/r8"},
+		{TopologySpec{Kind: "chain", Switches: 4}, "chain*4"},
+		{TopologySpec{Kind: "chain"}, "chain"},
+	}
+	for _, c := range cases {
+		if got := c.ts.Label(); got != c.want {
+			t.Errorf("Label(%+v) = %q, want %q", c.ts, got, c.want)
+		}
+	}
+}
+
 func TestSpecRejects(t *testing.T) {
 	cases := []struct {
 		name string
@@ -324,6 +398,9 @@ func TestSpecRejects(t *testing.T) {
 		{"memory unknown field", `{"name":"x","workload":"fake","trials":1,"memory":{"mode":"npr","pool":64}}`, "pool"},
 		{"memory unknown mode", `{"name":"x","workload":"fake","trials":1,"memory":{"mode":"rcu"}}`, "memory mode"},
 		{"memory stray pool", `{"name":"x","workload":"fake","trials":1,"memory":{"pool_kb":8}}`, "pool_kb"},
+		{"topology unknown field", `{"name":"x","workload":"fake","trials":1,"congestion":{"topology":{"kind":"clos","spines":2}}}`, "spines"},
+		{"topology unknown kind", `{"name":"x","workload":"fake","trials":1,"congestion":{"topology":{"kind":"mesh"}}}`, "topology kind"},
+		{"topology odd radix", `{"name":"x","workload":"fake","trials":1,"congestion":{"topology":{"kind":"clos","radix":5}}}`, "radix"},
 		{"trailing data", `{"name":"x","workload":"fake","trials":1} {"again":true}`, "trailing"},
 		{"not json", `figure four please`, "spec"},
 	}

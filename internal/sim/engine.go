@@ -196,6 +196,7 @@ type Engine struct {
 	free    []*event // recycled event storage
 	seq     uint64
 	rng     *rand.Rand
+	seed    int64
 	fired   uint64
 	resets  uint64
 	stopped bool
@@ -210,7 +211,7 @@ type Engine struct {
 // New creates an engine whose random stream is seeded with seed. The same
 // seed always produces the same simulation.
 func New(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{rng: rand.New(rand.NewSource(seed)), seed: seed}
 }
 
 // Reset returns the engine to its just-constructed state with a new seed,
@@ -237,6 +238,7 @@ func (e *Engine) Reset(seed int64) {
 	e.blocked = 0
 	e.resets++
 	e.rng.Seed(seed)
+	e.seed = seed
 }
 
 // Generation counts how many times the engine has been Reset. Aux-held
@@ -267,6 +269,12 @@ func (e *Engine) EventsFired() uint64 { return e.fired }
 
 // Rand exposes the engine's deterministic random stream.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Seed returns the seed the engine was created (or last Reset) with.
+// Consumers that need seed-derived determinism without consuming the
+// random stream — e.g. ECMP flow hashing — key off this value, so a
+// Reset engine reproduces New(seed) exactly.
+func (e *Engine) Seed() int64 { return e.seed }
 
 // schedule allocates (or recycles) an event for fn at absolute time t and
 // pushes it on the heap. Scheduling in the past panics: it would silently
@@ -389,6 +397,10 @@ func (e *Engine) PreallocEvents(n int) {
 		e.free = append(e.free, &event{})
 	}
 }
+
+// EventCapacity returns how many events the engine's heap can hold
+// before its backing array must grow (see PreallocEvents).
+func (e *Engine) EventCapacity() int { return cap(e.events) }
 
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
