@@ -7,6 +7,7 @@
 package odpsim
 
 import (
+	"fmt"
 	"testing"
 
 	"odpsim/internal/apps/argodsm"
@@ -813,6 +814,30 @@ func BenchmarkCongestedSendClos(b *testing.B) {
 			ports[j%4].Send(p)
 		}
 		eng.Run()
+	}
+}
+
+// BenchmarkShardedIncast measures the bounded-lag shard layer on a
+// 64-host fat-tree: eight radix-4 pod cells (8 hosts each) on per-pod
+// engines, each absorbing a 4096-packet cross-edge burst through the
+// switched PFC fabric, with digest flights converging on pod 0 over the
+// shard boundary links. The shards=8/shards=1 wall-clock ratio is the
+// scale-out speedup (recorded in BENCH_baseline.json; ≈1x on a
+// single-core host since the lanes are OS threads — see README's
+// scale-out section). Output is byte-identical at both counts, so the
+// only thing the lane count may change is the wall clock.
+func BenchmarkShardedIncast(b *testing.B) {
+	for _, lanes := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", lanes), func(b *testing.B) {
+			sf := newShardedFabric(8, lanes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sf.trial(int64(i * 16))
+			}
+			if sf.digests == 0 {
+				b.Fatal("no digest flights crossed the shard boundary")
+			}
+		})
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"odpsim/internal/parallel"
 	"odpsim/internal/scenario"
 	_ "odpsim/internal/scenario/paper"
+	"odpsim/internal/shard"
 	"odpsim/internal/sim"
 )
 
@@ -117,6 +118,90 @@ type benchReport struct {
 		NsPerSend     float64 `json:"ns_per_send"`
 		AllocsPerLoop int64   `json:"allocs_per_loop"`
 	} `json:"congested"`
+	Sharded struct {
+		Name          string  `json:"name"`
+		Pods          int     `json:"pods"`
+		Shards1Ns     int64   `json:"shards1_ns"`
+		Shards8Ns     int64   `json:"shards8_ns"`
+		Speedup       float64 `json:"speedup"`
+		Identical     bool    `json:"identical"`
+		AllocsPerLoop int64   `json:"allocs_per_loop"`
+	} `json:"sharded"`
+}
+
+// shardedHarness is the odpperf copy of the BenchmarkShardedIncast
+// fixture: eight radix-4 pod cells on per-pod engines, joined through a
+// shard.Group by digest links into pod 0. One trial rebuilds the fabrics
+// on Reset engines, fires a 4096-packet burst per pod and runs the
+// group; the shards=8/shards=1 wall-clock ratio is the scale-out row.
+type shardedHarness struct {
+	g       *shard.Group
+	engs    []*sim.Engine
+	links   []*shard.Link
+	ccfg    congestion.Config
+	digests int
+}
+
+func newShardedHarness(pods, lanes int) *shardedHarness {
+	h := &shardedHarness{g: shard.NewGroup(lanes)}
+	h.ccfg = congestion.DefaultConfig()
+	h.ccfg.Topology = congestion.PodTopology(4, 4)
+	h.ccfg.PFC = true
+	h.ccfg.XOffBytes = 1 << 10
+	h.ccfg.XOnBytes = 512
+	ds := make([]*shard.Domain, pods)
+	for p := 0; p < pods; p++ {
+		eng := sim.New(int64(p + 1))
+		h.engs = append(h.engs, eng)
+		ds[p] = h.g.AddDomain(eng)
+	}
+	h.links = make([]*shard.Link, pods)
+	for p := 1; p < pods; p++ {
+		h.links[p] = h.g.Connect(ds[p], ds[0], 25, 2*sim.Microsecond)
+	}
+	ds[0].OnFlight(func(shard.Flight) { h.digests++ })
+	return h
+}
+
+func (h *shardedHarness) trial(seed int64) {
+	h.digests = 0
+	h.g.Rewind()
+	for p, eng := range h.engs {
+		eng.Reset(seed + int64(p))
+		f := fabric.New(eng, fabric.DefaultConfig())
+		link := h.links[p]
+		delivered := 0
+		ports := make([]*fabric.Port, 8)
+		for lid := uint16(1); lid <= 8; lid++ {
+			ports[lid-1] = f.AttachPort(lid, "host", func(*packet.Packet) {
+				delivered++
+				if link != nil && delivered%256 == 0 {
+					link.Send(shard.Flight{Len: 64, Arg: uint64(delivered)})
+				}
+			})
+		}
+		f.EnableCongestion(h.ccfg)
+		pool := f.Pool()
+		for j := 0; j < 4096; j++ {
+			pkt := pool.Get()
+			pkt.Opcode = packet.OpReadRequest
+			pkt.DLID = uint16(5 + (j+1)%4)
+			pkt.PSN = uint32(j)
+			ports[j%4].Send(pkt)
+		}
+	}
+	h.g.Run()
+}
+
+// fingerprint is the trial's deterministic observable: the digest count
+// and every pod engine's final clock. Identical fingerprints at both
+// lane counts is the byte-identity contract at this layer.
+func (h *shardedHarness) fingerprint() []int64 {
+	fp := []int64{int64(h.digests)}
+	for _, eng := range h.engs {
+		fp = append(fp, int64(eng.Now()))
+	}
+	return fp
 }
 
 // measureBench runs every tracked benchmark — the multi-trial Figure-4
@@ -245,7 +330,51 @@ func measureBench() benchReport {
 	rep.Congested.NsPerSend = float64(cgRes.NsPerOp()) / sendsPerLoop
 	rep.Congested.AllocsPerLoop = cgRes.AllocsPerOp()
 
+	// Scale-out row: the bounded-lag shard layer on a 64-host fat-tree
+	// (8 radix-4 pod cells, per-pod engines, digest links into pod 0),
+	// at 1 and 8 worker lanes. The speedup tracks available cores —
+	// ≈1x on a single-core host — and the two runs must agree on the
+	// deterministic fingerprint regardless.
+	const shardedPods = 8
+	shardedRun := func(lanes int) (*shardedHarness, testing.BenchmarkResult) {
+		h := newShardedHarness(shardedPods, lanes)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.trial(int64(i * 16))
+			}
+		})
+		return h, res
+	}
+	h1, res1 := shardedRun(1)
+	h8, res8 := shardedRun(8)
+	// The benchmark loops stop at machine-dependent iteration counts, so
+	// re-run one fixed-seed trial on each harness before fingerprinting.
+	h1.trial(7)
+	h8.trial(7)
+	rep.Sharded.Name = "shard.Group 8 pod cells x 4096 packets, digest links into pod 0, shards 1 vs 8"
+	rep.Sharded.Pods = shardedPods
+	rep.Sharded.Shards1Ns = res1.NsPerOp()
+	rep.Sharded.Shards8Ns = res8.NsPerOp()
+	if res8.NsPerOp() > 0 {
+		rep.Sharded.Speedup = float64(res1.NsPerOp()) / float64(res8.NsPerOp())
+	}
+	rep.Sharded.Identical = equalInts(h1.fingerprint(), h8.fingerprint())
+	rep.Sharded.AllocsPerLoop = res1.AllocsPerOp()
+
 	return rep
+}
+
+func equalInts(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // writeBenchFile measures a snapshot and records it as JSON — the file
@@ -260,9 +389,10 @@ func writeBenchFile(path string) error {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: sweep %.2fx speedup (%d workers), engine %.0f ns/event, %d allocs/loop, datapath %.0f ns/send, %d allocs/loop, congested %.0f ns/send, %d allocs/loop\n",
+	fmt.Printf("wrote %s: sweep %.2fx speedup (%d workers), engine %.0f ns/event, %d allocs/loop, datapath %.0f ns/send, %d allocs/loop, congested %.0f ns/send, %d allocs/loop, sharded %.2fx speedup @8 lanes\n",
 		path, rep.Sweep.Speedup, rep.Jobs, rep.Engine.NsPerEvent, rep.Engine.AllocsPerLoop,
-		rep.Datapath.NsPerSend, rep.Datapath.AllocsPerLoop, rep.Congested.NsPerSend, rep.Congested.AllocsPerLoop)
+		rep.Datapath.NsPerSend, rep.Datapath.AllocsPerLoop, rep.Congested.NsPerSend, rep.Congested.AllocsPerLoop,
+		rep.Sharded.Speedup)
 	return nil
 }
 
@@ -306,8 +436,14 @@ func checkBenchFile(path string) error {
 	check("datapath allocs_per_loop", float64(base.Datapath.AllocsPerLoop), float64(cur.Datapath.AllocsPerLoop))
 	check("congested ns_per_send", base.Congested.NsPerSend, cur.Congested.NsPerSend)
 	check("congested allocs_per_loop", float64(base.Congested.AllocsPerLoop), float64(cur.Congested.AllocsPerLoop))
+	check("sharded shards1_ns", float64(base.Sharded.Shards1Ns), float64(cur.Sharded.Shards1Ns))
+	check("sharded shards8_ns", float64(base.Sharded.Shards8Ns), float64(cur.Sharded.Shards8Ns))
+	check("sharded allocs_per_loop", float64(base.Sharded.AllocsPerLoop), float64(cur.Sharded.AllocsPerLoop))
 	if !cur.Sweep.Identical {
 		failures = append(failures, "sweep determinism (sequential vs parallel output differs)")
+	}
+	if !cur.Sharded.Identical {
+		failures = append(failures, "shard determinism (shards=1 vs shards=8 fingerprint differs)")
 	}
 
 	if len(failures) > 0 {

@@ -24,6 +24,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"odpsim/internal/parallel"
@@ -70,15 +72,18 @@ run flags:
   -trials N   override the trial count
   -waves N    override the sampled shuffle waves (sparkucx)
   -memory M   override the memory mode: pin, odp or npr
+  -shards N   worker lanes for sharded workloads (output identical for any N)
   -counters F write sampled device counters as CSV (progress scenarios)
   -analyze    append per-operation analysis (trace scenarios)
   -csv F      write the packet capture as CSV (trace scenarios)
   -trace F    write the packet capture as binary trace (trace scenarios)
+  -cpuprofile F  write a pprof CPU profile of the run to FILE
+  -memprofile F  write a pprof heap profile at exit to FILE
 `)
 }
 
 func list() {
-	fmt.Printf("%-14s %-20s %-12s %s\n", "NAME", "WORKLOAD", "TOPOLOGY", "TITLE")
+	fmt.Printf("%-14s %-20s %-12s %-6s %s\n", "NAME", "WORKLOAD", "TOPOLOGY", "SHARDS", "TITLE")
 	for _, name := range scenario.Names() {
 		sc, err := scenario.Lookup(name)
 		if err != nil {
@@ -92,7 +97,14 @@ func list() {
 		if sc.Congestion != nil && sc.Congestion.Topology != nil {
 			topo = sc.Congestion.Topology.Label()
 		}
-		fmt.Printf("%-14s %-20s %-12s %s%s\n", sc.Name, sc.Workload, topo, sc.ExpandedTitle(), slow)
+		// The shards column reports the scenario's default lane count; any
+		// value reproduces the same bytes, so this is a throughput hint,
+		// not part of the result's identity.
+		shards := "-"
+		if sc.Shards > 0 {
+			shards = fmt.Sprintf("%d", sc.Shards)
+		}
+		fmt.Printf("%-14s %-20s %-12s %-6s %s%s\n", sc.Name, sc.Workload, topo, shards, sc.ExpandedTitle(), slow)
 	}
 	fmt.Printf("\nworkload kinds for JSON specs: %v\n", scenario.Workloads())
 }
@@ -108,14 +120,43 @@ func run(args []string) {
 	trials := fs.Int("trials", 0, "override the trial count (0 keeps the scenario's)")
 	waves := fs.Int("waves", 0, "override the sampled shuffle waves (0 keeps the scenario's)")
 	memory := fs.String("memory", "", "override the memory mode: pin, odp or npr (empty keeps the scenario's)")
+	shards := fs.Int("shards", 0, "worker lanes for sharded workloads (0 keeps the scenario's; output is identical for any value)")
 	counters := fs.String("counters", "", "write sampled device counters as CSV to FILE (progress scenarios)")
 	analyze := fs.Bool("analyze", false, "append per-operation analysis (trace scenarios)")
 	csvOut := fs.String("csv", "", "write the packet capture as CSV to FILE (trace scenarios)")
 	traceOut := fs.String("trace", "", "write the packet capture as binary trace to FILE (trace scenarios)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to FILE")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile at exit to FILE")
 	if err := fs.Parse(reorder(fs, args)); err != nil {
 		os.Exit(2)
 	}
 	parallel.SetJobs(*jobs)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 	switch *memory {
 	case "", "pin", "odp", "npr":
 	default:
@@ -166,6 +207,9 @@ func run(args []string) {
 		}
 		if *waves > 0 {
 			sc.Waves = *waves
+		}
+		if *shards > 0 {
+			sc.Shards = *shards
 		}
 		if *memory != "" {
 			mem := scenario.MemorySpec{Mode: *memory}

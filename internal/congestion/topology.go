@@ -184,6 +184,54 @@ func ClosTopology(tiers, radix int, oversub float64) Topology {
 	return t
 }
 
+// PodTopology builds one pod of a k-ary fat-tree as a standalone cell:
+// k/2 edge switches fully meshed to k/2 aggregation switches, hosts
+// attached round-robin across the edges. It is the per-shard slice of
+// ClosTopology(3, k, oversub) used by the sharded fabric-scale
+// scenarios: each causal domain simulates its own pod cell in full
+// switch-level detail, and the core tier the pods would share is
+// abstracted into the shard layer's boundary links (internal/shard) —
+// the core carries only the declared cross-pod traffic, so modeling it
+// per packet inside a single engine would recouple every pod for
+// nothing. Switch indices are edges first, then aggs, matching the
+// fat-tree builder's pod-major layout.
+func PodTopology(radix int, oversub float64) Topology {
+	if radix < 2 {
+		radix = 4
+	}
+	if radix%2 != 0 {
+		radix++
+	}
+	if oversub < 1 {
+		oversub = 1
+	}
+	half := radix / 2
+	t := Topology{
+		Kind:      "pod",
+		Tiers:     2,
+		Radix:     radix,
+		Oversub:   oversub,
+		TierNames: []string{"edge", "agg"},
+		TierOf:    make([]int, 2*half),
+		Adj:       make([][]Link, 2*half),
+		Leaves:    make([]int, half),
+	}
+	link := func(to int) Link { return Link{To: to, SpeedDiv: oversub, PropFactor: 1} }
+	for e := 0; e < half; e++ {
+		t.Leaves[e] = e
+		for a := 0; a < half; a++ {
+			t.Adj[e] = append(t.Adj[e], link(half+a))
+		}
+	}
+	for a := 0; a < half; a++ {
+		t.TierOf[half+a] = 1
+		for e := 0; e < half; e++ {
+			t.Adj[half+a] = append(t.Adj[half+a], link(e))
+		}
+	}
+	return t
+}
+
 // SwitchCount returns the number of switches in the graph.
 func (t Topology) SwitchCount() int { return len(t.Adj) }
 

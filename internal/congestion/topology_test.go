@@ -262,3 +262,50 @@ func TestRoutingCompleteOnAllBuilders(t *testing.T) {
 		})
 	}
 }
+
+// TestPodTopologyShape checks the per-shard fat-tree cell: k/2 edges
+// fully meshed to k/2 aggs, hosts on the edges, clamping like the other
+// builders.
+func TestPodTopologyShape(t *testing.T) {
+	pod := PodTopology(8, 2)
+	// 4 edges + 4 aggs, full bipartite mesh = 16 undirected = 32 directed.
+	if pod.SwitchCount() != 8 || pod.LinkCount() != 32 || len(pod.Leaves) != 4 {
+		t.Fatalf("pod(r8): %d switches, %d links, %d leaves, want 8, 32, 4",
+			pod.SwitchCount(), pod.LinkCount(), len(pod.Leaves))
+	}
+	if pod.TierName(0) != "edge" || pod.TierName(4) != "agg" {
+		t.Fatalf("pod tiers = %q, %q, want edge, agg", pod.TierName(0), pod.TierName(4))
+	}
+	if pod.Kind != "pod" || pod.Tiers != 2 || pod.Oversub != 2 {
+		t.Fatalf("pod metadata = %q/%d/%g", pod.Kind, pod.Tiers, pod.Oversub)
+	}
+	// Clamps mirror ClosTopology: odd radix rounds up, oversub floors at 1.
+	clamped := PodTopology(3, 0.5)
+	if clamped.Radix != 4 || clamped.Oversub != 1 {
+		t.Fatalf("clamped pod = radix %d oversub %g, want 4, 1", clamped.Radix, clamped.Oversub)
+	}
+}
+
+// TestPodDeliveryAllPairs runs the all-pairs exchange on a pod cell:
+// every cross-edge flow must climb to an agg and come back down.
+func TestPodDeliveryAllPairs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = PodTopology(8, 2)
+	h := newHarness(t, cfg)
+	sent := 0
+	for src := uint16(1); src <= 8; src++ {
+		for dst := uint16(1); dst <= 8; dst++ {
+			if src != dst {
+				h.send(src, dst, 64)
+				sent++
+			}
+		}
+	}
+	h.eng.MustRun()
+	if len(h.delivered) != sent {
+		t.Fatalf("delivered %d of %d packets", len(h.delivered), sent)
+	}
+	if h.net.QueuedBytes() != 0 {
+		t.Fatalf("buffer not drained: %d bytes", h.net.QueuedBytes())
+	}
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"odpsim/internal/cluster"
+	"odpsim/internal/congestion"
+	"odpsim/internal/hostmem"
+	"odpsim/internal/rnic"
+	"odpsim/internal/scenario"
+	"odpsim/internal/shard"
+	"odpsim/internal/sim"
+	"odpsim/internal/stats"
+	"odpsim/internal/telemetry"
+)
+
+// The kv-serve workload is the fabric-scale companion to the collective
+// patterns: a key-value serving tier spread across the pods of a 3-tier
+// fat-tree, where every pod runs one server host and a rack of open-loop
+// GET clients hammering it over RDMA READ. The pattern is pod-local by
+// construction — a client only ever talks to its own pod's server — so
+// shard.Decompose splits it into one causal domain per pod and the shard
+// group runs the pods on parallel lanes, each pod simulating its own
+// PodTopology cell in full switch-level detail. The core tier the pods
+// would share carries only the periodic replication digests every pod
+// streams to pod 0, modelled as shard boundary links with the core's
+// oversubscribed rate.
+//
+// What the scenario measures is the paper's pitfall at serving scale:
+// with the server region under Explicit ODP, first-touch GETs RNR-storm
+// and the millisecond NAK delays land straight in the tail. The report
+// therefore leads with latency percentiles — P50/P99/P99.9 from a
+// streaming quantile sketch (internal/stats), merged across pods in pod
+// order so the output is byte-identical at every `-shards` value.
+
+func init() { scenario.RegisterWorkload(kvServeWorkload{}) }
+
+type kvServeWorkload struct{}
+
+func (kvServeWorkload) Kind() string { return "kv-serve" }
+
+func (kvServeWorkload) Validate(sc *scenario.Scenario) error {
+	if sc.Congestion == nil || sc.Congestion.Topology == nil {
+		return fmt.Errorf("scenario %q: kv-serve needs a congestion block with a clos topology (pods come from its radix)", sc.Name)
+	}
+	ts := sc.Congestion.Topology
+	if ts.Kind != "clos" || ts.Tiers != 3 {
+		return fmt.Errorf("scenario %q: kv-serve needs topology kind \"clos\" with tiers 3, got %s", sc.Name, ts.Label())
+	}
+	pods := ts.Radix
+	if pods == 0 {
+		pods = 4
+	}
+	if sc.Nodes != 0 {
+		if sc.Nodes%pods != 0 {
+			return fmt.Errorf("scenario %q: kv-serve nodes (%d) must divide evenly into %d pods", sc.Name, sc.Nodes, pods)
+		}
+		if sc.Nodes/pods < 2 {
+			return fmt.Errorf("scenario %q: kv-serve needs at least 2 hosts per pod (have %d/%d)", sc.Name, sc.Nodes, pods)
+		}
+	}
+	if sc.Pattern != "" {
+		return fmt.Errorf("scenario %q: kv-serve does not take a pattern", sc.Name)
+	}
+	return nil
+}
+
+// kvPod is one pod's simulation state, kept so post-run aggregation can
+// walk the pods in index order (the determinism contract).
+type kvPod struct {
+	cl      *cluster.Cluster
+	qps     []*rnic.QP // one per client, client order
+	sketch  *stats.QuantileSketch
+	done    sim.Time // last completion observed in this pod
+	retrans uint64
+	timeout uint64
+}
+
+// kvDigestEvery is the pod-wide completion stride between replication
+// digests on the core links: every 64th completed GET ships a 64-byte
+// summary to pod 0.
+const kvDigestEvery = 64
+
+// kvSketch returns the latency sketch shape shared by every pod —
+// identical shapes are what makes the final Merge legal. Units are
+// microseconds: 0.1 µs floor (well under one propagation delay) to 10 s,
+// 32 buckets per decade ≈ 7% relative error.
+func kvSketch() *stats.QuantileSketch { return stats.NewQuantileSketch(0.1, 1e7, 32) }
+
+func (kvServeWorkload) Run(sc *scenario.Scenario, out *scenario.Output) error {
+	sys, err := sc.ResolvedSystem()
+	if err != nil {
+		return err
+	}
+	baseCfg := sc.Congestion.Config()
+	pods := baseCfg.Topology.Radix
+	nodes := sc.Nodes
+	if nodes == 0 {
+		nodes = pods * 16
+	}
+	hostsPer := nodes / pods
+	clients := hostsPer - 1
+	ops := sc.Ops
+	if ops == 0 {
+		ops = 16
+	}
+	size := sc.Size
+	if size == 0 {
+		size = 1024
+	}
+	interval := sc.Interval()
+	if interval == 0 {
+		interval = 2 * sim.Microsecond
+	}
+	mode := odpModeOf(sc.Mode, ServerODP)
+
+	// Every pod simulates its own fat-tree slice: the pod cell of the
+	// declared 3-tier topology, at the declared oversubscription.
+	podCfg := baseCfg
+	podCfg.Topology = congestion.PodTopology(baseCfg.Topology.Radix, baseCfg.Topology.Oversub)
+	podSys := sys
+	podSys.Congestion = &podCfg
+
+	// The partition is derived from the traffic, never from sc.Shards:
+	// client→server flows are pod-local, so Decompose yields exactly one
+	// domain per pod. If a future variant adds cross-pod flows this check
+	// fails loudly instead of silently breaking determinism.
+	pairs := make([][2]int, 0, pods*clients)
+	for p := 0; p < pods; p++ {
+		base := p * hostsPer
+		for c := 1; c < hostsPer; c++ {
+			pairs = append(pairs, [2]int{base + c, base})
+		}
+	}
+	part := shard.Decompose(nodes, pairs)
+	if part.Count != pods {
+		panic(fmt.Sprintf("kv-serve: %d hosts decomposed into %d causal domains, want %d pods", nodes, part.Count, pods))
+	}
+
+	g := shard.NewGroup(sc.Shards)
+	seed := sc.SeedOrDefault()
+	params := rnic.ConnParams{CACK: 8, RetryCount: 7, MinRNRDelay: sc.RNRDelay()}
+	if sc.CACK > 0 {
+		params.CACK = sc.CACK
+	}
+	if sc.Retry > 0 {
+		params.RetryCount = sc.Retry
+	}
+	post := sim.Time(float64(300*sim.Nanosecond) * sys.CPUFactor)
+	coreGbps := sys.Device.LinkGbps / baseCfg.Topology.Oversub
+	const coreProp = 2 * sim.Microsecond
+
+	pod := make([]*kvPod, pods)
+	domains := make([]*shard.Domain, pods)
+	links := make([]*shard.Link, pods) // digest link per pod (nil for pod 0)
+
+	// Pod 0 is the frontend: it serves its own rack and aggregates the
+	// other pods' replication digests off the core links.
+	var digests uint64
+	var digestOps uint64 // remote completions covered by the digests seen
+	var lastDigest sim.Time
+	lastArg := make([]uint64, pods)
+
+	for p := 0; p < pods; p++ {
+		p := p
+		// Per-pod seeds stride by a large prime so the pods' RNG streams
+		// are decorrelated while staying a pure function of the scenario
+		// seed (pod 0 keeps the base seed for continuity with the
+		// single-engine workloads).
+		podSeed := seed + int64(p)*1000003
+		kp := &kvPod{sketch: kvSketch()}
+		pod[p] = kp
+		kp.cl = podSys.BuildOn(nil, podSeed, hostsPer)
+		domains[p] = g.AddDomain(kp.cl.Eng)
+		if p > 0 {
+			links[p] = g.Connect(domains[p], domains[0], coreGbps, coreProp)
+		}
+
+		// The server's value region: one size*ops slice per client, every
+		// op touching a fresh offset so cold ODP pages keep faulting the
+		// way a growing working set does.
+		server := kp.cl.Nodes[0]
+		slotLen := size * ops
+		region := server.AS.Alloc(slotLen * clients)
+		if mode == ServerODP || mode == BothODP {
+			server.RegisterManagedMR(region, slotLen*clients)
+		} else {
+			server.RegisterMR(region, slotLen*clients)
+		}
+
+		completed := 0 // pod-wide, for the digest stride
+		for c := 1; c < hostsPer; c++ {
+			c := c
+			node := kp.cl.Nodes[c]
+			lbuf := node.AS.Alloc(slotLen)
+			if mode == ClientODP || mode == BothODP {
+				node.RegisterManagedMR(lbuf, slotLen)
+			} else {
+				node.RegisterMR(lbuf, slotLen)
+			}
+			cq := rnic.NewCQ(kp.cl.Eng)
+			qc := node.CreateQP(cq, cq)
+			qs := server.CreateQP(rnic.NewCQ(kp.cl.Eng), rnic.NewCQ(kp.cl.Eng))
+			rnic.ConnectPair(qc, qs, params, params)
+			kp.qps = append(kp.qps, qc)
+			roff := region + hostmem.Addr(slotLen*(c-1))
+
+			postAt := make([]sim.Time, ops)
+			// Open loop: the poster fires a GET every interval regardless
+			// of completions — precisely the regime where fault-delayed
+			// responses pile latency onto the tail instead of throttling
+			// the offered load.
+			kp.cl.Eng.Go(fmt.Sprintf("kv-post-%d-%d", p, c), func(pr *sim.Proc) {
+				for k := 0; k < ops; k++ {
+					off := hostmem.Addr(size * k)
+					postAt[k] = pr.Now()
+					qc.PostSend(rnic.SendWR{
+						ID: uint64(k), Op: rnic.OpRead,
+						LocalAddr:  lbuf + off,
+						RemoteAddr: roff + off,
+						Len:        size,
+					})
+					pr.Sleep(post)
+					if interval > post {
+						pr.Sleep(interval - post)
+					}
+				}
+			})
+			kp.cl.Eng.Go(fmt.Sprintf("kv-reap-%d-%d", p, c), func(pr *sim.Proc) {
+				for done := 0; done < ops; {
+					for _, e := range cq.WaitN(pr, 1) {
+						done++
+						lat := pr.Now() - postAt[e.WRID]
+						kp.sketch.Add(float64(lat) / float64(sim.Microsecond))
+						if now := pr.Now(); now > kp.done {
+							kp.done = now
+						}
+						completed++
+						if p > 0 && completed%kvDigestEvery == 0 {
+							links[p].Send(shard.Flight{Len: 64, Arg: uint64(completed)})
+						}
+					}
+				}
+			})
+		}
+	}
+	domains[0].OnFlight(func(f shard.Flight) {
+		digests++
+		lastDigest = domains[0].Eng.Now()
+		digestOps += f.Arg - lastArg[f.From]
+		lastArg[f.From] = f.Arg
+	})
+
+	g.MustRun()
+
+	// Aggregation walks pods in index order everywhere below — with the
+	// per-pod state fully settled, order only matters for byte-identical
+	// output, and index order is the canonical one.
+	merged := kvSketch()
+	var exec sim.Time
+	var retrans, timeouts, rnrNaks uint64
+	var pause, ecn, drops float64
+	tiers := map[string]*congestion.TierStat{}
+	var tierOrder []string
+	for p := 0; p < pods; p++ {
+		kp := pod[p]
+		merged.Merge(kp.sketch)
+		if kp.done > exec {
+			exec = kp.done
+		}
+		for _, qp := range kp.qps {
+			retrans += qp.Stats.Retransmits
+			timeouts += qp.Stats.Timeouts
+		}
+		for _, n := range kp.cl.Nodes {
+			rnrNaks += n.RNRNakSent
+		}
+		snap := kp.cl.Telemetry().Snapshot(kp.cl.Eng.Now())
+		pause += snap.Total(telemetry.TxPauseDuration)
+		ecn += snap.Total(telemetry.SimSwitchEcnMarked)
+		drops += snap.Total(telemetry.SimSwitchDrops)
+		for _, t := range kp.cl.Fab.Network().TierStats() {
+			agg, ok := tiers[t.Tier]
+			if !ok {
+				agg = &congestion.TierStat{Tier: t.Tier}
+				tiers[t.Tier] = agg
+				tierOrder = append(tierOrder, t.Tier)
+			}
+			agg.Switches += t.Switches
+			if t.PeakBytes > agg.PeakBytes {
+				agg.PeakBytes = t.PeakBytes
+			}
+			agg.PauseFrames += t.PauseFrames
+			agg.EcnMarked += t.EcnMarked
+			agg.Drops += t.Drops
+		}
+	}
+
+	fmt.Fprintln(out.W, sc.ExpandedTitle())
+	fmt.Fprintf(out.W, "\nkv-serve %d pods x %d hosts on %s (%d clients, %d GETs x %d B each, open-loop @ %v, %s):\n",
+		pods, hostsPer, sc.Congestion.Topology.Label(), pods*clients, ops, size,
+		time.Duration(interval), mode)
+	fmt.Fprintf(out.W, "exec %v  retrans %d  timeouts %d  rnr_naks %d  drops %.0f  pause %.0f us  ecn %.0f\n",
+		time.Duration(exec), retrans, timeouts, rnrNaks, drops, pause, ecn)
+	fmt.Fprintf(out.W, "latency[us]  p50 %.1f  p90 %.1f  p99 %.1f  p99.9 %.1f  max %.1f  (n=%d)\n",
+		merged.Quantile(0.50), merged.Quantile(0.90), merged.Quantile(0.99),
+		merged.Quantile(0.999), merged.Max(), merged.N())
+	fmt.Fprintf(out.W, "digests %d at pod0 covering %d remote ops, last at %v\n",
+		digests, digestOps, time.Duration(lastDigest))
+	fmt.Fprintf(out.W, "%-8s %8s %12s %12s %10s %7s\n",
+		"tier", "switches", "peak_buf[B]", "pause_frames", "ecn_marked", "drops")
+	for _, name := range tierOrder {
+		t := tiers[name]
+		fmt.Fprintf(out.W, "%-8s %8d %12d %12d %10d %7d\n",
+			t.Tier, t.Switches, t.PeakBytes, t.PauseFrames, t.EcnMarked, t.Drops)
+	}
+	return nil
+}

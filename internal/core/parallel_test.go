@@ -7,6 +7,7 @@ import (
 	"odpsim/internal/cluster"
 	"odpsim/internal/congestion"
 	"odpsim/internal/parallel"
+	"odpsim/internal/scenario"
 	"odpsim/internal/sim"
 )
 
@@ -39,7 +40,27 @@ func sweepOutputs() []any {
 	baseClos.System.Congestion = &closCfg
 	clos := SweepExecTime(baseClos, IntervalRange(0, 4, 2), 3)
 
-	return []any{fig2, fig4, fig6, fig9, clos}
+	// The sharded execution path: a collective routed through the shard
+	// group at 8 worker lanes must reproduce exactly alongside the
+	// sweeps for any jobs count (lane-count invariance itself is pinned
+	// by TestShardedByteIdentical at the scenario level).
+	shardSc := &scenario.Scenario{
+		Name: "sweep-shard", Workload: "collective", Pattern: "incast",
+		Mode: "server", Shards: 8,
+		Congestion: &scenario.CongestionSpec{
+			Topology: &scenario.TopologySpec{Kind: "clos", Tiers: 2, Radix: 4, Oversubscription: 4},
+			PFC:     true,
+			XOffKB:  1,
+			XOnKB:   0.5,
+		},
+	}
+	sys, err := shardSc.ResolvedSystem()
+	if err != nil {
+		panic(err)
+	}
+	sharded := runCollective(shardSc, sys, 9, 8, 1024, 3)
+
+	return []any{fig2, fig4, fig6, fig9, clos, sharded}
 }
 
 // TestSweepDeterminismAcrossJobs is the cross-check the parallel runner

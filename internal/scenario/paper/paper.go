@@ -267,4 +267,30 @@ func init() {
 		},
 		Quick: &scenario.Quick{Ops: 4},
 	})
+
+	// kv-serve is the fabric-scale extrapolation: a key-value serving
+	// tier across the 16 pods of a radix-16 fat-tree, 64 open-loop GET
+	// clients per pod against one ODP-backed server each, replication
+	// digests converging on pod 0 over the core. Pod-local traffic means
+	// the shard layer runs one engine per pod on parallel lanes
+	// (`-shards`), and the report leads with the latency percentiles
+	// where the paper's RNR storms surface at serving scale.
+	scenario.Register(scenario.Scenario{
+		Name:     "kv-serve",
+		Title:    "KV serving tier on a radix-16 fat-tree: 1024 open-loop GET clients vs server-side ODP",
+		Workload: "kv-serve",
+		Nodes:    1040, // 16 pods x (1 server + 64 clients)
+		Shards:   4,    // default worker lanes; any value gives the same bytes
+		Mode:     "server",
+		Size:     1024,
+		Ops:      16,
+		CACK:     8,
+		Congestion: &scenario.CongestionSpec{
+			Topology: &scenario.TopologySpec{Kind: "clos", Tiers: 3, Radix: 16, Oversubscription: 4},
+			PFC:      true,
+			XOffKB:   1,
+			XOnKB:    0.5,
+		},
+		Quick: &scenario.Quick{Ops: 4},
+	})
 }

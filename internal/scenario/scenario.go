@@ -94,6 +94,14 @@ type Scenario struct {
 	// only.
 	Pattern string `json:"pattern,omitempty"`
 
+	// Shards is the worker-lane count for workloads that execute through
+	// the bounded-lag shard layer (internal/shard): how many OS threads
+	// run the scenario's causal domains. The partition itself derives
+	// from the traffic structure, never from this knob, so output is
+	// byte-identical at every value — 0 means one lane. The odpsim
+	// `-shards` flag overrides it.
+	Shards int `json:"shards,omitempty"`
+
 	// Memory selects how managed registrations translate on every node:
 	// pin | odp | npr. Absent means odp — the paper's configuration, and
 	// the one every pre-existing scenario renders byte-identically under.
@@ -522,6 +530,7 @@ func (sc *Scenario) Validate() error {
 		"nodes": sc.Nodes, "trials": sc.Trials, "ops": sc.Ops, "qps": sc.QPs,
 		"size": sc.Size, "cack": sc.CACK, "retry": sc.Retry, "window": sc.Window,
 		"pages": sc.Pages, "waves": sc.Waves, "memory_bytes": sc.MemoryBytes,
+		"shards": sc.Shards,
 	} {
 		if n < 0 {
 			return fmt.Errorf("scenario %q: %s must not be negative", sc.Name, field)

@@ -447,6 +447,33 @@ func (e *Engine) RunUntil(t Time) {
 	}
 }
 
+// NextEventTime returns the timestamp of the earliest scheduled event
+// without popping it, reporting ok=false on an empty queue. The shard
+// layer's epoch coordinator reads every engine's next time to pick the
+// global window start (internal/shard).
+func (e *Engine) NextEventTime() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
+// RunHorizon executes events with timestamps strictly before h, then
+// advances the clock to h. It is the bounded-lag window primitive: a
+// shard may safely execute [now, h) in parallel with its peers when no
+// cross-shard flight can land before h, and the strict upper bound keeps
+// an event scheduled exactly at h for the next window — where the epoch
+// merge decides its order against freshly landed flights.
+func (e *Engine) RunHorizon(h Time) {
+	e.stopped = false
+	for !e.stopped && len(e.events) > 0 && e.events[0].at < h {
+		e.Step()
+	}
+	if e.now < h {
+		e.now = h
+	}
+}
+
 // QueueLen returns the number of scheduled events. Cancelled events are
 // removed eagerly, so the count reflects only live work.
 func (e *Engine) QueueLen() int { return len(e.events) }

@@ -1,0 +1,145 @@
+package stats
+
+import "math"
+
+// QuantileSketch is a streaming quantile estimator over a fixed
+// logarithmic bucket grid: bucket i covers [lo·g^i, lo·g^(i+1)) with a
+// constant growth factor g, so Add is O(1) (one log2 and an increment)
+// and memory is fixed no matter how many samples stream through. It
+// exists for the fabric-scale latency scenarios (kv-serve's open-loop
+// GETs), where Summarize's copy-and-sort of every sample would dominate
+// the run; the price is a bounded relative error of at most g-1 per
+// quantile (buckets per decade = 64 puts that at about 3.7%).
+//
+// The sketch is deterministic and its Merge is order-invariant (bucket
+// counts add), so per-shard sketches merged in shard order render the
+// same percentiles for any worker-lane count — the same contract the
+// sweep runner's index-ordered commit provides.
+type QuantileSketch struct {
+	lo     float64 // lower edge of bucket 0
+	invLgG float64 // 1 / log2(g), to map a value to its bucket
+	g      float64 // per-bucket growth factor
+	counts []uint64
+	n      uint64
+	min    float64 // exact extremes: the tails people actually read
+	max    float64
+}
+
+// NewQuantileSketch creates a sketch spanning [lo, hi) with
+// perDecade buckets per factor of 10. Values below lo clamp into the
+// first bucket, values at or above hi into the last, and the exact
+// min/max are tracked separately so clamping never hides an outlier.
+func NewQuantileSketch(lo, hi float64, perDecade int) *QuantileSketch {
+	if lo <= 0 || hi <= lo || perDecade <= 0 {
+		panic("stats: invalid quantile sketch shape")
+	}
+	g := math.Pow(10, 1/float64(perDecade))
+	buckets := int(math.Ceil(math.Log10(hi/lo) * float64(perDecade)))
+	if buckets < 1 {
+		buckets = 1
+	}
+	return &QuantileSketch{
+		lo:     lo,
+		g:      g,
+		invLgG: 1 / math.Log2(g),
+		counts: make([]uint64, buckets),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// Add records one observation.
+func (q *QuantileSketch) Add(x float64) {
+	i := 0
+	if x > q.lo {
+		i = int(math.Log2(x/q.lo) * q.invLgG)
+	}
+	if i >= len(q.counts) {
+		i = len(q.counts) - 1
+	}
+	q.counts[i]++
+	q.n++
+	if x < q.min {
+		q.min = x
+	}
+	if x > q.max {
+		q.max = x
+	}
+}
+
+// N returns the number of observations recorded.
+func (q *QuantileSketch) N() uint64 { return q.n }
+
+// Min and Max return the exact extremes (0 on an empty sketch).
+func (q *QuantileSketch) Min() float64 {
+	if q.n == 0 {
+		return 0
+	}
+	return q.min
+}
+
+func (q *QuantileSketch) Max() float64 {
+	if q.n == 0 {
+		return 0
+	}
+	return q.max
+}
+
+// Quantile returns the p-quantile (0..1) estimate: the upper edge of the
+// bucket holding the nearest-rank sample, clamped to the exact min/max so
+// the reported tail never exceeds an observed value. An empty sketch
+// returns 0.
+func (q *QuantileSketch) Quantile(p float64) float64 {
+	if q.n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return q.min
+	}
+	rank := uint64(math.Ceil(p * float64(q.n)))
+	if rank > q.n {
+		rank = q.n
+	}
+	var cum uint64
+	for i, c := range q.counts {
+		cum += c
+		if cum >= rank {
+			if i == len(q.counts)-1 {
+				// The final bucket is the overflow bucket (values ≥ hi
+				// clamp into it), so its only honest edge is the exact max.
+				return q.max
+			}
+			edge := q.lo * math.Pow(q.g, float64(i+1))
+			if edge > q.max {
+				edge = q.max
+			}
+			if edge < q.min {
+				edge = q.min
+			}
+			return edge
+		}
+	}
+	return q.max
+}
+
+// Merge folds another sketch's observations into q. Both sketches must
+// share the same shape (the constructor arguments); merging is
+// commutative and associative, so any merge order yields identical
+// percentiles.
+func (q *QuantileSketch) Merge(o *QuantileSketch) {
+	if len(q.counts) != len(o.counts) || q.lo != o.lo || q.g != o.g {
+		panic("stats: merging quantile sketches of different shapes")
+	}
+	for i, c := range o.counts {
+		q.counts[i] += c
+	}
+	q.n += o.n
+	if o.n > 0 {
+		if o.min < q.min {
+			q.min = o.min
+		}
+		if o.max > q.max {
+			q.max = o.max
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sketchRelErr is the worst-case relative error one bucket introduces at
+// 64 buckets per decade: g - 1 = 10^(1/64) - 1 ≈ 3.66%. Tests allow a
+// hair more for the edge-vs-interpolation difference against Percentile.
+const sketchRelErr = 0.05
+
+// TestSketchAgainstExactPercentiles streams a few deterministic
+// distributions through the sketch and compares every tracked quantile
+// against the exact sorted-sample answer.
+func TestSketchAgainstExactPercentiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dists := map[string]func() float64{
+		"uniform":   func() float64 { return 1 + 999*rng.Float64() },
+		"lognormal": func() float64 { return math.Exp(rng.NormFloat64()*1.5 + 3) },
+		"bimodal-tail": func() float64 {
+			if rng.Float64() < 0.95 {
+				return 10 + rng.Float64()
+			}
+			return 5000 + 1000*rng.Float64()
+		},
+	}
+	for name, draw := range dists {
+		q := NewQuantileSketch(0.1, 1e6, 64)
+		xs := make([]float64, 0, 20000)
+		for i := 0; i < 20000; i++ {
+			x := draw()
+			xs = append(xs, x)
+			q.Add(x)
+		}
+		sort.Float64s(xs)
+		for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+			exact := Percentile(xs, p)
+			got := q.Quantile(p)
+			if rel := math.Abs(got-exact) / exact; rel > sketchRelErr {
+				t.Errorf("%s p%g: sketch %.4g vs exact %.4g (rel err %.3f > %.2f)",
+					name, p*100, got, exact, rel, sketchRelErr)
+			}
+		}
+		if q.N() != 20000 {
+			t.Errorf("%s: N = %d, want 20000", name, q.N())
+		}
+		if q.Min() != xs[0] || q.Max() != xs[len(xs)-1] {
+			t.Errorf("%s: min/max %.4g/%.4g, want exact %.4g/%.4g",
+				name, q.Min(), q.Max(), xs[0], xs[len(xs)-1])
+		}
+	}
+}
+
+// TestSketchMergeOrderInvariant splits one stream across four sketches
+// and checks every merge order reproduces the single-sketch answer bit
+// for bit — the property that makes per-shard sketches safe to merge in
+// shard order regardless of which worker lane filled them.
+func TestSketchMergeOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	whole := NewQuantileSketch(1, 1e5, 64)
+	parts := make([]*QuantileSketch, 4)
+	for i := range parts {
+		parts[i] = NewQuantileSketch(1, 1e5, 64)
+	}
+	for i := 0; i < 8000; i++ {
+		x := math.Exp(rng.NormFloat64() + 5)
+		whole.Add(x)
+		parts[i%4].Add(x)
+	}
+	for _, order := range [][]int{{0, 1, 2, 3}, {3, 1, 0, 2}, {2, 3, 1, 0}} {
+		m := NewQuantileSketch(1, 1e5, 64)
+		for _, i := range order {
+			m.Merge(parts[i])
+		}
+		for _, p := range []float64{0.5, 0.99, 0.999} {
+			if m.Quantile(p) != whole.Quantile(p) {
+				t.Errorf("merge order %v: p%g = %v, single-sketch %v",
+					order, p*100, m.Quantile(p), whole.Quantile(p))
+			}
+		}
+		if m.N() != whole.N() || m.Min() != whole.Min() || m.Max() != whole.Max() {
+			t.Errorf("merge order %v: n/min/max differ from single sketch", order)
+		}
+	}
+}
+
+// TestSketchClamping pins the edge behaviour: values outside [lo, hi)
+// land in the edge buckets but min/max stay exact, and the quantile
+// estimate never leaves the observed range.
+func TestSketchClamping(t *testing.T) {
+	q := NewQuantileSketch(1, 100, 8)
+	for _, x := range []float64{0.001, 0.5, 1e9} {
+		q.Add(x)
+	}
+	if q.Min() != 0.001 || q.Max() != 1e9 {
+		t.Errorf("min/max = %g/%g, want exact 0.001/1e9", q.Min(), q.Max())
+	}
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		got := q.Quantile(p)
+		if got < 0.001 || got > 1e9 {
+			t.Errorf("p%g = %g outside the observed range", p*100, got)
+		}
+	}
+	if got := q.Quantile(1); got != 1e9 {
+		t.Errorf("p100 = %g, want the exact max 1e9", got)
+	}
+}
+
+// TestSketchEmptyAndShapePanics covers the zero cases: an empty sketch
+// reports zeros, and mismatched shapes refuse to merge.
+func TestSketchEmptyAndShapePanics(t *testing.T) {
+	q := NewQuantileSketch(1, 1000, 16)
+	if q.N() != 0 || q.Quantile(0.5) != 0 || q.Min() != 0 || q.Max() != 0 {
+		t.Error("empty sketch should report zeros")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("merging mismatched shapes did not panic")
+		}
+	}()
+	q.Merge(NewQuantileSketch(1, 1000, 32))
+}
