@@ -108,11 +108,14 @@ type Domain struct {
 	id      int
 	in      []*Link // inbound links in Connect order (fixes drain order)
 	handler func(Flight)
-	// inbox is the FIFO of drained flights whose landing events are
-	// scheduled but not yet fired; landFn pops it in order. Flights are
-	// appended in (At, From, Seq) order and landing events fire in
-	// exactly that order among themselves, so the FIFO index always
-	// matches the firing event.
+	// inbox holds drained flights whose landing events are scheduled
+	// but not yet fired, kept sorted by (At, From, Seq) from inboxHead
+	// on; landFn pops the head. One landing event is scheduled per
+	// flight, and events fire in time order, so by the time an event at
+	// time t fires every flight ordered before the head has already
+	// been popped and the head's At is exactly t — even when a later
+	// epoch's drain merges in flights that land before a previous
+	// epoch's beyond-horizon leftovers.
 	inbox     []Flight
 	inboxHead int
 	merge     []Flight // drain sort scratch, recycled
@@ -128,7 +131,20 @@ func (d *Domain) ID() int { return d.id }
 // install a handler before the group runs.
 func (d *Domain) OnFlight(h func(Flight)) { d.handler = h }
 
-// land pops the next drained flight and hands it to the handler.
+// flightAfter reports whether a orders after b in the (At, From, Seq)
+// total order — the group's canonical cross-domain delivery order.
+func flightAfter(a, b Flight) bool {
+	if a.At != b.At {
+		return a.At > b.At
+	}
+	if a.From != b.From {
+		return a.From > b.From
+	}
+	return a.Seq > b.Seq
+}
+
+// land pops the inbox head — the minimal un-popped flight, which is the
+// one whose landing event is firing — and hands it to the handler.
 func (d *Domain) land() {
 	f := d.inbox[d.inboxHead]
 	d.inboxHead++
@@ -144,7 +160,12 @@ func (d *Domain) land() {
 // (At, From, Seq) — a total order, since Seq is unique per source — with
 // an insertion sort: each link's ready slice is already sorted (egress
 // cursors are monotone), so the merge is nearly ordered and the sort is
-// cheap and allocation-free.
+// cheap and allocation-free. The sorted batch is then merged into the
+// inbox's un-popped tail rather than appended: a previous epoch can
+// leave flights whose At lies beyond its horizon (heterogeneous link
+// props, a congested egress cursor), and a later batch may land before
+// them — a plain append would let their landing events pop the wrong
+// flight.
 func (d *Domain) drain() {
 	d.merge = d.merge[:0]
 	for _, l := range d.in {
@@ -157,16 +178,37 @@ func (d *Domain) drain() {
 	for i := 1; i < len(m); i++ {
 		f := m[i]
 		j := i - 1
-		for j >= 0 && (m[j].At > f.At ||
-			(m[j].At == f.At && (m[j].From > f.From ||
-				(m[j].From == f.From && m[j].Seq > f.Seq)))) {
+		for j >= 0 && flightAfter(m[j], f) {
 			m[j+1] = m[j]
 			j--
 		}
 		m[j+1] = f
 	}
+	// Compact the consumed prefix so an inbox that never fully empties
+	// cannot grow without bound across epochs.
+	if d.inboxHead > 0 {
+		n := copy(d.inbox, d.inbox[d.inboxHead:])
+		d.inbox = d.inbox[:n]
+		d.inboxHead = 0
+	}
+	// Back-to-front merge of the two sorted runs (leftover tail and new
+	// batch): O(n+m), allocation-free once the backing array is warm.
+	// Reads of the batch come from m, so overwriting the appended copy
+	// region is safe.
+	old := len(d.inbox)
+	d.inbox = append(d.inbox, m...)
+	i, j, k := old-1, len(m)-1, len(d.inbox)-1
+	for j >= 0 {
+		if i >= 0 && flightAfter(d.inbox[i], m[j]) {
+			d.inbox[k] = d.inbox[i]
+			i--
+		} else {
+			d.inbox[k] = m[j]
+			j--
+		}
+		k--
+	}
 	for _, f := range m {
-		d.inbox = append(d.inbox, f)
 		d.Eng.Schedule(f.At, d.landFn)
 	}
 }
@@ -282,6 +324,14 @@ func (g *Group) Run() {
 		}
 		g.horizon = t + g.lookahead
 		g.runEach(g.epochFn)
+		// RunHorizon clears the stopped flag on entry, so a Stop issued
+		// inside a window only survives until the next epoch; honour it
+		// here so Stop ends the group run, mirroring Engine.Run.
+		for _, d := range g.domains {
+			if d.Eng.Stopped() {
+				return
+			}
+		}
 	}
 }
 
@@ -319,6 +369,10 @@ func (g *Group) Rewind() {
 		d.inboxHead = 0
 		d.merge = d.merge[:0]
 	}
+	// Clear captured panic state: a re-raised lane panic from a prior
+	// run must not mask a rerun's own failure (the Once is consumed).
+	g.panicV = nil
+	g.once = sync.Once{}
 }
 
 // startWorkers launches the persistent lane goroutines (none when one

@@ -109,6 +109,101 @@ func TestFlightMergeOrder(t *testing.T) {
 	}
 }
 
+// TestHeterogeneousPropDelivery is the regression test for the inbox
+// merge: with two inbound links of very different propagation delays, a
+// slow flight drained in an early epoch used to sit at the FIFO head
+// while a later epoch drained a fast flight landing before it — so the
+// fast flight's landing event delivered the slow flight's payload and
+// timestamp. The sorted-inbox merge must deliver each flight at its own
+// At with its own Arg, at every lane count.
+func TestHeterogeneousPropDelivery(t *testing.T) {
+	for _, lanes := range []int{1, 2, 4} {
+		g := NewGroup(lanes)
+		slow := g.AddDomain(sim.New(1))
+		fast := g.AddDomain(sim.New(2))
+		dst := g.AddDomain(sim.New(3))
+		ls := g.Connect(slow, dst, 0, 100*sim.Nanosecond)
+		lf := g.Connect(fast, dst, 0, sim.Nanosecond)
+		var got []string
+		dst.OnFlight(func(f Flight) {
+			got = append(got, fmt.Sprintf("%d@%d", f.Arg, int64(dst.Eng.Now())))
+			if dst.Eng.Now() != f.At {
+				t.Errorf("lanes=%d: flight Arg=%d stamped At=%d delivered at %d",
+					lanes, f.Arg, int64(f.At), int64(dst.Eng.Now()))
+			}
+		})
+		// Epoch 1 (lookahead 1 ns): slow emits at t=0, landing At=100.
+		// Epoch 2 drains it; fast emits at t=2, landing At=3 — drained in
+		// epoch 3, behind the still-pending slow flight.
+		slow.Eng.Schedule(0, func() { ls.Send(Flight{Arg: 7}) })
+		fast.Eng.Schedule(2*sim.Nanosecond, func() { lf.Send(Flight{Arg: 9}) })
+		g.Run()
+		want := []string{"9@3", "7@100"}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("lanes=%d: deliveries %v, want %v", lanes, got, want)
+		}
+	}
+}
+
+// TestStopEndsGroupRun pins Stop semantics under the epoch loop: a
+// domain calling Engine.Stop inside a window must end the whole group
+// run at the next barrier, not just its current window.
+func TestStopEndsGroupRun(t *testing.T) {
+	g := NewGroup(1)
+	a := g.AddDomain(sim.New(1))
+	b := g.AddDomain(sim.New(2))
+	ab := g.Connect(a, b, 100, sim.Microsecond)
+	ba := g.Connect(b, a, 100, sim.Microsecond)
+	landings := 0
+	b.OnFlight(func(f Flight) {
+		landings++
+		if landings == 3 {
+			b.Eng.Stop()
+			return
+		}
+		ba.Send(Flight{Len: 64})
+	})
+	a.OnFlight(func(f Flight) { ab.Send(Flight{Len: 64}) })
+	ab.Send(Flight{Len: 64})
+	g.Run()
+	if landings != 3 {
+		t.Fatalf("group ran past Stop: %d landings, want 3", landings)
+	}
+}
+
+// TestRewindClearsPanicState checks that a lane panic captured in one
+// run cannot be re-raised by a rewound rerun (the sync.Once would
+// otherwise stay consumed and mask the rerun's own outcome).
+func TestRewindClearsPanicState(t *testing.T) {
+	engA, engB := sim.New(1), sim.New(2)
+	g := NewGroup(2)
+	a := g.AddDomain(engA)
+	b := g.AddDomain(engB)
+	ab := g.Connect(a, b, 100, sim.Microsecond)
+	boom := true
+	b.OnFlight(func(f Flight) {
+		if boom {
+			panic("first-run failure")
+		}
+	})
+	a.OnFlight(func(f Flight) {})
+	ab.Send(Flight{Len: 64})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("first run did not surface the lane panic")
+			}
+		}()
+		g.Run()
+	}()
+	engA.Reset(3)
+	engB.Reset(4)
+	g.Rewind()
+	boom = false
+	ab.Send(Flight{Len: 64})
+	g.Run() // must not re-panic with the stale first-run value
+}
+
 // TestLinkSerialization checks the egress cursor: back-to-back flights
 // on one link land spaced by their serialization time, not stacked on
 // the same instant.

@@ -405,6 +405,13 @@ func (e *Engine) EventCapacity() int { return cap(e.events) }
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Stopped reports whether Stop has been called since the engine last
+// began running (Run, RunUntil and RunHorizon clear the flag on entry).
+// The shard group polls it between epoch windows so a Stop issued
+// inside one window ends the whole group run rather than only that
+// window (internal/shard).
+func (e *Engine) Stopped() bool { return e.stopped }
+
 // Step executes the single next event, advancing the clock. It reports
 // whether an event was executed.
 func (e *Engine) Step() bool {

@@ -27,7 +27,9 @@ type QuantileSketch struct {
 
 // NewQuantileSketch creates a sketch spanning [lo, hi) with
 // perDecade buckets per factor of 10. Values below lo clamp into the
-// first bucket, values at or above hi into the last, and the exact
+// first bucket; values beyond the grid land in a dedicated overflow
+// bucket past the last in-range bucket, so out-of-range outliers never
+// share a bucket with legitimate top-of-range samples. The exact
 // min/max are tracked separately so clamping never hides an outlier.
 func NewQuantileSketch(lo, hi float64, perDecade int) *QuantileSketch {
 	if lo <= 0 || hi <= lo || perDecade <= 0 {
@@ -42,7 +44,7 @@ func NewQuantileSketch(lo, hi float64, perDecade int) *QuantileSketch {
 		lo:     lo,
 		g:      g,
 		invLgG: 1 / math.Log2(g),
-		counts: make([]uint64, buckets),
+		counts: make([]uint64, buckets+1), // +1: overflow bucket beyond the grid
 		min:    math.Inf(1),
 		max:    math.Inf(-1),
 	}
@@ -105,8 +107,10 @@ func (q *QuantileSketch) Quantile(p float64) float64 {
 		cum += c
 		if cum >= rank {
 			if i == len(q.counts)-1 {
-				// The final bucket is the overflow bucket (values ≥ hi
-				// clamp into it), so its only honest edge is the exact max.
+				// The dedicated overflow bucket holds only beyond-grid
+				// samples, so its only honest edge is the exact max;
+				// in-range buckets (including the top one) never trigger
+				// this rule.
 				return q.max
 			}
 			edge := q.lo * math.Pow(q.g, float64(i+1))

@@ -109,6 +109,26 @@ func TestSketchClamping(t *testing.T) {
 	}
 }
 
+// TestSketchTopBucketNotOverflow is the regression test for the
+// dedicated overflow bucket: in-range samples in the topmost grid
+// bucket must report that bucket's edge, not the global max — the
+// exact-max rule is reserved for true beyond-grid overflow samples.
+func TestSketchTopBucketNotOverflow(t *testing.T) {
+	// One bucket per decade over [1, 100): grid buckets [1,10) and
+	// [10,100), plus the overflow bucket.
+	q := NewQuantileSketch(1, 100, 1)
+	for i := 0; i < 100; i++ {
+		q.Add(50) // mid-distribution mass in the top in-range bucket
+	}
+	q.Add(1e6) // one genuine overflow outlier
+	if p50 := q.Quantile(0.5); p50 > 100 {
+		t.Errorf("p50 = %g leaked the overflow max; want the top grid bucket edge (100)", p50)
+	}
+	if p999 := q.Quantile(0.999); p999 != 1e6 {
+		t.Errorf("p99.9 = %g, want the exact max 1e6 from the overflow bucket", p999)
+	}
+}
+
 // TestSketchEmptyAndShapePanics covers the zero cases: an empty sketch
 // reports zeros, and mismatched shapes refuse to merge.
 func TestSketchEmptyAndShapePanics(t *testing.T) {
