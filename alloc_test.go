@@ -10,9 +10,12 @@ package odpsim
 import (
 	"testing"
 
+	"odpsim/internal/cluster"
 	"odpsim/internal/congestion"
 	"odpsim/internal/fabric"
+	"odpsim/internal/hostmem"
 	"odpsim/internal/packet"
+	"odpsim/internal/rnic"
 	"odpsim/internal/sim"
 )
 
@@ -102,5 +105,65 @@ func TestAllocBudgetClosSend(t *testing.T) {
 	if avg > closAllocCeiling {
 		t.Errorf("clos trial allocates %.0f/op, ceiling %d — graph rebuild or ECMP routing left the warm-allocation contract",
 			avg, closAllocCeiling)
+	}
+}
+
+// irnAllocCeiling bounds the warm-trial allocation count for the IRN
+// selective-repeat send path. The trial rebuilds a two-node IRN cluster
+// on a Reset-reused engine and floods 256 pinned-memory WRITEs over a
+// 10%-lossy fabric, so SACK frames, reorder-buffer stashes and
+// single-PSN retransmits are all on the measured path. The measured warm
+// figure is ~892: ~818 is the cluster rebuild itself (RNIC structs, MR
+// tables, CQs and QPs — fixed per rebuild, identical under the rc
+// transport) and the IRN delta is ~74 fixed per-node telemetry
+// registration. The figure is identical at 0% and 10% loss: the per-QP
+// State comes from the irn.StateFor engine-generation arena and the
+// SACK/stash/retransmit datapath allocates nothing per packet, which is
+// the contract this ceiling pins — any per-packet or per-SACK allocation
+// would add ≥256 and blow straight through it.
+const irnAllocCeiling = 960
+
+func TestAllocBudgetIRNSend(t *testing.T) {
+	sys := cluster.KNL()
+	sys.LossRate = 0.1
+	sys.Transport = "irn"
+
+	eng := sim.New(1)
+	trial := func() {
+		cl := sys.BuildOn(eng, 7, 2)
+		client, server := cl.Nodes[0], cl.Nodes[1]
+
+		const n, size = 256, 512
+		lbuf := client.AS.Alloc(n * size)
+		rbuf := server.AS.Alloc(n * size)
+		client.AS.Touch(lbuf, n*size)
+		server.AS.Touch(rbuf, n*size)
+		client.RegisterMR(lbuf, n*size)
+		server.RegisterMR(rbuf, n*size)
+
+		cq := rnic.NewCQ(cl.Eng)
+		scq := rnic.NewCQ(cl.Eng)
+		params := rnic.ConnParams{CACK: 8, RetryCount: 7, MinRNRDelay: sim.FromMillis(1.28)}
+		qc := client.CreateQP(cq, cq)
+		qs := server.CreateQP(scq, scq)
+		rnic.ConnectPair(qc, qs, params, params)
+
+		for i := 0; i < n; i++ {
+			off := hostmem.Addr(i * size)
+			qc.PostSend(rnic.SendWR{ID: uint64(i), Op: rnic.OpWrite,
+				LocalAddr: lbuf + off, RemoteAddr: rbuf + off, Len: size})
+		}
+		cl.Eng.Run()
+		if got := len(cq.Poll(0)); got != n {
+			t.Fatalf("completed %d/%d WRITEs", got, n)
+		}
+	}
+	trial() // first trial warms the arenas (incl. the IRN state arena)
+
+	avg := testing.AllocsPerRun(10, trial)
+	t.Logf("irn send trial allocates %.0f/op (ceiling %d)", avg, irnAllocCeiling)
+	if avg > irnAllocCeiling {
+		t.Errorf("irn trial allocates %.0f/op, ceiling %d — the selective-repeat path regressed off the warm-allocation contract",
+			avg, irnAllocCeiling)
 	}
 }

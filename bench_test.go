@@ -841,6 +841,45 @@ func BenchmarkShardedIncast(b *testing.B) {
 	}
 }
 
+// BenchmarkIRNSend measures the IRN selective-repeat datapath: a
+// two-node cluster rebuilt per trial on a Reset-reused engine, flooding
+// 256 pinned-memory WRITEs over a 10%-lossy fabric so drops exercise
+// the SACK, reorder-buffer and single-PSN retransmit paths on every
+// iteration. TestAllocBudgetIRNSend pins the warm trial budget.
+func BenchmarkIRNSend(b *testing.B) {
+	sys := cluster.KNL()
+	sys.LossRate = 0.1
+	sys.Transport = "irn"
+	eng := sim.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cl := sys.BuildOn(eng, int64(i+1), 2)
+		client, server := cl.Nodes[0], cl.Nodes[1]
+		const n, size = 256, 512
+		lbuf := client.AS.Alloc(n * size)
+		rbuf := server.AS.Alloc(n * size)
+		client.AS.Touch(lbuf, n*size)
+		server.AS.Touch(rbuf, n*size)
+		client.RegisterMR(lbuf, n*size)
+		server.RegisterMR(rbuf, n*size)
+		cq := rnic.NewCQ(cl.Eng)
+		scq := rnic.NewCQ(cl.Eng)
+		params := rnic.ConnParams{CACK: 8, RetryCount: 7, MinRNRDelay: sim.FromMillis(1.28)}
+		qc := client.CreateQP(cq, cq)
+		qs := server.CreateQP(scq, scq)
+		rnic.ConnectPair(qc, qs, params, params)
+		for j := 0; j < n; j++ {
+			off := hostmem.Addr(j * size)
+			qc.PostSend(rnic.SendWR{ID: uint64(j), Op: rnic.OpWrite,
+				LocalAddr: lbuf + off, RemoteAddr: rbuf + off, Len: size})
+		}
+		cl.Eng.Run()
+		if got := len(cq.Poll(0)); got != n {
+			b.Fatalf("completed %d/%d WRITEs", got, n)
+		}
+	}
+}
+
 // BenchmarkSweepMicrobenchReuse measures one default micro-benchmark run
 // on a Reset-reused engine — the per-trial cost inside every sweep.
 func BenchmarkSweepMicrobenchReuse(b *testing.B) {

@@ -18,11 +18,14 @@ import (
 	"testing"
 	"time"
 
+	"odpsim/internal/cluster"
 	"odpsim/internal/congestion"
 	"odpsim/internal/core"
 	"odpsim/internal/fabric"
+	"odpsim/internal/hostmem"
 	"odpsim/internal/packet"
 	"odpsim/internal/parallel"
+	"odpsim/internal/rnic"
 	"odpsim/internal/scenario"
 	_ "odpsim/internal/scenario/paper"
 	"odpsim/internal/shard"
@@ -127,6 +130,11 @@ type benchReport struct {
 		Identical     bool    `json:"identical"`
 		AllocsPerLoop int64   `json:"allocs_per_loop"`
 	} `json:"sharded"`
+	IRN struct {
+		Name          string `json:"name"`
+		NsPerOp       int64  `json:"ns_per_op"`
+		AllocsPerLoop int64  `json:"allocs_per_loop"`
+	} `json:"irn"`
 }
 
 // shardedHarness is the odpperf copy of the BenchmarkShardedIncast
@@ -362,6 +370,45 @@ func measureBench() benchReport {
 	rep.Sharded.Identical = equalInts(h1.fingerprint(), h8.fingerprint())
 	rep.Sharded.AllocsPerLoop = res1.AllocsPerOp()
 
+	// The IRN selective-repeat datapath: a two-node cluster rebuilt per
+	// trial on a Reset-reused engine, flooding pinned WRITEs over a
+	// 10%-lossy fabric so SACKs, reorder-buffer stashes and single-PSN
+	// retransmits are all on the measured path (the odpperf copy of
+	// BenchmarkIRNSend; TestAllocBudgetIRNSend pins the alloc budget).
+	irnSys := cluster.KNL()
+	irnSys.LossRate = 0.1
+	irnSys.Transport = "irn"
+	irnRes := testing.Benchmark(func(b *testing.B) {
+		eng := sim.New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cl := irnSys.BuildOn(eng, int64(i+1), 2)
+			client, server := cl.Nodes[0], cl.Nodes[1]
+			const n, size = 256, 512
+			lbuf := client.AS.Alloc(n * size)
+			rbuf := server.AS.Alloc(n * size)
+			client.AS.Touch(lbuf, n*size)
+			server.AS.Touch(rbuf, n*size)
+			client.RegisterMR(lbuf, n*size)
+			server.RegisterMR(rbuf, n*size)
+			cq := rnic.NewCQ(cl.Eng)
+			scq := rnic.NewCQ(cl.Eng)
+			params := rnic.ConnParams{CACK: 8, RetryCount: 7, MinRNRDelay: sim.FromMillis(1.28)}
+			qc := client.CreateQP(cq, cq)
+			qs := server.CreateQP(scq, scq)
+			rnic.ConnectPair(qc, qs, params, params)
+			for j := 0; j < n; j++ {
+				off := hostmem.Addr(j * size)
+				qc.PostSend(rnic.SendWR{ID: uint64(j), Op: rnic.OpWrite,
+					LocalAddr: lbuf + off, RemoteAddr: rbuf + off, Len: size})
+			}
+			cl.Eng.Run()
+		}
+	})
+	rep.IRN.Name = "irn transport 256 WRITEs, 10% loss, rebuilt cluster, Reset-reused engine"
+	rep.IRN.NsPerOp = irnRes.NsPerOp()
+	rep.IRN.AllocsPerLoop = irnRes.AllocsPerOp()
+
 	return rep
 }
 
@@ -439,6 +486,8 @@ func checkBenchFile(path string) error {
 	check("sharded shards1_ns", float64(base.Sharded.Shards1Ns), float64(cur.Sharded.Shards1Ns))
 	check("sharded shards8_ns", float64(base.Sharded.Shards8Ns), float64(cur.Sharded.Shards8Ns))
 	check("sharded allocs_per_loop", float64(base.Sharded.AllocsPerLoop), float64(cur.Sharded.AllocsPerLoop))
+	check("irn ns_per_op", float64(base.IRN.NsPerOp), float64(cur.IRN.NsPerOp))
+	check("irn allocs_per_loop", float64(base.IRN.AllocsPerLoop), float64(cur.IRN.AllocsPerLoop))
 	if !cur.Sweep.Identical {
 		failures = append(failures, "sweep determinism (sequential vs parallel output differs)")
 	}

@@ -72,7 +72,9 @@ run flags:
   -trials N   override the trial count
   -waves N    override the sampled shuffle waves (sparkucx)
   -memory M   override the memory mode: pin, odp or npr
-  -shards N   worker lanes for sharded workloads (output identical for any N)
+  -transport T  override the transport mode: rc or irn
+  -shards N   worker lanes for sharded workloads (0 auto-tunes from
+              GOMAXPROCS; output identical for any N)
   -counters F write sampled device counters as CSV (progress scenarios)
   -analyze    append per-operation analysis (trace scenarios)
   -csv F      write the packet capture as CSV (trace scenarios)
@@ -83,7 +85,7 @@ run flags:
 }
 
 func list() {
-	fmt.Printf("%-14s %-20s %-12s %-6s %s\n", "NAME", "WORKLOAD", "TOPOLOGY", "SHARDS", "TITLE")
+	fmt.Printf("%-14s %-20s %-12s %-9s %-6s %s\n", "NAME", "WORKLOAD", "TOPOLOGY", "TRANSPORT", "SHARDS", "TITLE")
 	for _, name := range scenario.Names() {
 		sc, err := scenario.Lookup(name)
 		if err != nil {
@@ -104,7 +106,14 @@ func list() {
 		if sc.Shards > 0 {
 			shards = fmt.Sprintf("%d", sc.Shards)
 		}
-		fmt.Printf("%-14s %-20s %-12s %-6s %s%s\n", sc.Name, sc.Workload, topo, shards, sc.ExpandedTitle(), slow)
+		// The transport column shows a declared override; "-" means the
+		// default go-back-N RC machine (or, for comparison workloads, a
+		// sweep over both transports).
+		transport := "-"
+		if sc.Transport != nil && sc.Transport.Mode != "" {
+			transport = sc.Transport.Mode
+		}
+		fmt.Printf("%-14s %-20s %-12s %-9s %-6s %s%s\n", sc.Name, sc.Workload, topo, transport, shards, sc.ExpandedTitle(), slow)
 	}
 	fmt.Printf("\nworkload kinds for JSON specs: %v\n", scenario.Workloads())
 }
@@ -120,7 +129,8 @@ func run(args []string) {
 	trials := fs.Int("trials", 0, "override the trial count (0 keeps the scenario's)")
 	waves := fs.Int("waves", 0, "override the sampled shuffle waves (0 keeps the scenario's)")
 	memory := fs.String("memory", "", "override the memory mode: pin, odp or npr (empty keeps the scenario's)")
-	shards := fs.Int("shards", 0, "worker lanes for sharded workloads (0 keeps the scenario's; output is identical for any value)")
+	transport := fs.String("transport", "", "override the transport mode: rc or irn (empty keeps the scenario's)")
+	shards := fs.Int("shards", 0, "worker lanes for sharded workloads (0 keeps the scenario's, which auto-tunes from GOMAXPROCS; output is identical for any value)")
 	counters := fs.String("counters", "", "write sampled device counters as CSV to FILE (progress scenarios)")
 	analyze := fs.Bool("analyze", false, "append per-operation analysis (trace scenarios)")
 	csvOut := fs.String("csv", "", "write the packet capture as CSV to FILE (trace scenarios)")
@@ -161,6 +171,11 @@ func run(args []string) {
 	case "", "pin", "odp", "npr":
 	default:
 		log.Fatalf("-memory must be pin, odp or npr, not %q", *memory)
+	}
+	switch *transport {
+	case "", "rc", "irn":
+	default:
+		log.Fatalf("-transport must be rc or irn, not %q", *transport)
 	}
 
 	var scs []scenario.Scenario
@@ -221,6 +236,9 @@ func run(args []string) {
 				mem.PoolKB = 0 // pool sizing is an npr-only knob
 			}
 			sc.Memory = &mem
+		}
+		if *transport != "" {
+			sc.Transport = &scenario.TransportSpec{Mode: *transport}
 		}
 		if err := execute(sc, *outDir, len(scs) > 1 && i > 0, opts); err != nil {
 			log.Fatal(err)
@@ -298,8 +316,15 @@ func show(args []string) {
 		log.Fatal(err)
 	}
 	os.Stdout.Write(data)
-	// The topology summary goes to stderr so stdout stays a valid,
-	// round-trippable JSON spec (`odpsim show fig4 > my.json`).
+	// Summaries go to stderr so stdout stays a valid, round-trippable
+	// JSON spec (`odpsim show fig4 > my.json`).
+	effective := "rc (go-back-N)"
+	if sc.Transport != nil && sc.Transport.Mode == "irn" {
+		effective = "irn (selective repeat)"
+	} else if sc.Workload == "irn-compare" {
+		effective = "rc|irn sweep"
+	}
+	fmt.Fprintf(os.Stderr, "\ntransport %s\n", effective)
 	if topo, ok := sc.BuiltTopology(); ok {
 		fmt.Fprintf(os.Stderr, "\ntopology  %s\n", topo.Summary())
 		fmt.Fprintf(os.Stderr, "          tiers:")

@@ -10,6 +10,7 @@ import (
 	"odpsim/internal/congestion"
 	"odpsim/internal/fabric"
 	"odpsim/internal/hostmem"
+	"odpsim/internal/irn"
 	"odpsim/internal/npr"
 	"odpsim/internal/rnic"
 	"odpsim/internal/sim"
@@ -57,6 +58,11 @@ type System struct {
 	// NPRPoolBytes overrides the per-node NP-RDMA pool bound when
 	// MemMode is "npr"; zero keeps npr.DefaultConfig's 2 MiB.
 	NPRPoolBytes int
+	// Transport selects the RC transport on every node: "rc" (or "",
+	// the default — the hardware go-back-N machine) or "irn" (the
+	// selective-repeat transport of internal/irn: SACKs, per-packet
+	// loss recovery, BDP-bounded injection).
+	Transport string
 }
 
 // Memory returns the host memory configuration. Network page fault
@@ -222,6 +228,15 @@ func (s System) BuildOn(eng *sim.Engine, seed int64, nodes int) *Cluster {
 		if s.Congestion != nil && s.Congestion.DCQCN.Enabled {
 			// Before any QPs exist, so every QP gets a rate limiter.
 			n.EnableDCQCN(s.Congestion.DCQCN, s.Device.LinkGbps)
+		}
+		switch s.Transport {
+		case "", "rc":
+			// The default: the hardware go-back-N machine.
+		case "irn":
+			// Before any QPs exist, so every QP gets IRN state.
+			n.EnableIRN(irn.Config{LineGbps: s.Device.LinkGbps})
+		default:
+			panic(fmt.Sprintf("cluster: unknown transport %q", s.Transport))
 		}
 		switch s.MemMode {
 		case "", "odp":

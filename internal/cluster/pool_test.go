@@ -249,3 +249,97 @@ func TestPoolConservationCongestedChurn(t *testing.T) {
 		}
 	}
 }
+
+// TestPoolConservationIRNLossChurn is the IRN transport's ledger check:
+// WRITE bursts over a 20%-lossy fabric under selective repeat, cycled
+// across engine Reset generations like TestPoolConservationCongestedChurn.
+// Losses make later PSNs land out of order, so the run cycles the frame
+// classes go-back-N never mints — SACK frames, reorder-buffer stash
+// copies and single-PSN retransmissions — and the shared pool's ledger
+// must still balance after every generation, with no new packet storage
+// once warm.
+func TestPoolConservationIRNLossChurn(t *testing.T) {
+	sys := KNL()
+	sys.LossRate = 0.2
+	sys.Transport = "irn"
+
+	var eng *sim.Engine
+	var warmAllocs uint64
+	// The same seed every generation: the loss pattern (and so the pool's
+	// peak demand) repeats exactly, which is what makes the no-growth
+	// assertion below meaningful under random loss.
+	for gen := 0; gen < 4; gen++ {
+		var sacks int
+		var cl *Cluster
+		if eng == nil {
+			cl = sys.Build(7, 2)
+			eng = cl.Eng
+		} else {
+			cl = sys.BuildOn(eng, 7, 2)
+		}
+		cl.Fab.AddTap(func(ev fabric.TapEvent) {
+			if ev.Pkt.Opcode == packet.OpSACK {
+				sacks++
+			}
+		})
+		client, server := cl.Nodes[0], cl.Nodes[1]
+
+		const n, size = 96, 512
+		lbuf := client.AS.Alloc(n * size)
+		rbuf := server.AS.Alloc(n * size)
+		client.AS.Touch(lbuf, n*size)
+		server.AS.Touch(rbuf, n*size)
+		client.RegisterMR(lbuf, n*size)
+		server.RegisterMR(rbuf, n*size)
+
+		cq := rnic.NewCQ(cl.Eng)
+		scq := rnic.NewCQ(cl.Eng)
+		params := rnic.ConnParams{CACK: 8, RetryCount: 7, MinRNRDelay: sim.FromMillis(1.28)}
+		qc := client.CreateQP(cq, cq)
+		qs := server.CreateQP(scq, scq)
+		rnic.ConnectPair(qc, qs, params, params)
+
+		for i := 0; i < n; i++ {
+			off := hostmem.Addr(i * size)
+			qc.PostSend(rnic.SendWR{ID: uint64(i), Op: rnic.OpWrite,
+				LocalAddr: lbuf + off, RemoteAddr: rbuf + off, Len: size})
+		}
+		cl.Eng.Run()
+
+		if got := len(cq.Poll(0)); got != n {
+			t.Fatalf("gen %d: completed %d/%d WRITEs despite retries", gen, got, n)
+		}
+		if cl.Fab.Dropped == 0 {
+			t.Fatalf("gen %d: no packets dropped at 20%% loss: test exercises nothing", gen)
+		}
+		if qc.Stats.Retransmits == 0 {
+			t.Fatalf("gen %d: no retransmissions: test exercises nothing", gen)
+		}
+		if sacks == 0 {
+			t.Errorf("gen %d: no SACK frames tapped: the selective-ack pool path did not run", gen)
+		}
+		if server.OooLanded == 0 {
+			t.Errorf("gen %d: no out-of-order landings: the reorder buffer did not cycle", gen)
+		}
+
+		pool := cl.Fab.Pool()
+		if pool.Gets == 0 {
+			t.Fatal("RNIC datapath did not draw from the pool")
+		}
+		if pool.Balance() != 0 {
+			t.Errorf("gen %d: pool Balance = %d after drain, want 0 (Gets=%d Puts=%d)",
+				gen, pool.Balance(), pool.Gets, pool.Puts)
+		}
+		if pool.FreeLen() != int(pool.Allocs) {
+			t.Errorf("gen %d: FreeLen = %d, Allocs = %d: packets leaked in flight",
+				gen, pool.FreeLen(), pool.Allocs)
+		}
+		if gen == 1 {
+			warmAllocs = pool.Allocs
+		}
+		if gen > 1 && pool.Allocs != warmAllocs {
+			t.Errorf("gen %d: pool grew to %d allocs (warm figure %d): recycled storage is not being reused",
+				gen, pool.Allocs, warmAllocs)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"odpsim/internal/rnic"
+	"odpsim/internal/scenario"
+	"odpsim/internal/telemetry"
+)
+
+// This file asks the question ROADMAP item 2 promises an answer to: do
+// the paper's two pitfalls (pending-window loss / packet damming, and
+// the page-status update failure behind packet floods) shrink, survive
+// or change shape when the transport stops amplifying them? The
+// irn-compare workload reruns one flood shape across every cell of
+// {rc, irn} × {lossy, lossless} × {pin, odp, npr}:
+//
+//   rc        — the hardware go-back-N machine (the paper's transport),
+//   irn       — the selective-repeat transport of internal/irn,
+//   lossy     — the scenario's declared switched topology with
+//               PFC/ECN/DCQCN stripped, so congestion tail-drops,
+//   lossless  — the declared congestion block as-is (PFC at least).
+//
+// Every cell runs the same seed, so rows differ only by transport and
+// fabric; the memory-mode sections reuse the mem-compare ordering.
+
+func init() { scenario.RegisterWorkload(irnCompare{}) }
+
+// irnTransports is the comparison order: the baseline go-back-N RC
+// machine, then IRN.
+var irnTransports = []string{"rc", "irn"}
+
+type irnCompare struct{}
+
+func (irnCompare) Kind() string { return "irn-compare" }
+
+func (irnCompare) Validate(sc *scenario.Scenario) error {
+	if sc.Congestion == nil {
+		return fmt.Errorf("scenario %q: irn-compare compares lossy vs lossless fabrics, so it needs a congestion block", sc.Name)
+	}
+	if sc.Transport != nil && sc.Transport.Mode != "" {
+		return fmt.Errorf("scenario %q: irn-compare sweeps both transports; transport.mode %q would be ignored",
+			sc.Name, sc.Transport.Mode)
+	}
+	if sc.Memory != nil && sc.Memory.Mode != "" {
+		return fmt.Errorf("scenario %q: irn-compare sweeps every memory mode; memory.mode %q would be ignored",
+			sc.Name, sc.Memory.Mode)
+	}
+	return nil
+}
+
+// irnFabric is one fabric configuration under comparison.
+type irnFabric struct {
+	label string
+	spec  *scenario.CongestionSpec
+}
+
+// irnFabrics derives the lossy/lossless pair from the scenario's
+// congestion block, the way stormVariants derives its lossy row: same
+// topology, buffers and oversubscription, relief mechanisms stripped.
+func irnFabrics(sc *scenario.Scenario) []irnFabric {
+	lossy := *sc.Congestion
+	lossy.PFC = false
+	lossy.ECN = false
+	lossy.DCQCN = false
+	return []irnFabric{
+		{label: "lossy", spec: &lossy},
+		{label: "lossless", spec: sc.Congestion},
+	}
+}
+
+func (irnCompare) Run(sc *scenario.Scenario, out *scenario.Output) error {
+	cfg, err := benchConfig(sc)
+	if err != nil {
+		return err
+	}
+	// Same flood direction rule as the storm workload: server-side ODP
+	// drives WRITE bursts so the storm's own data contends; client-side
+	// ODP keeps the READ shape (the response stream contends instead).
+	op := "READ"
+	if cfg.Mode == ServerODP || cfg.Mode == BothODP {
+		cfg.OpOverride = func(int) rnic.SendOp { return rnic.OpWrite }
+		op = "WRITE"
+	}
+	fmt.Fprintln(out.W, sc.ExpandedTitle())
+	fmt.Fprintf(out.W, "\nflood (%d %ss × %d B over %d QPs, %s, C_ACK=%d):\n",
+		cfg.NumOps, op, cfg.Size, cfg.NumQPs, cfg.Mode, cfg.CACK)
+	for mi, mem := range memModes {
+		if mi > 0 {
+			fmt.Fprintln(out.W)
+		}
+		fmt.Fprintf(out.W, "=== memory: %s ===\n", mem)
+		fmt.Fprintf(out.W, "%-5s %-9s %12s %8s %8s %8s %7s %8s %6s %6s %6s %9s %6s %9s\n",
+			"tport", "fabric", "exec", "retrans", "timeouts", "rnr_nak", "dammed", "discard", "flt", "ooo", "sack", "bdp_stall", "drops", "pause[us]")
+		for _, tr := range irnTransports {
+			for _, fb := range irnFabrics(sc) {
+				b := cfg
+				b.System.MemMode = mem
+				b.System.Transport = tr
+				c := fb.spec.Config()
+				b.System.Congestion = &c
+				r := RunMicrobench(b)
+				fmt.Fprintf(out.W, "%-5s %-9s %12v %8d %8d %8d %7d %8.0f %6d %6.0f %6.0f %9.0f %6.0f %9.0f\n",
+					tr, fb.label, time.Duration(r.ExecTime),
+					r.Retransmits, r.Timeouts, r.RNRNaksSent, r.DammedDrops,
+					r.Final.Total(telemetry.SimResponsesDiscarded),
+					r.ClientFaults,
+					r.Final.Total(telemetry.IrnOooLanded),
+					r.Final.Total(telemetry.IrnSackSent),
+					r.Final.Total(telemetry.IrnBdpStalls),
+					r.Final.Total(telemetry.SimSwitchDrops),
+					r.Final.Total(telemetry.TxPauseDuration))
+			}
+		}
+	}
+	return nil
+}

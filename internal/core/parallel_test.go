@@ -60,7 +60,18 @@ func sweepOutputs() []any {
 	}
 	sharded := runCollective(shardSc, sys, 9, 8, 1024, 3)
 
-	return []any{fig2, fig4, fig6, fig9, clos, sharded}
+	// The IRN selective-repeat transport over a lossy fabric: SACK
+	// emission, reorder-buffer fills and per-packet retransmits must all
+	// reproduce exactly for any worker count.
+	baseIrn := DefaultBench()
+	baseIrn.System.Transport = "irn"
+	baseIrn.System.LossRate = 0.1
+	baseIrn.NumOps = 64
+	baseIrn.NumQPs = 4
+	baseIrn.CACK = 8
+	irn := SweepExecTime(baseIrn, IntervalRange(0, 4, 2), 3)
+
+	return []any{fig2, fig4, fig6, fig9, clos, sharded, irn}
 }
 
 // TestSweepDeterminismAcrossJobs is the cross-check the parallel runner

@@ -39,6 +39,11 @@ const (
 	// frame. It is link-local (switch to upstream neighbour), never
 	// routed, and surfaces in captures only through fabric taps.
 	OpPFCPause
+	// OpSACK is the IRN selective acknowledgement: a cumulative ACK
+	// (AckPSN, everything below it received) plus a bitmap of
+	// out-of-order PSNs received above it (SackBase + SackBitmap). Only
+	// the irn transport emits it; the go-back-N machine never sees one.
+	OpSACK
 )
 
 // String implements fmt.Stringer using ibdump-like names.
@@ -72,6 +77,8 @@ func (o Opcode) String() string {
 		return "CNP"
 	case OpPFCPause:
 		return "PFC Pause"
+	case OpSACK:
+		return "SACK"
 	default:
 		return fmt.Sprintf("Opcode(%d)", int(o))
 	}
@@ -156,6 +163,16 @@ type Packet struct {
 	// coalesced ACKs; kept explicit for readability of traces).
 	AckPSN uint32
 
+	// SACK extension (OpSACK only). AckPSN is the cumulative ACK (the
+	// highest PSN received in order; everything at or below it has been
+	// received). SackBase is the first missing PSN — the responder's
+	// ePSN, AckPSN+1 — and bit i of SackBitmap means PSN SackBase+i
+	// arrived out of order (bit 0 is always clear: that PSN is the
+	// hole). A SACK is therefore also the IRN per-packet NAK for
+	// SackBase.
+	SackBase   uint32
+	SackBitmap uint64
+
 	// Payload.
 	PayloadLen int
 
@@ -216,6 +233,9 @@ const (
 	// pause frame (a minimum-size control frame).
 	cnpPadBytes   = 16
 	pfcFrameBytes = 64
+	// sackEthBytes is the IRN SACK extension after the AETH: a 3-byte
+	// base PSN (padded to 4) plus the 8-byte reception bitmap.
+	sackEthBytes = 12
 )
 
 // WireSize returns the packet's size on the wire in bytes, used for
@@ -238,6 +258,8 @@ func (p *Packet) WireSize() int {
 		n += aethBytes + atomicAckEthBytes
 	case OpCNP:
 		n += cnpPadBytes
+	case OpSACK:
+		n += aethBytes + sackEthBytes
 	}
 	return n
 }
@@ -245,7 +267,7 @@ func (p *Packet) WireSize() int {
 // HasAETH reports whether the packet carries an AETH.
 func (p *Packet) HasAETH() bool {
 	switch p.Opcode {
-	case OpAcknowledge, OpReadRespFirst, OpReadRespLast, OpReadRespOnly:
+	case OpAcknowledge, OpReadRespFirst, OpReadRespLast, OpReadRespOnly, OpSACK:
 		return true
 	}
 	return false
@@ -262,6 +284,8 @@ func (p *Packet) String() string {
 		s = fmt.Sprintf("%s PSN=%d QP=%d", p.Syndrome, p.AckPSN, p.DestQP)
 	case OpCNP:
 		s = fmt.Sprintf("CNP QP=%d", p.DestQP)
+	case OpSACK:
+		s = fmt.Sprintf("SACK cum=%d base=%d bitmap=0x%x QP=%d", p.AckPSN, p.SackBase, p.SackBitmap, p.DestQP)
 	case OpPFCPause:
 		if p.XOff {
 			s = fmt.Sprintf("PFC Pause VL=%d (XOFF)", p.VL)

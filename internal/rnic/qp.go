@@ -6,6 +6,7 @@ import (
 
 	"odpsim/internal/congestion"
 	"odpsim/internal/hostmem"
+	"odpsim/internal/irn"
 	"odpsim/internal/packet"
 	"odpsim/internal/sim"
 	"odpsim/internal/telemetry"
@@ -112,6 +113,11 @@ type outReq struct {
 	npsn        int
 	attempts    int
 	rnrAttempts int
+	// IRN bookkeeping: sacked marks the request's arrival confirmed by
+	// a SACK bitmap; retxDone guards selective retransmission to once
+	// per recovery round (a persistent hole falls back to the timeout).
+	sacked   bool
+	retxDone bool
 }
 
 func (o *outReq) lastPSN() uint32 { return packet.PSNAdd(o.firstPSN, o.npsn-1) }
@@ -160,6 +166,10 @@ type QP struct {
 	// notification-point pacing clock for marked arrivals on this QP.
 	rate    *congestion.RateState
 	lastCNP sim.Time
+
+	// irn is the selective-repeat transport state (nil on go-back-N
+	// devices; see EnableIRN and internal/rnic/irn.go).
+	irn *irn.State
 
 	// Responder state.
 	ePSN uint32
@@ -239,6 +249,10 @@ func (qp *QP) Reset() {
 	qp.nextPSN, qp.ePSN = 0, 0
 	qp.paused, qp.inResume = false, false
 	qp.atomicReplay, qp.atomicOrder = nil, nil
+	if qp.irn != nil {
+		qp.irn.RB.Init(0)
+		qp.irn.TX.Init(qp.rnic.irnBDP, 0)
+	}
 }
 
 // PostRecv posts a receive work request.
@@ -275,6 +289,10 @@ func (qp *QP) OutstandingReads() int {
 
 // pump transmits queued WRs while flow-control allows.
 func (qp *QP) pump() {
+	if qp.irn != nil {
+		qp.irnPump()
+		return
+	}
 	if qp.paused || qp.state != QPReady {
 		return
 	}
@@ -424,6 +442,10 @@ func (qp *QP) onTimeout() {
 	if len(qp.out) == 0 || qp.state != QPReady {
 		return
 	}
+	if qp.irn != nil {
+		qp.irnOnTimeout()
+		return
+	}
 	o := qp.out[0]
 	o.attempts++
 	qp.Stats.Timeouts++
@@ -509,6 +531,8 @@ func (qp *QP) requesterReceive(pkt *packet.Packet) {
 	switch {
 	case pkt.Opcode == packet.OpAcknowledge:
 		qp.handleAck(pkt)
+	case pkt.Opcode == packet.OpSACK:
+		qp.irnHandleSack(pkt)
 	case pkt.Opcode == packet.OpAtomicResp:
 		qp.handleAtomicResp(pkt)
 	case pkt.Opcode.IsReadResponse():
@@ -521,6 +545,10 @@ func (qp *QP) handleAck(pkt *packet.Packet) {
 	case packet.SynACK:
 		qp.ackThrough(pkt.AckPSN)
 	case packet.SynRNRNAK:
+		if qp.irn != nil {
+			qp.irnHandleRNR(pkt)
+			return
+		}
 		qp.Stats.RNRNakReceived++
 		if qp.paused {
 			return
@@ -570,6 +598,11 @@ func (qp *QP) handleReadResponse(pkt *packet.Packet) {
 		return // ghost or duplicate response
 	}
 	if qp.localIsODP(o.w) && !qp.rnic.ODP.Access(qp.Num, o.w.LocalAddr, o.w.Len) {
+		if qp.irn != nil {
+			// IRN: only the faulting READ retries; no pending window.
+			qp.irnClientFault(o)
+			return
+		}
 		// Client-side ODP: the RNIC cannot scatter the payload, drops
 		// the response, and schedules a blind retransmission of the
 		// request — over and over until the page status update lands.
@@ -608,6 +641,9 @@ func (qp *QP) completeThrough(o *outReq) {
 		}
 		qp.deliver(qp.sendCQ, cqe)
 	}
+	if qp.irn != nil {
+		qp.irnReleaseTX()
+	}
 	qp.afterProgress()
 }
 
@@ -627,6 +663,9 @@ func (qp *QP) ackThrough(psn uint32) {
 		progressed = true
 	}
 	if progressed {
+		if qp.irn != nil {
+			qp.irnReleaseTX()
+		}
 		qp.afterProgress()
 	}
 }

@@ -21,6 +21,10 @@ func (qp *QP) responderReceive(pkt *packet.Packet) {
 		r.DammedDrops++
 		return
 	}
+	if qp.irn != nil {
+		qp.irnResponderReceive(pkt)
+		return
+	}
 	d := packet.PSNDiff(pkt.PSN, qp.ePSN)
 	if d > 0 {
 		// A gap: an earlier request was lost. NAK with the PSN we

@@ -6,6 +6,7 @@ import (
 	"odpsim/internal/congestion"
 	"odpsim/internal/fabric"
 	"odpsim/internal/hostmem"
+	"odpsim/internal/irn"
 	"odpsim/internal/npr"
 	"odpsim/internal/odp"
 	"odpsim/internal/packet"
@@ -98,6 +99,10 @@ type RNIC struct {
 	dcqcnOn  bool
 	dcqcn    congestion.DCQCNConfig
 	lineGbps float64
+	// IRN state (EnableIRN): every QP created afterwards runs the
+	// selective-repeat transport with irnBDP as its injection cap.
+	irnOn  bool
+	irnBDP int
 	// tel is the device's counter registry — the simulator's equivalent
 	// of /sys/class/infiniband/<dev>. The exported counter fields below
 	// are its live storage (pointer-backed), so reading them directly
@@ -118,6 +123,13 @@ type RNIC struct {
 	EcnMarked  uint64
 	CnpSent    uint64
 	CnpHandled uint64
+	// IRN counters (registered by EnableIRN): responder SACKs and
+	// out-of-order landings, requester BDP stalls and selective
+	// retransmissions.
+	SackSent   uint64
+	OooLanded  uint64
+	BdpStalls  uint64
+	IrnRetrans uint64
 	// wcByStatus counts work completions per WCStatus.
 	wcByStatus [numWCStatuses]uint64
 }
@@ -341,6 +353,11 @@ func (r *RNIC) CreateQP(sendCQ, recvCQ *CQ) *QP {
 	qp.resumeFn = qp.resumePending
 	if r.dcqcnOn {
 		qp.rate = congestion.NewRateStateOn(r.eng, r.dcqcn, r.lineGbps)
+	}
+	if r.irnOn {
+		qp.irn = irn.StateFor(r.eng)
+		qp.irn.RB.Init(0)
+		qp.irn.TX.Init(r.irnBDP, 0)
 	}
 	r.nextQPN++
 	r.qps[qp.Num] = qp

@@ -249,6 +249,60 @@ func init() {
 		},
 		Quick: &scenario.Quick{Ops: 8},
 	})
+	// IRN transport comparison (ROADMAP item 2): the storm, damming and
+	// incast shapes rerun across {rc, irn} × {lossy, lossless} ×
+	// {pin, odp, npr}. Each asks whether a pitfall survives a transport
+	// that recovers per-packet instead of go-back-N: the storm's
+	// retransmission amplification, the ConnectX-4 damming window, and
+	// incast fan-in behind PFC vs tail-drop.
+	scenario.Register(scenario.Scenario{
+		Name:     "irn-storm",
+		Title:    "IRN vs go-back-N (storm shape): write flood, 2 switches, rc|irn x lossy|lossless x pin|odp|npr",
+		Workload: "irn-compare",
+		Mode:     "server",
+		Size:     512,
+		QPs:      8,
+		CACK:     8,
+		Ops:      512,
+		Congestion: &scenario.CongestionSpec{
+			BufferKB: 2, XOffKB: 1.5, XOnKB: 0.5,
+			PFC: true,
+		},
+		Quick: &scenario.Quick{Ops: 128},
+	})
+	scenario.Register(scenario.Scenario{
+		Name:       "irn-damming",
+		Title:      "IRN vs go-back-N (damming shape): paced READs into ODP faults, rc|irn x lossy|lossless x pin|odp|npr",
+		Workload:   "irn-compare",
+		Mode:       "server",
+		Size:       100,
+		QPs:        4,
+		CACK:       8,
+		Ops:        64,
+		IntervalMs: 0.1,
+		Congestion: &scenario.CongestionSpec{
+			BufferKB: 2, XOffKB: 1.5, XOnKB: 0.5,
+			PFC: true,
+		},
+		Quick: &scenario.Quick{Ops: 16},
+	})
+	scenario.Register(scenario.Scenario{
+		Name:     "irn-incast",
+		Title:    "IRN vs go-back-N (incast shape): 8-QP WRITE fan-in on a leaf-spine Clos, rc|irn x lossy|lossless x pin|odp|npr",
+		Workload: "irn-compare",
+		Mode:     "server",
+		Size:     2048,
+		QPs:      8,
+		CACK:     8,
+		Ops:      512,
+		Congestion: &scenario.CongestionSpec{
+			Topology: &scenario.TopologySpec{Kind: "clos", Tiers: 2, Radix: 4, Oversubscription: 4},
+			PFC:      true,
+			XOffKB:   1,
+			XOnKB:    0.5,
+		},
+		Quick: &scenario.Quick{Ops: 16},
+	})
 	scenario.Register(scenario.Scenario{
 		Name:     "shuffle-clos",
 		Title:    "All-to-all shuffle on a leaf-spine Clos: 6 nodes, server-side ODP, PFC",

@@ -107,6 +107,11 @@ type Scenario struct {
 	// the one every pre-existing scenario renders byte-identically under.
 	Memory *MemorySpec `json:"memory,omitempty"`
 
+	// Transport selects the RC transport on every node: rc | irn.
+	// Absent means rc — the hardware go-back-N machine every
+	// pre-existing scenario renders byte-identically under.
+	Transport *TransportSpec `json:"transport,omitempty"`
+
 	// Inner names the scenario a wrapper workload (mem-compare) derives
 	// its per-mode runs from; empty for ordinary workloads.
 	Inner string `json:"inner,omitempty"`
@@ -338,6 +343,24 @@ func (ms *MemorySpec) validate(name string) error {
 	return nil
 }
 
+// TransportSpec is the JSON face of the transport switch: which RC
+// machine every node's QPs run.
+type TransportSpec struct {
+	// Mode is "rc" (go-back-N) or "irn" (selective repeat); "" = rc.
+	Mode string `json:"mode,omitempty"`
+}
+
+// validate checks the transport block against the modes cluster.BuildOn
+// accepts.
+func (ts *TransportSpec) validate(name string) error {
+	switch ts.Mode {
+	case "", "rc", "irn":
+		return nil
+	default:
+		return fmt.Errorf("scenario %q: unknown transport mode %q (want rc or irn)", name, ts.Mode)
+	}
+}
+
 // kb converts a KB spec field to bytes, keeping zero as "default".
 func kb(x float64) int { return int(x * 1024) }
 
@@ -559,6 +582,11 @@ func (sc *Scenario) Validate() error {
 			return err
 		}
 	}
+	if sc.Transport != nil {
+		if err := sc.Transport.validate(sc.Name); err != nil {
+			return err
+		}
+	}
 	if err := sc.Grid.validate(sc.Name, "grid"); err != nil {
 		return err
 	}
@@ -609,6 +637,9 @@ func (sc *Scenario) ApplyFaults(s cluster.System) cluster.System {
 		if sc.Memory.PoolKB > 0 {
 			s.NPRPoolBytes = kb(sc.Memory.PoolKB)
 		}
+	}
+	if sc.Transport != nil {
+		s.Transport = sc.Transport.Mode
 	}
 	return s
 }

@@ -69,6 +69,9 @@ func TestValidateRejects(t *testing.T) {
 		{"pool without npr", func(sc *Scenario) {
 			sc.Memory = &MemorySpec{Mode: "odp", PoolKB: 64}
 		}, "pool_kb"},
+		{"unknown transport mode", func(sc *Scenario) {
+			sc.Transport = &TransportSpec{Mode: "quic"}
+		}, "transport mode"},
 		{"topology unknown kind", func(sc *Scenario) {
 			sc.Congestion = &CongestionSpec{Topology: &TopologySpec{Kind: "torus"}}
 		}, "topology kind"},
@@ -295,6 +298,27 @@ func TestMemorySpecReachesSystems(t *testing.T) {
 	}
 }
 
+func TestTransportSpecReachesSystems(t *testing.T) {
+	sc := valid()
+	sc.Transport = &TransportSpec{Mode: "irn"}
+	sys, err := sc.ResolvedSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Transport != "irn" {
+		t.Errorf("transport block not routed: %q", sys.Transport)
+	}
+	// No block: the default stays empty so cluster keeps go-back-N.
+	sc.Transport = nil
+	sys, err = sc.ResolvedSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Transport != "" {
+		t.Errorf("nil transport block must leave the system default: %q", sys.Transport)
+	}
+}
+
 func TestSpecRoundTrip(t *testing.T) {
 	sc := valid()
 	sc.Title = "spec test"
@@ -304,6 +328,7 @@ func TestSpecRoundTrip(t *testing.T) {
 	sc.Faults = Faults{LossRate: 0.02}
 	sc.Congestion = &CongestionSpec{PFC: true, XOffKB: 6, XOnKB: 2, DCQCN: true}
 	sc.Memory = &MemorySpec{Mode: "npr", PoolKB: 64}
+	sc.Transport = &TransportSpec{Mode: "irn"}
 	sc.Quick = &Quick{Trials: 1}
 	data, err := SaveSpec(sc)
 	if err != nil {
@@ -318,6 +343,9 @@ func TestSpecRoundTrip(t *testing.T) {
 	}
 	if got.Memory == nil || *got.Memory != *sc.Memory {
 		t.Errorf("memory block lost in round trip: %+v", got.Memory)
+	}
+	if got.Transport == nil || *got.Transport != *sc.Transport {
+		t.Errorf("transport block lost in round trip: %+v", got.Transport)
 	}
 	// Round-tripped scenarios must run identically.
 	var a, b bytes.Buffer
@@ -398,6 +426,8 @@ func TestSpecRejects(t *testing.T) {
 		{"memory unknown field", `{"name":"x","workload":"fake","trials":1,"memory":{"mode":"npr","pool":64}}`, "pool"},
 		{"memory unknown mode", `{"name":"x","workload":"fake","trials":1,"memory":{"mode":"rcu"}}`, "memory mode"},
 		{"memory stray pool", `{"name":"x","workload":"fake","trials":1,"memory":{"pool_kb":8}}`, "pool_kb"},
+		{"transport unknown field", `{"name":"x","workload":"fake","trials":1,"transport":{"mode":"irn","window":4}}`, "window"},
+		{"transport unknown mode", `{"name":"x","workload":"fake","trials":1,"transport":{"mode":"quic"}}`, "transport mode"},
 		{"topology unknown field", `{"name":"x","workload":"fake","trials":1,"congestion":{"topology":{"kind":"clos","spines":2}}}`, "spines"},
 		{"topology unknown kind", `{"name":"x","workload":"fake","trials":1,"congestion":{"topology":{"kind":"mesh"}}}`, "topology kind"},
 		{"topology odd radix", `{"name":"x","workload":"fake","trials":1,"congestion":{"topology":{"kind":"clos","radix":5}}}`, "radix"},

@@ -34,6 +34,7 @@ package shard
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"odpsim/internal/sim"
@@ -238,11 +239,12 @@ type Group struct {
 }
 
 // NewGroup creates a group executing on lanes worker lanes. Values below
-// 1 mean one lane (sequential execution); the lane count never affects
-// simulation output, only wall-clock.
+// 1 auto-tune to the process's GOMAXPROCS (startWorkers further caps at
+// the domain count, so small fabrics never spawn idle lanes); the lane
+// count never affects simulation output, only wall-clock.
 func NewGroup(lanes int) *Group {
 	if lanes < 1 {
-		lanes = 1
+		lanes = runtime.GOMAXPROCS(0)
 	}
 	return &Group{lanes: lanes}
 }

@@ -175,3 +175,21 @@ const (
 	// buffer across the run.
 	SimSwitchQueuePeak = "sim_switch_queue_peak_bytes"
 )
+
+// IRN transport counters (the selective-repeat RC machine in
+// internal/irn + internal/rnic). Registered only on devices with the irn
+// transport enabled, so go-back-N runs keep their exact metric set.
+const (
+	// IrnSackSent counts SACK packets the responder sent for
+	// out-of-order arrivals (cumulative ACK + reception bitmap).
+	IrnSackSent = "irn_sack_sent"
+	// IrnOooLanded counts request packets the responder accepted out of
+	// order into the reorder buffer instead of NAKing the window.
+	IrnOooLanded = "irn_ooo_landed"
+	// IrnBdpStalls counts times the requester's pump stopped because
+	// the outstanding bytes hit the BDP cap.
+	IrnBdpStalls = "irn_bdp_stalls"
+	// IrnRetransmitted counts selective (single-PSN) retransmissions —
+	// the IRN analogue of the go-back-N Retransmits tail replay.
+	IrnRetransmitted = "irn_retransmitted"
+)
